@@ -1,0 +1,58 @@
+"""Shared benchmark environment.
+
+One synthetic marketplace + one dataset + one training budget feed every
+table/figure benchmark, and trained method results are cached in a
+session store so Table I's Gaia and LogTrans are reused by the Fig 3 /
+Fig 4 / deployment benches instead of being retrained.
+
+Scale is controlled by the ``REPRO_BENCH_SHOPS`` / ``REPRO_BENCH_EPOCHS``
+environment variables (defaults: 400 shops, 400 epochs — the calibrated
+configuration recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from types import SimpleNamespace
+
+import pytest
+
+from repro.data import build_dataset, build_marketplace
+from repro.experiments import (
+    benchmark_marketplace_config,
+    benchmark_train_config,
+    run_method,
+)
+
+BENCH_SHOPS = int(os.environ.get("REPRO_BENCH_SHOPS", "400"))
+BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "400"))
+
+
+@pytest.fixture(scope="session")
+def bench_env():
+    """Marketplace, dataset, budget and a lazy per-method result cache."""
+    market = build_marketplace(benchmark_marketplace_config(num_shops=BENCH_SHOPS))
+    dataset = build_dataset(market, train_fraction=0.65, val_fraction=0.15)
+    train_config = benchmark_train_config(epochs=BENCH_EPOCHS)
+    store: dict = {}
+
+    def get(name: str, keep_trainer: bool = False):
+        cached = store.get(name)
+        if cached is not None and (not keep_trainer or cached.trainer is not None):
+            return cached
+        result = run_method(name, dataset, train_config, keep_trainer=keep_trainer)
+        store[name] = result
+        return result
+
+    return SimpleNamespace(
+        market=market,
+        dataset=dataset,
+        train_config=train_config,
+        get=get,
+        store=store,
+    )
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,25 @@
+"""Benchmark: reproduce Fig 1(a) — temporal deficiency distribution.
+
+Checks that the synthetic marketplace exhibits the paper's skewed
+series-length distribution: a substantial short-history (New Shop)
+population and mass concentrated at short lengths.
+"""
+
+from repro.experiments import run_fig1a
+
+from conftest import run_once
+
+
+def test_fig1a_deficiency(benchmark, bench_env):
+    outcome = run_once(benchmark, lambda: run_fig1a(bench_env.dataset))
+    print()
+    print(outcome.report)
+
+    assert outcome.claims["distribution_right_skewed"]
+    assert outcome.claims["substantial_new_shop_population"]
+    stats = outcome.stats
+    # Short histories dominate long ones (excluding the clip bucket).
+    interior = stats.histogram[:-1]
+    first_half = interior[: len(interior) // 2].sum()
+    second_half = interior[len(interior) // 2:].sum()
+    assert first_half > second_half

@@ -1,0 +1,34 @@
+"""Benchmark: reproduce Fig 3 — graph effectiveness on new vs old shops.
+
+Compares Gaia against LogTrans (the strongest graph-free baseline) on
+the New Shop Group (history < 10 months) and the Old Shop Group.  The
+paper's claim: Gaia wins in both groups, with a larger margin on new
+shops — the e-seller graph compensates for temporal deficiency.
+"""
+
+from repro.experiments import run_fig3
+
+from conftest import run_once
+
+
+def test_fig3_graph_effectiveness(benchmark, bench_env):
+    def run():
+        gaia = bench_env.get("Gaia")
+        logtrans = bench_env.get("LogTrans")
+        return run_fig3(
+            bench_env.dataset,
+            bench_env.train_config,
+            gaia_result=gaia,
+            logtrans_result=logtrans,
+        )
+
+    outcome = run_once(benchmark, run)
+    print()
+    print(outcome.report)
+
+    assert outcome.claims["gaia_beats_logtrans_new"], \
+        "Gaia must beat LogTrans on the New Shop Group"
+    # The margin must be larger on new shops for at least one headline
+    # metric (the paper reports both MAE and MAPE margins larger).
+    assert outcome.claims["margin_larger_on_new_mae"] or \
+        outcome.claims["margin_larger_on_new_mape"]

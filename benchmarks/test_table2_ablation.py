@@ -1,0 +1,40 @@
+"""Benchmark: reproduce Table II (ablation study).
+
+Trains Gaia and its three ablations (w/o ITA, w/o FFL, w/o TEL) on the
+canonical dataset.  The paper's claim is that each component
+contributes; at reproduction scale we assert the majority of ablations
+hurt and that full Gaia is never *best-beaten* by more than a small
+slack (single-seed noise on a 400-shop graph is non-trivial).
+"""
+
+from repro.baselines import ABLATION_METHODS
+from repro.experiments import run_table2
+
+from conftest import run_once
+
+
+def test_table2_ablation(benchmark, bench_env):
+    def full_table():
+        for name in ABLATION_METHODS:
+            bench_env.get(name)
+        return run_table2(
+            bench_env.dataset,
+            bench_env.train_config,
+            precomputed=bench_env.store,
+        )
+
+    outcome = run_once(benchmark, full_table)
+    print()
+    print(outcome.report)
+
+    gaia = outcome.metrics["Gaia"]["overall"]["MAPE"]
+    ablations = {
+        name: outcome.metrics[name]["overall"]["MAPE"]
+        for name in ABLATION_METHODS if name != "Gaia"
+    }
+    hurt = sum(1 for v in ablations.values() if v > gaia)
+    assert hurt >= 2, f"expected most ablations to hurt, got {hurt}/3 ({ablations})"
+    # No ablation may beat full Gaia by a large margin.
+    assert min(ablations.values()) > gaia * 0.9, (
+        f"an ablation beat Gaia decisively: gaia={gaia:.4f}, {ablations}"
+    )

@@ -1,0 +1,59 @@
+"""Cold-start scenario: forecasting shops with almost no history.
+
+The paper's temporal-deficiency analysis (Fig 1a + Fig 3): many shops
+have short GMV histories, and the e-seller graph is what rescues their
+forecasts.  This script compares Gaia against the strongest graph-free
+baseline (LogTrans) separately on the New Shop Group (< 10 months of
+history) and the Old Shop Group, reproducing the Fig 3 comparison on a
+fresh marketplace.
+
+Run:
+    python examples/cold_start_new_shops.py
+"""
+
+import dataclasses
+
+from repro import TrainConfig, build_dataset, build_marketplace
+from repro.experiments import benchmark_marketplace_config
+from repro.analysis import compare_groups, series_length_distribution
+from repro.experiments import run_method
+
+
+def main() -> None:
+    # A marketplace skewed toward very young shops.
+    config = dataclasses.replace(
+        benchmark_marketplace_config(num_shops=250, seed=13),
+        mean_history=10.0,
+        owner_fraction=0.4,
+    )
+    market = build_marketplace(config)
+    dataset = build_dataset(market)
+
+    stats = series_length_distribution(dataset.history_lengths)
+    print("series-length distribution (Fig 1a):")
+    for label, value in stats.as_rows():
+        print(f"  {label}: {value:.3f}")
+
+    train_config = TrainConfig(epochs=250, patience=40, learning_rate=7e-3)
+    gaia = run_method("Gaia", dataset, train_config)
+    logtrans = run_method("LogTrans", dataset, train_config)
+    print(f"\noverall MAPE: Gaia {gaia.metrics['overall']['MAPE']:.4f} vs "
+          f"LogTrans {logtrans.metrics['overall']['MAPE']:.4f}")
+
+    comparison = compare_groups(dataset, gaia.predictions, logtrans.predictions)
+    print("\nFig 3 reproduction (improvement = how much worse LogTrans is):")
+    for group in ("new", "old"):
+        metrics = comparison.group_metrics[group]
+        imp = comparison.improvements[group]
+        print(f"  {group:3s} shops | Gaia MAPE {metrics['model']['MAPE']:.4f} | "
+              f"LogTrans MAPE {metrics['baseline']['MAPE']:.4f} | "
+              f"margin MAE {imp['MAE'] * 100:+.1f}% MAPE {imp['MAPE'] * 100:+.1f}%")
+    if comparison.margin_larger_on_new("MAPE"):
+        print("=> larger margin on the New Shop Group: the graph "
+              "compensates for temporal deficiency, as in the paper.")
+    else:
+        print("=> margins comparable on this draw; rerun with another seed.")
+
+
+if __name__ == "__main__":
+    main()

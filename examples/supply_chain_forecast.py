@@ -1,0 +1,95 @@
+"""Supply-chain scenario: inter-seller temporal shift in action.
+
+The paper's motivating example (§I): a supplier's GMV rises or falls
+*before* its downstream retailers'.  This script builds a marketplace
+with pronounced supply-chain structure, trains Gaia, and then inspects
+what the model learned:
+
+* cross-correlation of supplier/retailer pairs at the planted lag,
+* the CAU inter-attention heatmap on a supply edge (Fig 4b),
+* forecast accuracy for retailers whose supplier signal is informative.
+
+Run:
+    python examples/supply_chain_forecast.py
+"""
+
+import numpy as np
+
+import dataclasses
+
+from repro import TrainConfig, build_dataset, build_marketplace
+from repro.experiments import benchmark_marketplace_config
+from repro.analysis import inter_attention_heatmap, lag_alignment_score, pearson
+from repro.experiments import run_method
+from repro.nn.tensor import no_grad
+
+
+def main() -> None:
+    config = dataclasses.replace(
+        benchmark_marketplace_config(num_shops=200, seed=11),
+        supply_chain_fraction=0.8,   # mostly supply-chain structure
+        owner_fraction=0.15,
+        shock_rho=0.8,               # persistent, shift-detectable shocks
+        shock_sigma=0.3,
+    )
+    market = build_marketplace(config)
+    dataset = build_dataset(market)
+
+    # --- How strong is the planted lead-lag signal? -------------------
+    spec = market.spec
+    lag_gain = []
+    for retailer, supplier in spec.supplier_of.items():
+        lag = spec.supply_lag[retailer]
+        supplier_series = market.gmv[supplier]
+        retailer_series = market.gmv[retailer]
+        if supplier_series.std() == 0 or retailer_series.std() == 0:
+            continue
+        at_lag = pearson(supplier_series[:-lag], retailer_series[lag:])
+        at_zero = pearson(supplier_series, retailer_series)
+        lag_gain.append(at_lag - at_zero)
+    print(f"supply pairs: {len(lag_gain)}; mean corr gain at true lag: "
+          f"{np.mean(lag_gain):+.4f}")
+
+    # --- Train Gaia and inspect the inter attention -------------------
+    result = run_method(
+        "Gaia", dataset,
+        TrainConfig(epochs=150, patience=30, learning_rate=7e-3),
+        keep_trainer=True,
+    )
+    print(f"Gaia test MAPE: {result.metrics['overall']['MAPE']:.4f} "
+          f"({result.seconds:.0f}s)")
+
+    model = result.trainer.model
+    with no_grad():
+        model(dataset.test, dataset.graph)
+
+    # Pick the supply edge with the longest joint history.
+    graph = dataset.graph
+    history = dataset.test.mask.sum(axis=1)
+    candidates = []
+    for e in range(graph.num_edges):
+        dst = int(graph.dst[e])
+        src = int(graph.src[e])
+        lag = spec.supply_lag.get(dst)
+        if lag is not None and spec.supplier_of.get(dst) == src:
+            candidates.append((min(history[src], history[dst]), e, lag))
+    score, edge, lag = max(candidates)
+    heatmap = inter_attention_heatmap(model, dataset, edge)
+    alignment = lag_alignment_score(heatmap, lag=lag)
+    print(f"edge {edge} (supplier->retailer, lag {lag} months, "
+          f"{score} months history): attention mass near lag diagonal = "
+          f"{alignment:.4f}")
+
+    # Render the heatmap as coarse ASCII (rows: retailer time; cols:
+    # supplier time; darker = more attention).
+    shades = " .:-=+*#%@"
+    print("inter-attention heatmap (last 12x12 months):")
+    tail = heatmap[-12:, -12:]
+    peak = tail.max() or 1.0
+    for row in tail:
+        line = "".join(shades[min(int(v / peak * (len(shades) - 1)), 9)] for v in row)
+        print("   " + line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable
+installs cannot build; ``pip install -e . --no-use-pep517`` (or plain
+``pip install -e .`` on pip versions that fall back automatically) uses
+this file instead.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Gaia: GNN with Temporal Shift aware Attention "
+        "for GMV Forecast (ICDE 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9", "networkx>=2.8"],
+)

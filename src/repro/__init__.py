@@ -1,0 +1,72 @@
+"""Reproduction of *Gaia: Graph Neural Network with Temporal Shift aware
+Attention for Gross Merchandise Value Forecast in E-commerce* (ICDE 2022).
+
+Quickstart::
+
+    from repro import (
+        MarketplaceConfig, build_marketplace, build_dataset,
+        Gaia, GaiaConfig, Trainer, TrainConfig,
+    )
+
+    market = build_marketplace(MarketplaceConfig(num_shops=200))
+    dataset = build_dataset(market)
+    model = Gaia(GaiaConfig(static_dim=dataset.static_dim))
+    trainer = Trainer(model, dataset, TrainConfig(epochs=100))
+    trainer.fit()
+    print(trainer.evaluate())
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch numpy autograd / layers / optimizers.
+``repro.graph``
+    E-seller graph structure, generators, sampling.
+``repro.data``
+    Marketplace database, simulator, extractors, datasets.
+``repro.core``
+    The Gaia model: FFL, TEL, CAU, ITA-GCN, ablation variants.
+``repro.baselines``
+    All eight compared methods from Table I.
+``repro.training``
+    Trainer, metrics, grid search.
+``repro.deploy``
+    Monthly pipeline, model registry, online/offline serving.
+``repro.analysis`` / ``repro.experiments``
+    Figure analytics and per-table/figure experiment drivers.
+"""
+
+from .baselines import ABLATION_METHODS, TABLE1_METHODS, BaselineConfig, create_model
+from .core import Gaia, GaiaConfig, build_gaia_variant
+from .data import (
+    ForecastDataset,
+    InstanceBatch,
+    MarketplaceConfig,
+    MarketplaceDatabase,
+    SyntheticMarketplace,
+    build_dataset,
+    build_marketplace,
+)
+from .training import TrainConfig, Trainer, evaluate_forecast
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "MarketplaceConfig",
+    "MarketplaceDatabase",
+    "SyntheticMarketplace",
+    "build_marketplace",
+    "build_dataset",
+    "ForecastDataset",
+    "InstanceBatch",
+    "Gaia",
+    "GaiaConfig",
+    "build_gaia_variant",
+    "BaselineConfig",
+    "create_model",
+    "TABLE1_METHODS",
+    "ABLATION_METHODS",
+    "Trainer",
+    "TrainConfig",
+    "evaluate_forecast",
+]

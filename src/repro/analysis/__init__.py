@@ -1,0 +1,39 @@
+"""Analysis utilities: deficiency stats, group comparison, attention
+case study, paper-vs-measured reporting."""
+
+from .case_study import (
+    AttentionStudy,
+    inter_attention_heatmap,
+    intra_attention_study,
+    lag_alignment_score,
+    local_pattern_similarity,
+    pearson,
+)
+from .deficiency import DeficiencyStats, series_length_distribution
+from .groups import GroupComparison, compare_groups, improvement
+from .reporting import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    format_comparison,
+    format_metric_table,
+    rank_methods,
+)
+
+__all__ = [
+    "pearson",
+    "local_pattern_similarity",
+    "intra_attention_study",
+    "inter_attention_heatmap",
+    "lag_alignment_score",
+    "AttentionStudy",
+    "DeficiencyStats",
+    "series_length_distribution",
+    "GroupComparison",
+    "compare_groups",
+    "improvement",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "format_metric_table",
+    "format_comparison",
+    "rank_methods",
+]

@@ -1,0 +1,48 @@
+"""All eight compared methods from the paper's Table I, from scratch."""
+
+from .arima import ARIMAForecaster, arima_forecast, fit_arma
+from .common import BaselineConfig, FlatInput, ForecastHead, SequenceInput, VectorHead
+from .gat import GAT, GATLayer
+from .geniepath import GeniePath
+from .gman import GMAN
+from .graphsage import GraphSAGE, SAGELayer
+from .logtrans import ConvSelfAttention, LogTrans
+from .mtgnn import MTGNN, GraphLearningLayer
+from .registry import (
+    ABLATION_METHODS,
+    METHOD_GROUPS,
+    TABLE1_METHODS,
+    baseline_config_for,
+    create_model,
+    gaia_config_for,
+)
+from .stgcn import STGCN, STConvBlock
+
+__all__ = [
+    "ARIMAForecaster",
+    "arima_forecast",
+    "fit_arma",
+    "BaselineConfig",
+    "SequenceInput",
+    "FlatInput",
+    "ForecastHead",
+    "VectorHead",
+    "LogTrans",
+    "ConvSelfAttention",
+    "GAT",
+    "GATLayer",
+    "GraphSAGE",
+    "SAGELayer",
+    "GeniePath",
+    "STGCN",
+    "STConvBlock",
+    "GMAN",
+    "MTGNN",
+    "GraphLearningLayer",
+    "TABLE1_METHODS",
+    "ABLATION_METHODS",
+    "METHOD_GROUPS",
+    "baseline_config_for",
+    "gaia_config_for",
+    "create_model",
+]

@@ -1,0 +1,110 @@
+"""Registry of all compared methods (paper Table I rows).
+
+Maps the paper's method names to factories with a uniform signature, so
+the benchmark harness can instantiate every row of Table I identically.
+Neural models share :class:`~repro.baselines.common.BaselineConfig`;
+Gaia and its ablations use :class:`~repro.core.config.GaiaConfig`;
+ARIMA is classical (fit per shop, no gradient training).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.config import GaiaConfig
+from ..core.gaia import Gaia
+from ..core.variants import GaiaNoFFL, GaiaNoITA, GaiaNoTEL
+from ..data.dataset import ForecastDataset
+from .arima import ARIMAForecaster
+from .common import BaselineConfig
+from .gat import GAT
+from .geniepath import GeniePath
+from .gman import GMAN
+from .graphsage import GraphSAGE
+from .logtrans import LogTrans
+from .mtgnn import MTGNN
+from .stgcn import STGCN
+
+__all__ = [
+    "TABLE1_METHODS",
+    "ABLATION_METHODS",
+    "METHOD_GROUPS",
+    "baseline_config_for",
+    "gaia_config_for",
+    "create_model",
+]
+
+#: Table I rows in paper order.
+TABLE1_METHODS = (
+    "ARIMA",
+    "LogTrans",
+    "GAT",
+    "GraphSage",
+    "Geniepath",
+    "STGCN",
+    "GMAN",
+    "MTGNN",
+    "Gaia",
+)
+
+#: Table II rows (Gaia plus ablations).
+ABLATION_METHODS = ("Gaia", "Gaia w/o ITA", "Gaia w/o FFL", "Gaia w/o TEL")
+
+#: The paper's three method groups (§V-A2), used to check the reported
+#: ordering STGNN > GNN > time-series.
+METHOD_GROUPS: Dict[str, List[str]] = {
+    "time_series": ["ARIMA", "LogTrans"],
+    "gnn": ["GAT", "GraphSage", "Geniepath"],
+    "stgnn": ["STGCN", "GMAN", "MTGNN"],
+    "ours": ["Gaia"],
+}
+
+
+def baseline_config_for(dataset: ForecastDataset, channels: int = 16,
+                        num_layers: int = 2) -> BaselineConfig:
+    """Baseline config matching a dataset's shapes."""
+    return BaselineConfig(
+        input_window=dataset.input_window,
+        horizon=dataset.horizon,
+        temporal_dim=dataset.temporal_dim,
+        static_dim=dataset.static_dim,
+        channels=channels,
+        num_layers=num_layers,
+    )
+
+
+def gaia_config_for(dataset: ForecastDataset, channels: int = 16,
+                    num_layers: int = 2) -> GaiaConfig:
+    """Gaia config matching a dataset's shapes."""
+    return GaiaConfig(
+        input_window=dataset.input_window,
+        horizon=dataset.horizon,
+        temporal_dim=dataset.temporal_dim,
+        static_dim=dataset.static_dim,
+        channels=channels,
+        num_layers=num_layers,
+    )
+
+
+def create_model(name: str, dataset: ForecastDataset, seed: int = 0,
+                 channels: int = 16):
+    """Instantiate any Table I / Table II method by its paper name."""
+    baseline_cfg = baseline_config_for(dataset, channels=channels)
+    gaia_cfg = gaia_config_for(dataset, channels=channels)
+    factories: Dict[str, Callable[[], object]] = {
+        "ARIMA": lambda: ARIMAForecaster(),
+        "LogTrans": lambda: LogTrans(baseline_cfg, seed=seed),
+        "GAT": lambda: GAT(baseline_cfg, seed=seed),
+        "GraphSage": lambda: GraphSAGE(baseline_cfg, seed=seed),
+        "Geniepath": lambda: GeniePath(baseline_cfg, seed=seed),
+        "STGCN": lambda: STGCN(baseline_cfg, seed=seed),
+        "GMAN": lambda: GMAN(baseline_cfg, seed=seed),
+        "MTGNN": lambda: MTGNN(baseline_cfg, seed=seed),
+        "Gaia": lambda: Gaia(gaia_cfg, seed=seed),
+        "Gaia w/o ITA": lambda: GaiaNoITA(gaia_cfg, seed=seed),
+        "Gaia w/o FFL": lambda: GaiaNoFFL(gaia_cfg, seed=seed),
+        "Gaia w/o TEL": lambda: GaiaNoTEL(gaia_cfg, seed=seed),
+    }
+    if name not in factories:
+        raise KeyError(f"unknown method {name!r}; options: {sorted(factories)}")
+    return factories[name]()

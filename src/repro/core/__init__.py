@@ -1,0 +1,22 @@
+"""Gaia core: FFL, TEL, CAU, ITA-GCN, the full model and its ablations."""
+
+from .cau import ConvolutionalAttentionUnit
+from .config import GaiaConfig
+from .ffl import FeatureFusionLayer
+from .gaia import Gaia
+from .ita_gcn import ITAGCNLayer
+from .tel import TemporalEmbeddingLayer
+from .variants import GaiaNoFFL, GaiaNoITA, GaiaNoTEL, build_gaia_variant
+
+__all__ = [
+    "GaiaConfig",
+    "FeatureFusionLayer",
+    "TemporalEmbeddingLayer",
+    "ConvolutionalAttentionUnit",
+    "ITAGCNLayer",
+    "Gaia",
+    "GaiaNoITA",
+    "GaiaNoFFL",
+    "GaiaNoTEL",
+    "build_gaia_variant",
+]

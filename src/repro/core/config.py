@@ -1,0 +1,74 @@
+"""Configuration for the Gaia model and its ablation variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GaiaConfig"]
+
+
+@dataclass
+class GaiaConfig:
+    """Hyper-parameters of Gaia (paper §IV and §V-A3).
+
+    Attributes
+    ----------
+    input_window:
+        Number of history months ``T``.
+    horizon:
+        Forecast months ``T'`` (paper: 3).
+    temporal_dim:
+        Auxiliary temporal-feature dimension ``DT``.
+    static_dim:
+        Auxiliary static-feature dimension ``DS``.
+    channels:
+        Embedding size ``C`` (paper grid-searched, reported 32; our
+        default 16 keeps the numpy substrate fast).
+    num_scales:
+        Number of TEL kernel scales ``K`` (widths ``2, 4, .., 2K``);
+        must divide ``channels``.
+    num_layers:
+        Number of stacked ITA-GCN layers ``L`` (paper: 2).
+    cau_kernel_width:
+        Width of the CAU's Q/K convolution kernels (paper: 3).
+    dropout:
+        Dropout rate applied to TEL output during training.
+    final_activation:
+        ``"identity"`` (default) when training in the signed
+        per-shop-normalised log space, where positivity of the raw
+        forecast comes from the exponential inverse transform;
+        ``"relu"`` restores the literal Eq. 9 head for raw-space
+        training.
+    """
+
+    input_window: int = 24
+    horizon: int = 3
+    temporal_dim: int = 4
+    static_dim: int = 12
+    channels: int = 16
+    num_scales: int = 4
+    num_layers: int = 2
+    cau_kernel_width: int = 3
+    dropout: float = 0.0
+    final_activation: str = "identity"
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent settings."""
+        if self.channels % self.num_scales != 0:
+            raise ValueError(
+                f"channels ({self.channels}) must be divisible by "
+                f"num_scales ({self.num_scales})"
+            )
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if self.input_window < 2:
+            raise ValueError("input_window must be >= 2")
+        if self.cau_kernel_width < 1:
+            raise ValueError("cau_kernel_width must be >= 1")
+        if self.final_activation not in ("identity", "relu"):
+            raise ValueError(
+                f"final_activation must be 'identity' or 'relu', "
+                f"got {self.final_activation!r}"
+            )

@@ -1,0 +1,43 @@
+"""Data substrate: schemas, marketplace database, simulator, extractors,
+scaling and dataset assembly (the paper's Fig 5 offline pipeline)."""
+
+from .database import MarketplaceDatabase
+from .dataset import ForecastDataset, InstanceBatch, build_dataset, month_name
+from .extractors import (
+    ESellerGraphBuilder,
+    GMVSeriesExtractor,
+    NodeFeatureExtractor,
+    NodeFeatures,
+    RelationExtractor,
+    StaticFeatureExtractor,
+    TemporalFeatureExtractor,
+)
+from .scaling import LogScaler, ShopLevelScaler, StandardScaler
+from .schema import INDUSTRIES, REGIONS, OrderRecord, RelationRecord, ShopRecord
+from .synthetic import MarketplaceConfig, SyntheticMarketplace, build_marketplace
+
+__all__ = [
+    "MarketplaceDatabase",
+    "MarketplaceConfig",
+    "SyntheticMarketplace",
+    "build_marketplace",
+    "ShopRecord",
+    "OrderRecord",
+    "RelationRecord",
+    "INDUSTRIES",
+    "REGIONS",
+    "GMVSeriesExtractor",
+    "TemporalFeatureExtractor",
+    "StaticFeatureExtractor",
+    "NodeFeatureExtractor",
+    "NodeFeatures",
+    "RelationExtractor",
+    "ESellerGraphBuilder",
+    "LogScaler",
+    "ShopLevelScaler",
+    "StandardScaler",
+    "ForecastDataset",
+    "InstanceBatch",
+    "build_dataset",
+    "month_name",
+]

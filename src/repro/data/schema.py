@@ -1,0 +1,96 @@
+"""Record schemas for the marketplace database.
+
+These mirror the raw inputs named in the paper's deployment diagram
+(Fig 5): online order logs, a shop registry and mined relation records.
+They are plain dataclasses; bulk storage is columnar inside
+:mod:`repro.data.database`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ShopRecord", "OrderRecord", "RelationRecord", "INDUSTRIES", "REGIONS"]
+
+#: Industry vocabulary for static features (synthetic stand-in for the
+#: paper's industry attribute).
+INDUSTRIES = (
+    "apparel",
+    "electronics",
+    "food",
+    "home",
+    "beauty",
+    "seasonal_goods",
+)
+
+#: Region vocabulary for static features (stand-in for registration
+#: location).
+REGIONS = ("east", "south", "north", "west")
+
+
+@dataclass(frozen=True)
+class ShopRecord:
+    """Registry entry for one e-seller.
+
+    Attributes
+    ----------
+    shop_id:
+        External identifier (stable string key).
+    industry:
+        One of :data:`INDUSTRIES`.
+    region:
+        One of :data:`REGIONS` (registration location).
+    opened_month:
+        Global month index at which the shop started trading; GMV before
+        this month is undefined (temporal-deficiency source).
+    """
+
+    shop_id: str
+    industry: str
+    region: str
+    opened_month: int
+
+    def __post_init__(self) -> None:
+        if self.industry not in INDUSTRIES:
+            raise ValueError(f"unknown industry {self.industry!r}")
+        if self.region not in REGIONS:
+            raise ValueError(f"unknown region {self.region!r}")
+        if self.opened_month < 0:
+            raise ValueError("opened_month must be non-negative")
+
+
+@dataclass(frozen=True)
+class OrderRecord:
+    """One order-log line: a purchase at a shop in a given month."""
+
+    shop_id: str
+    month: int
+    amount: float
+    customer_id: int
+
+    def __post_init__(self) -> None:
+        if self.month < 0:
+            raise ValueError("month must be non-negative")
+        if self.amount < 0:
+            raise ValueError("amount must be non-negative")
+
+
+@dataclass(frozen=True)
+class RelationRecord:
+    """A mined relationship between two shops.
+
+    ``relation`` is one of ``"supply_chain"`` (directed ``src`` supplies
+    ``dst``), ``"same_owner"`` or ``"same_shareholder"`` (symmetric).
+    """
+
+    src_shop: str
+    dst_shop: str
+    relation: str
+
+    VALID = ("supply_chain", "same_owner", "same_shareholder")
+
+    def __post_init__(self) -> None:
+        if self.relation not in self.VALID:
+            raise ValueError(f"unknown relation {self.relation!r}")
+        if self.src_shop == self.dst_shop:
+            raise ValueError("self-relations are not allowed")

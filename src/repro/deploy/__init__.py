@@ -1,0 +1,16 @@
+"""Deployment simulation: monthly offline pipeline, model registry,
+online/offline serving (paper §VI, Fig 5)."""
+
+from .model_server import ModelRegistry, ModelVersion
+from .pipeline import MonthlyPipeline, PipelineRun
+from .serving import OfflineModelServer, OnlineModelServer, PredictionResponse
+
+__all__ = [
+    "ModelRegistry",
+    "ModelVersion",
+    "MonthlyPipeline",
+    "PipelineRun",
+    "OnlineModelServer",
+    "OfflineModelServer",
+    "PredictionResponse",
+]

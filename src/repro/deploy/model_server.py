@@ -1,0 +1,72 @@
+"""Model server: versioned storage for trained Gaia models (Fig 5).
+
+The deployed system keeps an *offline* model server (bulk monthly
+scoring of existing e-sellers) and an *online* one (real-time scoring of
+newcoming e-sellers from their ego-subgraph).  Both read the same
+versioned registry populated by the offline training pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = ["ModelVersion", "ModelRegistry"]
+
+
+@dataclass
+class ModelVersion:
+    """One published model version."""
+
+    version: int
+    state: Dict[str, np.ndarray]
+    trained_at_month: int
+    metadata: Dict[str, float] = field(default_factory=dict)
+    published_at: float = field(default_factory=time.time)
+
+
+class ModelRegistry:
+    """Append-only registry of published model versions."""
+
+    def __init__(self) -> None:
+        self._versions: List[ModelVersion] = []
+
+    def publish(self, model: Module, trained_at_month: int,
+                metadata: Optional[Dict[str, float]] = None) -> ModelVersion:
+        """Snapshot a trained model's weights as a new version."""
+        version = ModelVersion(
+            version=len(self._versions) + 1,
+            state=model.state_dict(),
+            trained_at_month=trained_at_month,
+            metadata=dict(metadata or {}),
+        )
+        self._versions.append(version)
+        return version
+
+    @property
+    def num_versions(self) -> int:
+        """Number of published versions."""
+        return len(self._versions)
+
+    def latest(self) -> ModelVersion:
+        """Most recently published version."""
+        if not self._versions:
+            raise LookupError("no model versions published yet")
+        return self._versions[-1]
+
+    def get(self, version: int) -> ModelVersion:
+        """Fetch a specific version (1-based)."""
+        if not 1 <= version <= len(self._versions):
+            raise LookupError(f"unknown model version {version}")
+        return self._versions[version - 1]
+
+    def load_into(self, model: Module, version: Optional[int] = None) -> ModelVersion:
+        """Restore a version's weights into a compatible model instance."""
+        record = self.latest() if version is None else self.get(version)
+        model.load_state_dict(record.state)
+        return record

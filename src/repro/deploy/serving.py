@@ -1,0 +1,110 @@
+"""Online / offline prediction servers (paper §VI, Fig 5).
+
+* :class:`OfflineModelServer` bulk-scores all existing e-sellers once a
+  month (full-graph forward pass).
+* :class:`OnlineModelServer` answers real-time requests for a single
+  (possibly newcoming) e-seller from its ego-subgraph, exactly as the
+  deployed system does, and keeps per-request latency accounting so the
+  paper's linear-scaling claim can be checked.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.dataset import ForecastDataset, InstanceBatch
+from ..graph.graph import ESellerGraph
+from ..graph.sampling import ego_subgraph
+from ..nn.module import Module
+from ..nn.tensor import no_grad
+
+__all__ = ["PredictionResponse", "OnlineModelServer", "OfflineModelServer"]
+
+
+@dataclass
+class PredictionResponse:
+    """Result of one online prediction request."""
+
+    shop_index: int
+    forecast: np.ndarray
+    subgraph_nodes: int
+    latency_seconds: float
+
+
+class OfflineModelServer:
+    """Monthly bulk scoring of all existing e-sellers."""
+
+    def __init__(self, model: Module, dataset: ForecastDataset) -> None:
+        self.model = model
+        self.dataset = dataset
+
+    def predict_all(self, batch: Optional[InstanceBatch] = None) -> np.ndarray:
+        """Raw-unit forecasts for every shop."""
+        if batch is None:
+            batch = self.dataset.test
+        self.model.eval()
+        with no_grad():
+            scaled = self.model(batch, self.dataset.graph)
+        return batch.inverse_scale(scaled.data)
+
+
+class OnlineModelServer:
+    """Real-time per-shop prediction from the ego-subgraph."""
+
+    def __init__(self, model: Module, dataset: ForecastDataset, hops: int = 2) -> None:
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        self.model = model
+        self.dataset = dataset
+        self.hops = hops
+        self.request_log: List[PredictionResponse] = []
+
+    def predict(self, shop_index: int,
+                batch: Optional[InstanceBatch] = None) -> PredictionResponse:
+        """Score one e-seller in real time.
+
+        Extracts the shop's ``hops``-hop ego-subgraph, slices the batch
+        to those nodes, runs the model on the subgraph only, and
+        returns the center node's raw-unit forecast.
+        """
+        if batch is None:
+            batch = self.dataset.test
+        started = time.perf_counter()
+        subgraph, originals, center_local = ego_subgraph(
+            self.dataset.graph, shop_index, hops=self.hops
+        )
+        sub_batch = batch.subset(originals)
+        self.model.eval()
+        with no_grad():
+            scaled = self.model(sub_batch, subgraph)
+        raw = sub_batch.inverse_scale(scaled.data)
+        latency = time.perf_counter() - started
+        response = PredictionResponse(
+            shop_index=shop_index,
+            forecast=raw[center_local],
+            subgraph_nodes=subgraph.num_nodes,
+            latency_seconds=latency,
+        )
+        self.request_log.append(response)
+        return response
+
+    def predict_many(self, shop_indices: np.ndarray,
+                     batch: Optional[InstanceBatch] = None) -> List[PredictionResponse]:
+        """Serve a stream of requests sequentially (throughput probe)."""
+        return [self.predict(int(i), batch) for i in np.asarray(shop_indices)]
+
+    def latency_summary(self) -> Dict[str, float]:
+        """Mean / p50 / p95 latency over the request log."""
+        if not self.request_log:
+            return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0}
+        lat = np.array([r.latency_seconds for r in self.request_log])
+        return {
+            "count": float(lat.size),
+            "mean": float(lat.mean()),
+            "p50": float(np.percentile(lat, 50)),
+            "p95": float(np.percentile(lat, 95)),
+        }

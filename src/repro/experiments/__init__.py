@@ -1,0 +1,44 @@
+"""Experiment drivers reproducing every table and figure in the paper."""
+
+from .config import (
+    benchmark_dataset,
+    benchmark_marketplace_config,
+    benchmark_train_config,
+    quick_marketplace_config,
+    quick_train_config,
+)
+from .deployment import DeploymentOutcome, run_deployment
+from .figures import (
+    Fig1aOutcome,
+    Fig3Outcome,
+    Fig4Outcome,
+    run_fig1a,
+    run_fig3,
+    run_fig4,
+)
+from .runner import MethodResult, naive_last_value, run_method, run_methods
+from .tables import TableOutcome, group_mean_mape, run_table1, run_table2
+
+__all__ = [
+    "MethodResult",
+    "run_method",
+    "run_methods",
+    "naive_last_value",
+    "TableOutcome",
+    "run_table1",
+    "run_table2",
+    "group_mean_mape",
+    "Fig1aOutcome",
+    "Fig3Outcome",
+    "Fig4Outcome",
+    "run_fig1a",
+    "run_fig3",
+    "run_fig4",
+    "DeploymentOutcome",
+    "run_deployment",
+    "benchmark_dataset",
+    "benchmark_marketplace_config",
+    "benchmark_train_config",
+    "quick_marketplace_config",
+    "quick_train_config",
+]

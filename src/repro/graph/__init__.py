@@ -1,0 +1,19 @@
+"""E-seller graph substrate: structure, generators, sampling, algorithms."""
+
+from .algorithms import bfs_distances, connected_components, degree_statistics
+from .generators import SellerGraphSpec, generate_seller_graph
+from .graph import EdgeType, ESellerGraph
+from .sampling import ego_subgraph, k_hop_nodes, sample_neighbors
+
+__all__ = [
+    "ESellerGraph",
+    "EdgeType",
+    "SellerGraphSpec",
+    "generate_seller_graph",
+    "ego_subgraph",
+    "k_hop_nodes",
+    "sample_neighbors",
+    "connected_components",
+    "bfs_distances",
+    "degree_statistics",
+]

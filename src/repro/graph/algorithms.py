@@ -1,0 +1,76 @@
+"""Classic graph algorithms used by generators, analysis and tests."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .graph import ESellerGraph
+
+__all__ = ["connected_components", "bfs_distances", "degree_statistics"]
+
+
+def connected_components(graph: ESellerGraph) -> np.ndarray:
+    """Label weakly-connected components with union-find.
+
+    Returns an array mapping each node to a component id in
+    ``0..num_components-1`` (ids ordered by first appearance).
+    """
+    parent = np.arange(graph.num_nodes, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for s, d in zip(graph.src, graph.dst):
+        rs, rd = find(int(s)), find(int(d))
+        if rs != rd:
+            parent[rd] = rs
+
+    labels = np.empty(graph.num_nodes, dtype=np.int64)
+    next_id = 0
+    seen: Dict[int, int] = {}
+    for node in range(graph.num_nodes):
+        root = find(node)
+        if root not in seen:
+            seen[root] = next_id
+            next_id += 1
+        labels[node] = seen[root]
+    return labels
+
+
+def bfs_distances(graph: ESellerGraph, source: int) -> np.ndarray:
+    """Undirected BFS hop distances from ``source`` (-1 if unreachable)."""
+    if not 0 <= source < graph.num_nodes:
+        raise IndexError(f"source {source} out of range")
+    dist = np.full(graph.num_nodes, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        mask_out = np.isin(graph.src, frontier)
+        mask_in = np.isin(graph.dst, frontier)
+        nxt = np.unique(np.concatenate([graph.dst[mask_out], graph.src[mask_in]]))
+        nxt = nxt[dist[nxt] < 0]
+        dist[nxt] = level
+        frontier = nxt
+    return dist
+
+
+def degree_statistics(graph: ESellerGraph) -> Dict[str, float]:
+    """Summary statistics of the degree distribution."""
+    deg = graph.in_degrees() + graph.out_degrees()
+    if deg.size == 0:
+        return {"mean": 0.0, "max": 0.0, "median": 0.0, "isolated_fraction": 0.0}
+    return {
+        "mean": float(deg.mean()),
+        "max": float(deg.max()),
+        "median": float(np.median(deg)),
+        "isolated_fraction": float((deg == 0).mean()),
+    }

@@ -1,0 +1,240 @@
+"""E-seller graph data structure.
+
+The paper models e-sellers as a *homogeneous* graph whose edges carry
+their relationship type (supply-chain or same-owner/shareholder) as an
+edge feature.  :class:`ESellerGraph` stores edges in COO form with a CSR
+index built lazily for fast neighbor queries, and keeps per-edge type
+codes plus optional per-edge feature vectors.
+
+All model layers in this repository consume the COO view (``src``,
+``dst`` arrays) because message passing is implemented with dense
+gather / segment-sum kernels; the CSR view serves ego-subgraph
+extraction in :mod:`repro.graph.sampling`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["EdgeType", "ESellerGraph"]
+
+
+class EdgeType:
+    """Edge-type codes used as edge features on the homogeneous graph."""
+
+    SUPPLY_CHAIN = 0
+    SAME_OWNER = 1
+    SAME_SHAREHOLDER = 2
+
+    ALL = (SUPPLY_CHAIN, SAME_OWNER, SAME_SHAREHOLDER)
+    NAMES = {
+        SUPPLY_CHAIN: "supply_chain",
+        SAME_OWNER: "same_owner",
+        SAME_SHAREHOLDER: "same_shareholder",
+    }
+
+    @classmethod
+    def name_of(cls, code: int) -> str:
+        """Human-readable name of an edge-type code."""
+        if code not in cls.NAMES:
+            raise ValueError(f"unknown edge type code {code}")
+        return cls.NAMES[code]
+
+
+class ESellerGraph:
+    """Directed homogeneous graph over e-seller (shop) nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of shops.
+    src, dst:
+        Edge endpoint arrays (message flows ``src -> dst``).
+    edge_types:
+        Per-edge type code (see :class:`EdgeType`).
+    node_ids:
+        Optional external shop identifiers, one per node.  When omitted,
+        nodes are identified by their index.
+
+    Notes
+    -----
+    The paper's supply-chain edges are semantically directed (supplier →
+    retailer) but information is aggregated from *all* neighbors, so
+    builders typically add both directions; same-owner edges are
+    symmetric by construction.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        src: Sequence[int],
+        dst: Sequence[int],
+        edge_types: Optional[Sequence[int]] = None,
+        node_ids: Optional[Sequence[str]] = None,
+    ) -> None:
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+        self.num_nodes = int(num_nodes)
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape or self.src.ndim != 1:
+            raise ValueError("src and dst must be 1-D arrays of equal length")
+        if self.src.size:
+            lo = min(self.src.min(), self.dst.min())
+            hi = max(self.src.max(), self.dst.max())
+            if lo < 0 or hi >= self.num_nodes:
+                raise ValueError(
+                    f"edge endpoints out of range [0, {self.num_nodes}): min={lo}, max={hi}"
+                )
+        if edge_types is None:
+            edge_types = np.zeros(self.src.size, dtype=np.int64)
+        self.edge_types = np.asarray(edge_types, dtype=np.int64)
+        if self.edge_types.shape != self.src.shape:
+            raise ValueError("edge_types must align with src/dst")
+        if node_ids is not None and len(node_ids) != self.num_nodes:
+            raise ValueError("node_ids must have one entry per node")
+        self.node_ids: Optional[List[str]] = list(node_ids) if node_ids is not None else None
+        self._csr: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._csr_in: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(self.src.size)
+
+    def __repr__(self) -> str:
+        return f"ESellerGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"
+
+    def edge_type_counts(self) -> Dict[str, int]:
+        """Count edges per relationship type."""
+        counts: Dict[str, int] = {}
+        for code in EdgeType.ALL:
+            n = int((self.edge_types == code).sum())
+            if n:
+                counts[EdgeType.name_of(code)] = n
+        return counts
+
+    # ------------------------------------------------------------------
+    # CSR views
+    # ------------------------------------------------------------------
+    def _build_csr(self, by_src: bool) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        key = self.src if by_src else self.dst
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.add.at(indptr, sorted_key + 1, 1)
+        indptr = np.cumsum(indptr)
+        return indptr, order, sorted_key
+
+    def out_edges(self, node: int) -> np.ndarray:
+        """Edge indices whose source is ``node``."""
+        if self._csr is None:
+            self._csr = self._build_csr(by_src=True)
+        indptr, order, _ = self._csr
+        return order[indptr[node]:indptr[node + 1]]
+
+    def in_edges(self, node: int) -> np.ndarray:
+        """Edge indices whose destination is ``node``."""
+        if self._csr_in is None:
+            self._csr_in = self._build_csr(by_src=False)
+        indptr, order, _ = self._csr_in
+        return order[indptr[node]:indptr[node + 1]]
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Source nodes of edges pointing into ``node`` (its message senders)."""
+        return self.src[self.in_edges(node)]
+
+    def successors(self, node: int) -> np.ndarray:
+        """Destination nodes of edges leaving ``node``."""
+        return self.dst[self.out_edges(node)]
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every node."""
+        deg = np.zeros(self.num_nodes, dtype=np.int64)
+        np.add.at(deg, self.dst, 1)
+        return deg
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node."""
+        deg = np.zeros(self.num_nodes, dtype=np.int64)
+        np.add.at(deg, self.src, 1)
+        return deg
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def with_reverse_edges(self) -> "ESellerGraph":
+        """Return a graph with each edge duplicated in the reverse direction.
+
+        Reverse copies keep the original type code, matching the paper's
+        treatment of relationship type as a plain edge feature.
+        """
+        src = np.concatenate([self.src, self.dst])
+        dst = np.concatenate([self.dst, self.src])
+        types = np.concatenate([self.edge_types, self.edge_types])
+        return ESellerGraph(self.num_nodes, src, dst, types, self.node_ids)
+
+    def without_duplicate_edges(self) -> "ESellerGraph":
+        """Return a graph with exact duplicate (src, dst, type) edges removed."""
+        if self.num_edges == 0:
+            return ESellerGraph(self.num_nodes, [], [], [], self.node_ids)
+        stacked = np.stack([self.src, self.dst, self.edge_types], axis=1)
+        _, keep = np.unique(stacked, axis=0, return_index=True)
+        keep = np.sort(keep)
+        return ESellerGraph(
+            self.num_nodes, self.src[keep], self.dst[keep], self.edge_types[keep], self.node_ids
+        )
+
+    def subgraph(self, nodes: Sequence[int]) -> Tuple["ESellerGraph", np.ndarray]:
+        """Induced subgraph on ``nodes``.
+
+        Returns the subgraph (nodes relabelled ``0..len(nodes)-1`` in the
+        order given) and the array of original node indices.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size != np.unique(nodes).size:
+            raise ValueError("subgraph nodes must be unique")
+        lookup = np.full(self.num_nodes, -1, dtype=np.int64)
+        lookup[nodes] = np.arange(nodes.size)
+        keep = (lookup[self.src] >= 0) & (lookup[self.dst] >= 0)
+        sub_ids = None
+        if self.node_ids is not None:
+            sub_ids = [self.node_ids[i] for i in nodes]
+        sub = ESellerGraph(
+            nodes.size,
+            lookup[self.src[keep]],
+            lookup[self.dst[keep]],
+            self.edge_types[keep],
+            sub_ids,
+        )
+        return sub, nodes
+
+    def normalized_adjacency(self, add_self_loops: bool = True) -> np.ndarray:
+        """Dense symmetric-normalised adjacency ``D^-1/2 (A + I) D^-1/2``.
+
+        Used by the STGCN / MTGNN baselines' spectral-style propagation;
+        only suitable for the small graphs this reproduction targets.
+        """
+        adj = np.zeros((self.num_nodes, self.num_nodes), dtype=np.float64)
+        adj[self.dst, self.src] = 1.0
+        adj[self.src, self.dst] = 1.0
+        if add_self_loops:
+            np.fill_diagonal(adj, 1.0)
+        deg = adj.sum(axis=1)
+        inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1e-12))
+        return adj * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+    def to_networkx(self):
+        """Convert to a ``networkx.DiGraph`` (edge type stored as ``etype``)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.num_nodes))
+        for s, d, t in zip(self.src, self.dst, self.edge_types):
+            g.add_edge(int(s), int(d), etype=int(t))
+        return g

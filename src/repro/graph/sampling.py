@@ -1,0 +1,93 @@
+"""Ego-subgraph extraction and neighbor sampling.
+
+The deployed Gaia system (paper §VI) predicts a newcoming e-seller from
+the *ego-subgraph* extracted around it.  :func:`ego_subgraph` implements
+that extraction; :func:`sample_neighbors` provides GraphSAGE-style fanout
+capping for minibatch training on larger graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .graph import ESellerGraph
+
+__all__ = ["k_hop_nodes", "ego_subgraph", "sample_neighbors"]
+
+
+def k_hop_nodes(graph: ESellerGraph, seeds: Sequence[int], hops: int) -> np.ndarray:
+    """Return nodes within ``hops`` (undirected) hops of ``seeds``.
+
+    The frontier expands over both in- and out-edges because supply-chain
+    influence in the paper flows both ways through aggregation.
+    """
+    if hops < 0:
+        raise ValueError(f"hops must be non-negative, got {hops}")
+    seeds = np.asarray(seeds, dtype=np.int64)
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    visited[seeds] = True
+    frontier = seeds
+    for _ in range(hops):
+        if frontier.size == 0:
+            break
+        mask_out = np.isin(graph.src, frontier)
+        mask_in = np.isin(graph.dst, frontier)
+        nxt = np.concatenate([graph.dst[mask_out], graph.src[mask_in]])
+        nxt = np.unique(nxt)
+        nxt = nxt[~visited[nxt]]
+        visited[nxt] = True
+        frontier = nxt
+    return np.flatnonzero(visited)
+
+
+def ego_subgraph(
+    graph: ESellerGraph, center: int, hops: int = 2
+) -> Tuple[ESellerGraph, np.ndarray, int]:
+    """Extract the ``hops``-hop ego-subgraph around ``center``.
+
+    Returns ``(subgraph, original_node_indices, center_local_index)``.
+    The center is always the node whose prediction the online server
+    computes (paper Fig. 5).
+    """
+    if not 0 <= center < graph.num_nodes:
+        raise IndexError(f"center {center} out of range for {graph.num_nodes} nodes")
+    nodes = k_hop_nodes(graph, [center], hops)
+    sub, originals = graph.subgraph(nodes)
+    center_local = int(np.searchsorted(originals, center))
+    return sub, originals, center_local
+
+
+def sample_neighbors(
+    graph: ESellerGraph,
+    nodes: Sequence[int],
+    fanout: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample up to ``fanout`` incoming edges per node.
+
+    Returns ``(src, dst, edge_types)`` arrays of the sampled edges.  When
+    a node has fewer than ``fanout`` in-edges, all are kept (sampling
+    without replacement).
+    """
+    if fanout <= 0:
+        raise ValueError(f"fanout must be positive, got {fanout}")
+    src_parts = []
+    dst_parts = []
+    type_parts = []
+    for node in np.asarray(nodes, dtype=np.int64):
+        edges = graph.in_edges(int(node))
+        if edges.size > fanout:
+            edges = rng.choice(edges, size=fanout, replace=False)
+        src_parts.append(graph.src[edges])
+        dst_parts.append(graph.dst[edges])
+        type_parts.append(graph.edge_types[edges])
+    if not src_parts:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    return (
+        np.concatenate(src_parts),
+        np.concatenate(dst_parts),
+        np.concatenate(type_parts),
+    )

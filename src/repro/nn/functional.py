@@ -1,0 +1,435 @@
+"""Differentiable operations used by the Gaia model and the baselines.
+
+Everything here consumes and produces :class:`repro.nn.tensor.Tensor`.
+The graph-specific primitives (:func:`gather_rows`, :func:`segment_sum`,
+:func:`segment_softmax`) are what let us express GNN message passing —
+per-edge attention with a softmax over each destination node's incoming
+edges — using only dense numpy kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, _make
+
+__all__ = [
+    "exp",
+    "log",
+    "sqrt",
+    "absolute",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "masked_softmax",
+    "concat",
+    "stack",
+    "pad_time",
+    "conv1d",
+    "gather_rows",
+    "segment_sum",
+    "segment_softmax",
+    "dropout",
+    "glu",
+    "causal_mask",
+    "log_sparse_mask",
+    "mse_loss",
+    "mae_loss",
+    "huber_loss",
+]
+
+
+# ----------------------------------------------------------------------
+# pointwise
+# ----------------------------------------------------------------------
+def exp(a: Tensor) -> Tensor:
+    """Elementwise exponential."""
+    out_data = np.exp(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * out_data,)
+
+    return _make(out_data, (a,), backward)
+
+
+def log(a: Tensor) -> Tensor:
+    """Elementwise natural logarithm."""
+    out_data = np.log(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad / a.data,)
+
+    return _make(out_data, (a,), backward)
+
+
+def sqrt(a: Tensor) -> Tensor:
+    """Elementwise square root."""
+    out_data = np.sqrt(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * 0.5 / np.maximum(out_data, 1e-300),)
+
+    return _make(out_data, (a,), backward)
+
+
+def absolute(a: Tensor) -> Tensor:
+    """Elementwise absolute value (subgradient 0 at the kink)."""
+    out_data = np.abs(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * np.sign(a.data),)
+
+    return _make(out_data, (a,), backward)
+
+
+def relu(a: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    mask = a.data > 0
+    out_data = a.data * mask
+
+    def backward(grad: np.ndarray):
+        return (grad * mask,)
+
+    return _make(out_data, (a,), backward)
+
+
+def leaky_relu(a: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """Leaky ReLU (used by GAT-style attention scores)."""
+    mask = a.data > 0
+    scale = np.where(mask, 1.0, negative_slope)
+    out_data = a.data * scale
+
+    def backward(grad: np.ndarray):
+        return (grad * scale,)
+
+    return _make(out_data, (a,), backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    """Numerically-stable logistic sigmoid."""
+    z = np.exp(-np.abs(a.data))
+    out_data = np.where(a.data >= 0, 1.0 / (1.0 + z), z / (1.0 + z))
+
+    def backward(grad: np.ndarray):
+        return (grad * out_data * (1.0 - out_data),)
+
+    return _make(out_data, (a,), backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    out_data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * (1.0 - out_data * out_data),)
+
+    return _make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# softmax family
+# ----------------------------------------------------------------------
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    out_data = ex / ex.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray):
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        return (out_data * (grad - dot),)
+
+    return _make(out_data, (a,), backward)
+
+
+def masked_softmax(a: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax with an additive mask of ``0`` / ``-inf`` entries.
+
+    ``mask`` is a constant (non-differentiable) array broadcastable to
+    ``a``; positions with ``-inf`` receive exactly zero probability.
+    Rows that are fully masked produce a uniform zero row instead of NaN.
+    """
+    scores = a.data + mask
+    row_max = scores.max(axis=axis, keepdims=True)
+    row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    ex = np.exp(scores - row_max)
+    ex = np.where(np.isfinite(scores), ex, 0.0)
+    denom = ex.sum(axis=axis, keepdims=True)
+    safe = np.maximum(denom, 1e-300)
+    out_data = ex / safe
+
+    def backward(grad: np.ndarray):
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        return (out_data * (grad - dot),)
+
+    return _make(out_data, (a,), backward)
+
+
+def causal_mask(size: int) -> np.ndarray:
+    """Additive mask filtering rightward (future) attention.
+
+    Entry ``(i, j)`` is ``0`` when ``j <= i`` and ``-inf`` otherwise,
+    matching the matrix ``M`` in the paper's CAU definition.
+    """
+    mask = np.zeros((size, size), dtype=np.float64)
+    mask[np.triu_indices(size, k=1)] = -np.inf
+    return mask
+
+
+def log_sparse_mask(size: int) -> np.ndarray:
+    """Causal mask restricted to log-sparse offsets (LogTrans variant).
+
+    Position ``i`` may attend to itself, to ``i - 1`` and to positions at
+    exponentially-growing offsets ``i - 2^k``; all other entries are
+    ``-inf``.
+    """
+    mask = np.full((size, size), -np.inf, dtype=np.float64)
+    for i in range(size):
+        mask[i, i] = 0.0
+        offset = 1
+        while i - offset >= 0:
+            mask[i, i - offset] = 0.0
+            offset *= 2
+    return mask
+
+
+# ----------------------------------------------------------------------
+# shape / structure
+# ----------------------------------------------------------------------
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` (the paper's ``||`` operator)."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray):
+        return tuple(np.split(grad, splits, axis=axis))
+
+    return _make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray):
+        parts = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in parts)
+
+    return _make(out_data, tuple(tensors), backward)
+
+
+def pad_time(a: Tensor, left: int, right: int) -> Tensor:
+    """Zero-pad the time axis of a ``(..., T, C)`` tensor."""
+    if left == 0 and right == 0:
+        return a
+    pad_width = [(0, 0)] * a.data.ndim
+    pad_width[-2] = (left, right)
+    out_data = np.pad(a.data, pad_width)
+    t = a.data.shape[-2]
+
+    def backward(grad: np.ndarray):
+        index = [slice(None)] * grad.ndim
+        index[-2] = slice(left, left + t)
+        return (grad[tuple(index)],)
+
+    return _make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# convolution
+# ----------------------------------------------------------------------
+def _im2col(x: np.ndarray, width: int) -> np.ndarray:
+    """Extract sliding windows: ``(B, T, C) -> (B, T - w + 1, w, C)``."""
+    b, t, c = x.shape
+    out_t = t - width + 1
+    strides = (x.strides[0], x.strides[1], x.strides[1], x.strides[2])
+    return np.lib.stride_tricks.as_strided(
+        x, shape=(b, out_t, width, c), strides=strides, writeable=False
+    )
+
+
+def conv1d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           padding: str = "causal") -> Tensor:
+    """1-D convolution over the time axis of a ``(B, T, C_in)`` tensor.
+
+    The paper writes kernels as ``L_{w x C; c}`` — ``c`` kernels each
+    spanning ``w`` timestamps and all ``C`` input channels; that maps to
+    ``weight`` of shape ``(w, C_in, C_out)``.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(B, T, C_in)``.
+    weight:
+        Kernel of shape ``(w, C_in, C_out)``.
+    bias:
+        Optional ``(C_out,)`` bias.
+    padding:
+        ``"causal"`` pads ``w - 1`` zeros on the left so that output t
+        only sees inputs ``<= t`` (no future leakage, matching the
+        paper's rightward-attention filtering); ``"same"`` pads
+        symmetrically.
+    """
+    if x.data.ndim != 3:
+        raise ValueError(f"conv1d expects (B, T, C) input, got shape {x.data.shape}")
+    width, c_in, c_out = weight.data.shape
+    if x.data.shape[-1] != c_in:
+        raise ValueError(
+            f"conv1d channel mismatch: input has {x.data.shape[-1]}, kernel expects {c_in}"
+        )
+    if padding == "causal":
+        left, right = width - 1, 0
+    elif padding == "same":
+        left = (width - 1) // 2
+        right = width - 1 - left
+    elif padding == "valid":
+        left = right = 0
+    else:
+        raise ValueError(f"unknown padding mode {padding!r}")
+
+    b, t, _ = x.data.shape
+    xp = np.pad(x.data, ((0, 0), (left, right), (0, 0)))
+    cols = _im2col(xp, width)                         # (B, T_out, w, C_in)
+    w2 = weight.data.reshape(width * c_in, c_out)     # (w*C_in, C_out)
+    out_t = cols.shape[1]
+    cols2 = cols.reshape(b, out_t, width * c_in)
+    out_data = cols2 @ w2
+    if bias is not None:
+        out_data = out_data + bias.data
+
+    cols2_saved = np.ascontiguousarray(cols2)
+
+    def backward(grad: np.ndarray):
+        # grad: (B, T_out, C_out)
+        gw = np.einsum("btk,bto->ko", cols2_saved, grad).reshape(width, c_in, c_out)
+        gcols = grad @ w2.T                            # (B, T_out, w*C_in)
+        gcols = gcols.reshape(b, out_t, width, c_in)
+        gx_padded = np.zeros_like(xp)
+        for offset in range(width):
+            gx_padded[:, offset:offset + out_t, :] += gcols[:, :, offset, :]
+        gx = gx_padded[:, left:left + t, :]
+        if bias is not None:
+            gb = grad.sum(axis=(0, 1))
+            return gx, gw, gb
+        return gx, gw
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return _make(out_data, parents, backward)
+
+
+# ----------------------------------------------------------------------
+# graph primitives
+# ----------------------------------------------------------------------
+def gather_rows(a: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows along axis 0 (``a[index]``); backward scatter-adds."""
+    index = np.asarray(index, dtype=np.int64)
+    out_data = a.data[index]
+    in_shape = a.data.shape
+
+    def backward(grad: np.ndarray):
+        full = np.zeros(in_shape, dtype=np.float64)
+        np.add.at(full, index, grad)
+        return (full,)
+
+    return _make(out_data, (a,), backward)
+
+
+def segment_sum(a: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``a`` into ``num_segments`` buckets.
+
+    ``segment_ids`` assigns each leading-axis row of ``a`` to a bucket;
+    the backward pass is a gather.  This is the aggregation primitive of
+    every message-passing layer in the repository.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out_shape = (num_segments,) + a.data.shape[1:]
+    out_data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(out_data, segment_ids, a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad[segment_ids],)
+
+    return _make(out_data, (a,), backward)
+
+
+def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax of per-edge ``scores`` grouped by destination segment.
+
+    Implements the paper's neighbor-attention normalisation
+    ``alpha_{u,v} = exp g(u,v) / sum_{v'} exp g(u,v')`` where the sum runs
+    over each destination node's incoming edges.  ``scores`` must be a
+    1-D tensor with one entry per edge.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    # Stability shift (constant w.r.t. autograd; softmax is shift-invariant).
+    seg_max = np.full(num_segments, -np.inf, dtype=np.float64)
+    np.maximum.at(seg_max, segment_ids, scores.data)
+    seg_max = np.where(np.isfinite(seg_max), seg_max, 0.0)
+    shifted = scores - Tensor(seg_max[segment_ids])
+    ex = exp(shifted)
+    denom = segment_sum(ex, segment_ids, num_segments)
+    denom_per_edge = gather_rows(denom, segment_ids)
+    return ex / (denom_per_edge + 1e-300)
+
+
+# ----------------------------------------------------------------------
+# regularisation / gating
+# ----------------------------------------------------------------------
+def dropout(a: Tensor, rate: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or ``rate == 0``."""
+    if not training or rate <= 0.0:
+        return a
+    keep = 1.0 - rate
+    mask = (rng.random(a.data.shape) < keep) / keep
+    return a * Tensor(mask)
+
+
+def glu(a: Tensor, axis: int = -1) -> Tensor:
+    """Gated linear unit: split in half along ``axis``, ``x * sigmoid(g)``.
+
+    Used by the STGCN baseline's gated temporal convolutions.
+    """
+    size = a.data.shape[axis]
+    if size % 2 != 0:
+        raise ValueError(f"glu requires an even dimension, got {size}")
+    half = size // 2
+    index_a = [slice(None)] * a.data.ndim
+    index_b = [slice(None)] * a.data.ndim
+    index_a[axis] = slice(0, half)
+    index_b[axis] = slice(half, size)
+    return a[tuple(index_a)] * sigmoid(a[tuple(index_b)])
+
+
+# ----------------------------------------------------------------------
+# losses
+# ----------------------------------------------------------------------
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error — the paper's training objective (Eq. 10)."""
+    diff = pred - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean absolute error."""
+    diff = pred - Tensor(np.asarray(target, dtype=np.float64))
+    return absolute(diff).mean()
+
+
+def huber_loss(pred: Tensor, target: np.ndarray, delta: float = 1.0) -> Tensor:
+    """Huber loss (quadratic near zero, linear in the tails)."""
+    target_t = Tensor(np.asarray(target, dtype=np.float64))
+    diff = pred - target_t
+    abs_diff = absolute(diff)
+    quad_mask = (abs_diff.data <= delta).astype(np.float64)
+    quadratic = diff * diff * 0.5
+    linear = abs_diff * delta - (0.5 * delta * delta)
+    combined = quadratic * Tensor(quad_mask) + linear * Tensor(1.0 - quad_mask)
+    return combined.mean()

@@ -1,0 +1,66 @@
+"""Parameter initialisers.
+
+All initialisers take an explicit ``numpy.random.Generator`` so that every
+model in the repository is reproducible from a single seed, with no global
+random state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "normal", "zeros", "ones", "uniform"]
+
+
+def glorot_uniform(shape: tuple, rng: np.random.Generator,
+                   fan_in: int | None = None, fan_out: int | None = None) -> np.ndarray:
+    """Glorot / Xavier uniform initialisation.
+
+    For convolution kernels of shape ``(w, C_in, C_out)`` the fans are
+    ``w * C_in`` and ``w * C_out``; for matrices ``(in, out)`` they are the
+    two dimensions.  Explicit fans may be supplied for unusual shapes.
+    """
+    if fan_in is None or fan_out is None:
+        if len(shape) == 2:
+            fan_in, fan_out = shape
+        elif len(shape) == 3:
+            fan_in = shape[0] * shape[1]
+            fan_out = shape[0] * shape[2]
+        else:
+            fan_in = fan_out = int(np.prod(shape)) or 1
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: tuple, rng: np.random.Generator,
+              fan_in: int | None = None) -> np.ndarray:
+    """He normal initialisation (suited to ReLU layers)."""
+    if fan_in is None:
+        if len(shape) == 2:
+            fan_in = shape[0]
+        elif len(shape) == 3:
+            fan_in = shape[0] * shape[1]
+        else:
+            fan_in = int(np.prod(shape)) or 1
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def normal(shape: tuple, rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Zero-mean Gaussian initialisation with standard deviation ``std``."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape: tuple, rng: np.random.Generator, low: float = -0.05,
+            high: float = 0.05) -> np.ndarray:
+    """Uniform initialisation on ``[low, high)``."""
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zeros initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    """All-ones initialisation (gains)."""
+    return np.ones(shape, dtype=np.float64)

@@ -1,0 +1,447 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+This module is the foundation of the whole reproduction: the paper was
+implemented on Keras/AGL, neither of which is available offline, so every
+model in this repository (Gaia and all eight baselines) is built on the
+:class:`Tensor` type defined here.
+
+Design notes
+------------
+* ``Tensor`` wraps a ``numpy.ndarray`` (always ``float64``) together with
+  an optional gradient buffer and a closure that propagates gradients to
+  its parents.  Calling :meth:`Tensor.backward` performs a topological
+  sort of the recorded graph and runs the closures in reverse order.
+* Broadcasting follows numpy semantics; gradients of broadcast operands
+  are reduced back to the operand's shape by :func:`unbroadcast`.
+* The engine is intentionally eager and single-threaded: graphs in this
+  project are small (hundreds of nodes, dozens of timestamps), so clarity
+  wins over throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+__all__ = ["Tensor", "as_tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
+
+
+_GRAD_ENABLED = [True]
+
+
+class no_grad:
+    """Context manager that disables graph recording.
+
+    Use during evaluation / serving so that forward passes allocate no
+    autograd metadata::
+
+        with no_grad():
+            preds = model(batch)
+    """
+
+    def __enter__(self) -> "no_grad":
+        self._prev = _GRAD_ENABLED[0]
+        _GRAD_ENABLED[0] = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _GRAD_ENABLED[0] = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether autograd recording is currently active."""
+    return _GRAD_ENABLED[0]
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape``.
+
+    Inverse of numpy broadcasting: sums over axes that were added or
+    stretched when an operand of shape ``shape`` participated in an
+    operation whose output produced ``grad``.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were stretched from size 1.
+    stretched = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if stretched:
+        grad = grad.sum(axis=stretched, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode autograd support.
+
+    Parameters
+    ----------
+    data:
+        Array data; converted to ``float64``.
+    requires_grad:
+        Whether gradients should flow into this tensor.  Leaf tensors
+        with ``requires_grad=True`` accumulate into :attr:`grad`.
+    parents:
+        Tensors this value was computed from (internal).
+    backward_fn:
+        Closure mapping the output gradient to parent gradient updates
+        (internal).
+    name:
+        Optional debugging label.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        backward_fn: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._parents: tuple = tuple(parents) if self.requires_grad else ()
+        self._backward_fn = backward_fn if self.requires_grad else None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions of the underlying array."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        """Transpose of the last two axes (matrix transpose)."""
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.data.shape}{grad_flag}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the raw array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the scalar value of a 1-element tensor."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient buffer."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # autograd machinery
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to ones (required to be a scalar
+            tensor in that case, mirroring torch semantics).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without a gradient requires a scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}")
+
+        order = _topological_order(self)
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if not node._parents:
+                node._accumulate(node_grad)
+                continue
+            if node._backward_fn is None:
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                pgrad = unbroadcast(np.asarray(pgrad, dtype=np.float64), parent.data.shape)
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        return add(self, as_tensor(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return add(self, as_tensor(other) * -1.0)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return add(as_tensor(other), self * -1.0)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        return mul(self, as_tensor(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        return div(self, as_tensor(other))
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return div(as_tensor(other), self)
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return power(self, float(exponent))
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return matmul(self, as_tensor(other))
+
+    def __getitem__(self, index) -> "Tensor":
+        return getitem(self, index)
+
+    # ------------------------------------------------------------------
+    # shape ops (thin wrappers; implementations below)
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        """Return a reshaped view with gradient support."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return reshape(self, shape)
+
+    def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
+        """Permute axes (default: swap the last two)."""
+        return transpose(self, axes)
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` with gradient support."""
+        return tensor_sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean over ``axis`` with gradient support."""
+        return tensor_mean(self, axis=axis, keepdims=keepdims)
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def _topological_order(root: Tensor) -> list:
+    """Return tensors reachable from ``root`` in reverse topological order."""
+    order: list = []
+    visited: set = set()
+    stack: list = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    order.reverse()
+    return order
+
+
+def _make(data: np.ndarray, parents: Sequence[Tensor], backward_fn) -> Tensor:
+    """Create an op output tensor, recording the graph if needed."""
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    if not requires:
+        return Tensor(data)
+    return Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn)
+
+
+# ----------------------------------------------------------------------
+# primitive ops
+# ----------------------------------------------------------------------
+def add(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise (broadcasting) addition."""
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray):
+        return grad, grad
+
+    return _make(out_data, (a, b), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise (broadcasting) multiplication."""
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray):
+        return grad * b.data, grad * a.data
+
+    return _make(out_data, (a, b), backward)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise (broadcasting) division."""
+    out_data = a.data / b.data
+
+    def backward(grad: np.ndarray):
+        return grad / b.data, -grad * a.data / (b.data * b.data)
+
+    return _make(out_data, (a, b), backward)
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    """Elementwise power with a constant exponent."""
+    out_data = a.data ** exponent
+
+    def backward(grad: np.ndarray):
+        return (grad * exponent * a.data ** (exponent - 1.0),)
+
+    return _make(out_data, (a,), backward)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Matrix product following numpy ``@`` semantics (incl. batched)."""
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray):
+        a_data, b_data = a.data, b.data
+        if a_data.ndim == 1 and b_data.ndim == 1:
+            return grad * b_data, grad * a_data
+        if a_data.ndim == 1:
+            # (k,) @ (..., k, n) -> (..., n)
+            ga = (grad[..., None, :] * b_data).sum(axis=-1)
+            gb = a_data[:, None] * grad[..., None, :]
+            return unbroadcast(ga, a_data.shape), unbroadcast(gb, b_data.shape)
+        if b_data.ndim == 1:
+            # (..., m, k) @ (k,) -> (..., m)
+            ga = grad[..., :, None] * b_data
+            gb = (a_data * grad[..., :, None]).sum(axis=tuple(range(a_data.ndim - 1)))
+            return unbroadcast(ga, a_data.shape), unbroadcast(gb, b_data.shape)
+        ga = grad @ np.swapaxes(b_data, -1, -2)
+        gb = np.swapaxes(a_data, -1, -2) @ grad
+        return unbroadcast(ga, a_data.shape), unbroadcast(gb, b_data.shape)
+
+    return _make(out_data, (a, b), backward)
+
+
+def reshape(a: Tensor, shape: tuple) -> Tensor:
+    """Reshape with gradient support."""
+    old_shape = a.data.shape
+    out_data = a.data.reshape(shape)
+
+    def backward(grad: np.ndarray):
+        return (grad.reshape(old_shape),)
+
+    return _make(out_data, (a,), backward)
+
+
+def transpose(a: Tensor, axes: Optional[Sequence[int]] = None) -> Tensor:
+    """Permute axes; ``None`` swaps the last two axes."""
+    if axes is None:
+        if a.data.ndim < 2:
+            return a
+        axes = list(range(a.data.ndim))
+        axes[-1], axes[-2] = axes[-2], axes[-1]
+    axes = tuple(axes)
+    inverse = tuple(np.argsort(axes))
+    out_data = np.transpose(a.data, axes)
+
+    def backward(grad: np.ndarray):
+        return (np.transpose(grad, inverse),)
+
+    return _make(out_data, (a,), backward)
+
+
+def tensor_sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Sum reduction with gradient support."""
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+    in_shape = a.data.shape
+
+    def backward(grad: np.ndarray):
+        g = np.asarray(grad)
+        if axis is None:
+            return (np.broadcast_to(g, in_shape).copy(),)
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        axes = tuple(ax % len(in_shape) for ax in axes)
+        if not keepdims:
+            for ax in sorted(axes):
+                g = np.expand_dims(g, ax)
+        return (np.broadcast_to(g, in_shape).copy(),)
+
+    return _make(out_data, (a,), backward)
+
+
+def tensor_mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Mean reduction with gradient support."""
+    if axis is None:
+        count = a.data.size
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = 1
+        for ax in axes:
+            count *= a.data.shape[ax]
+    return tensor_sum(a, axis=axis, keepdims=keepdims) * (1.0 / count)
+
+
+def getitem(a: Tensor, index) -> Tensor:
+    """Indexing / slicing with gradient support (scatter-add backward)."""
+    out_data = a.data[index]
+    in_shape = a.data.shape
+
+    def backward(grad: np.ndarray):
+        full = np.zeros(in_shape, dtype=np.float64)
+        np.add.at(full, index, grad)
+        return (full,)
+
+    return _make(out_data, (a,), backward)

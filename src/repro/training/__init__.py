@@ -1,0 +1,17 @@
+"""Training infrastructure: metrics, trainer, grid search."""
+
+from .grid_search import GridSearchResult, grid_search
+from .metrics import evaluate_forecast, mae, mape, rmse
+from .trainer import TrainConfig, Trainer, TrainHistory
+
+__all__ = [
+    "mae",
+    "rmse",
+    "mape",
+    "evaluate_forecast",
+    "TrainConfig",
+    "TrainHistory",
+    "Trainer",
+    "grid_search",
+    "GridSearchResult",
+]

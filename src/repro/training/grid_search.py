@@ -1,0 +1,70 @@
+"""Hyper-parameter grid search on the validation set (paper §V-A3).
+
+The paper selects hyper-parameters by grid search on a validation set;
+this module provides the same mechanism for any model factory.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..data.dataset import ForecastDataset
+from ..nn.module import Module
+from .trainer import TrainConfig, Trainer
+
+__all__ = ["GridSearchResult", "grid_search"]
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of a grid search."""
+
+    best_params: Dict[str, Any]
+    best_score: float
+    trials: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def grid_search(
+    model_factory: Callable[..., Module],
+    dataset: ForecastDataset,
+    param_grid: Dict[str, List[Any]],
+    train_config: Optional[TrainConfig] = None,
+    metric: str = "MAE",
+) -> GridSearchResult:
+    """Train one model per grid point; select by validation metric.
+
+    Parameters
+    ----------
+    model_factory:
+        Callable accepting the grid keys as keyword arguments and
+        returning a fresh model.
+    dataset:
+        Dataset whose validation batch scores the trials.
+    param_grid:
+        Mapping from parameter name to candidate values.
+    train_config:
+        Trainer settings shared by all trials.
+    metric:
+        ``"MAE"``, ``"RMSE"`` or ``"MAPE"`` (lower is better).
+    """
+    if metric not in ("MAE", "RMSE", "MAPE"):
+        raise ValueError(f"unknown metric {metric!r}")
+    if not param_grid:
+        raise ValueError("param_grid must not be empty")
+    keys = sorted(param_grid)
+    best_score = float("inf")
+    best_params: Dict[str, Any] = {}
+    trials: List[Dict[str, Any]] = []
+    for values in itertools.product(*(param_grid[k] for k in keys)):
+        params = dict(zip(keys, values))
+        model = model_factory(**params)
+        trainer = Trainer(model, dataset, train_config)
+        trainer.fit()
+        score = trainer.evaluate(dataset.val, role="val")["overall"][metric]
+        trials.append({"params": params, "score": score})
+        if score < best_score:
+            best_score = score
+            best_params = params
+    return GridSearchResult(best_params=best_params, best_score=best_score, trials=trials)

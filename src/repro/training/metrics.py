@@ -1,0 +1,106 @@
+"""Forecast-quality metrics: MAE, RMSE, MAPE (paper §V-A1).
+
+All metrics are computed in *raw GMV units* (after inverse scaling), per
+horizon month — matching Table I's Oct/Nov/Dec columns — plus an overall
+aggregate.  MAPE is computed over shops whose true GMV exceeds a small
+floor, since relative error is undefined at zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["mae", "rmse", "mape", "evaluate_forecast", "MetricTable"]
+
+#: Minimum true GMV for a shop to enter the MAPE average.
+MAPE_FLOOR = 1.0
+
+MetricTable = Dict[str, Dict[str, float]]
+
+
+def mae(pred: np.ndarray, true: np.ndarray) -> float:
+    """Mean absolute error."""
+    pred = np.asarray(pred, dtype=np.float64)
+    true = np.asarray(true, dtype=np.float64)
+    if pred.shape != true.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {true.shape}")
+    if pred.size == 0:
+        return float("nan")
+    return float(np.abs(pred - true).mean())
+
+
+def rmse(pred: np.ndarray, true: np.ndarray) -> float:
+    """Root mean squared error."""
+    pred = np.asarray(pred, dtype=np.float64)
+    true = np.asarray(true, dtype=np.float64)
+    if pred.shape != true.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {true.shape}")
+    if pred.size == 0:
+        return float("nan")
+    return float(np.sqrt(((pred - true) ** 2).mean()))
+
+
+def mape(pred: np.ndarray, true: np.ndarray, floor: float = MAPE_FLOOR) -> float:
+    """Mean absolute percentage error over entries with ``true > floor``."""
+    pred = np.asarray(pred, dtype=np.float64)
+    true = np.asarray(true, dtype=np.float64)
+    if pred.shape != true.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {true.shape}")
+    valid = true > floor
+    if not valid.any():
+        return float("nan")
+    return float((np.abs(pred[valid] - true[valid]) / true[valid]).mean())
+
+
+def evaluate_forecast(
+    pred: np.ndarray,
+    true: np.ndarray,
+    horizon_names: Optional[Sequence[str]] = None,
+    shop_mask: Optional[np.ndarray] = None,
+) -> MetricTable:
+    """Per-horizon-month and overall metric table.
+
+    Parameters
+    ----------
+    pred, true:
+        Raw-unit forecasts and labels, shape ``(S, H)``.
+    horizon_names:
+        Column labels (e.g. ``["Oct", "Nov", "Dec"]``); defaults to
+        ``h+1``, ``h+2``, ...
+    shop_mask:
+        Optional boolean selector restricting evaluation to a shop
+        subset (used for the paper's New/Old shop group analysis).
+
+    Returns
+    -------
+    Mapping from column name (plus ``"overall"``) to
+    ``{"MAE": .., "RMSE": .., "MAPE": ..}``.
+    """
+    pred = np.asarray(pred, dtype=np.float64)
+    true = np.asarray(true, dtype=np.float64)
+    if pred.ndim != 2 or pred.shape != true.shape:
+        raise ValueError(f"expected matching (S, H) arrays, got {pred.shape} vs {true.shape}")
+    if shop_mask is not None:
+        shop_mask = np.asarray(shop_mask, dtype=bool)
+        pred = pred[shop_mask]
+        true = true[shop_mask]
+    horizon = pred.shape[1]
+    if horizon_names is None:
+        horizon_names = [f"h+{h + 1}" for h in range(horizon)]
+    if len(horizon_names) != horizon:
+        raise ValueError("horizon_names length must match the horizon")
+    table: MetricTable = {}
+    for h, name in enumerate(horizon_names):
+        table[name] = {
+            "MAE": mae(pred[:, h], true[:, h]),
+            "RMSE": rmse(pred[:, h], true[:, h]),
+            "MAPE": mape(pred[:, h], true[:, h]),
+        }
+    table["overall"] = {
+        "MAE": mae(pred, true),
+        "RMSE": rmse(pred, true),
+        "MAPE": mape(pred, true),
+    }
+    return table

@@ -1,0 +1,50 @@
+"""Shared test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[[], float], array: np.ndarray,
+                       eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``fn()`` w.r.t. ``array`` in place."""
+    grad = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        plus = fn()
+        array[index] = original - eps
+        minus = fn()
+        array[index] = original
+        grad[index] = (plus - minus) / (2.0 * eps)
+        iterator.iternext()
+    return grad
+
+
+def check_gradients(build_loss: Callable[[Sequence[Tensor]], Tensor],
+                    tensors: Sequence[Tensor], atol: float = 1e-5) -> None:
+    """Assert autograd gradients match finite differences.
+
+    ``build_loss`` maps the given leaf tensors to a scalar loss; it is
+    re-invoked for each probe so it must be deterministic.
+    """
+    for tensor in tensors:
+        tensor.zero_grad()
+    loss = build_loss(tensors)
+    loss.backward()
+
+    def scalar() -> float:
+        fresh = [Tensor(t.data) for t in tensors]
+        return build_loss(fresh).item()
+
+    for tensor in tensors:
+        assert tensor.grad is not None, "missing gradient"
+        numeric = numerical_gradient(scalar, tensor.data)
+        max_err = np.abs(numeric - tensor.grad).max()
+        assert max_err < atol, f"gradient mismatch: max err {max_err}"

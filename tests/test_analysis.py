@@ -1,0 +1,147 @@
+"""Tests for the analysis utilities (deficiency, groups, case study,
+reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    compare_groups,
+    format_comparison,
+    format_metric_table,
+    improvement,
+    lag_alignment_score,
+    local_pattern_similarity,
+    pearson,
+    rank_methods,
+    series_length_distribution,
+)
+from repro.data import MarketplaceConfig, build_dataset, build_marketplace
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    market = build_marketplace(MarketplaceConfig(num_shops=50, seed=31))
+    return build_dataset(market, train_fraction=0.5, val_fraction=0.2)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_degenerate_nan(self):
+        assert np.isnan(pearson(np.ones(5), np.arange(5.0)))
+        assert np.isnan(pearson(np.ones(1), np.ones(1)))
+
+
+class TestLocalPatternSimilarity:
+    def test_identical_windows(self):
+        series = np.array([0, 1, 2, 1, 0, 1, 2, 1, 0], dtype=float)
+        # Windows ending at 2 and 6 are both [0,1,2].
+        assert local_pattern_similarity(series, 6, 2, window=3) == pytest.approx(1.0)
+
+    def test_too_early_is_nan(self):
+        assert np.isnan(local_pattern_similarity(np.arange(10.0), 5, 1, window=3))
+
+
+class TestLagAlignment:
+    def test_perfect_lag_diagonal(self):
+        t = 10
+        heatmap = np.zeros((t, t))
+        lag = 2
+        for row in range(lag, t):
+            heatmap[row, row - lag] = 1.0
+        assert lag_alignment_score(heatmap, lag=lag, tolerance=0) == pytest.approx(1.0)
+
+    def test_uniform_reference_below_one(self):
+        t = 8
+        uniform = np.tril(np.ones((t, t)))
+        uniform /= uniform.sum(axis=1, keepdims=True)
+        score = lag_alignment_score(uniform, lag=1, tolerance=1)
+        assert 0 < score < 1
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            lag_alignment_score(np.zeros((3, 4)), lag=1)
+
+
+class TestDeficiency:
+    def test_skewed_distribution_detected(self):
+        lengths = np.concatenate([np.full(80, 3), np.full(20, 24)])
+        stats = series_length_distribution(lengths)
+        assert stats.new_shop_fraction == pytest.approx(0.8)
+        assert stats.median_length < stats.mean_length
+        assert len(stats.as_rows()) == 5
+
+    def test_histogram_counts_everything(self):
+        lengths = np.array([1, 2, 2, 24, 30])
+        stats = series_length_distribution(lengths, max_length=24)
+        assert stats.histogram.sum() == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            series_length_distribution(np.array([]))
+
+
+class TestGroups:
+    def test_improvement_definition(self):
+        # Paper style: (baseline - model) / model.
+        assert improvement(30.0, 10.0) == pytest.approx(2.0)  # "200% better"
+        assert improvement(10.0, 10.0) == 0.0
+        assert improvement(5.0, 0.0) == float("inf")
+
+    def test_compare_groups_shapes(self, dataset):
+        shape = dataset.test.labels.shape
+        model_preds = dataset.test.labels * 1.05
+        baseline_preds = dataset.test.labels * 1.5
+        comparison = compare_groups(dataset, model_preds, baseline_preds)
+        assert set(comparison.group_metrics) == {"new", "old"}
+        # Model is uniformly better -> positive improvements everywhere.
+        for group in ("new", "old"):
+            assert comparison.improvements[group]["MAPE"] > 0
+
+    def test_margin_larger_on_new(self, dataset):
+        labels = dataset.test.labels
+        new = dataset.new_shop_mask()
+        model_preds = labels.copy()
+        baseline_preds = labels * 1.2
+        baseline_preds[new] = labels[new] * 2.0  # baseline much worse on new
+        comparison = compare_groups(dataset, model_preds * 1.01, baseline_preds)
+        assert comparison.margin_larger_on_new("MAPE")
+
+
+class TestReporting:
+    def test_paper_tables_complete(self):
+        assert len(PAPER_TABLE1) == 9
+        for method, months in PAPER_TABLE1.items():
+            assert set(months) == {"Oct", "Nov", "Dec"}
+            for metrics in months.values():
+                assert set(metrics) == {"MAE", "RMSE", "MAPE"}
+        assert len(PAPER_TABLE2) == 4
+
+    def test_format_metric_table_contains_rows(self):
+        text = format_metric_table(PAPER_TABLE1, title="Table I (paper)")
+        assert "Table I (paper)" in text
+        assert "Gaia" in text and "ARIMA" in text
+        assert "24,064" in text  # Gaia Oct MAE
+
+    def test_format_comparison_aligns_methods(self):
+        text = format_comparison(PAPER_TABLE2, PAPER_TABLE2)
+        assert "Gaia w/o ITA" in text
+        assert "0.096" in text
+
+    def test_rank_methods_paper_order(self):
+        ranking = rank_methods(PAPER_TABLE1, month="Oct", metric="MAPE")
+        assert ranking[0] == "Gaia"
+        assert ranking[1] == "MTGNN"
+        assert ranking[-1] == "ARIMA"
+
+    def test_rank_methods_nan_last(self):
+        metrics = {
+            "a": {"overall": {"MAPE": float("nan")}},
+            "b": {"overall": {"MAPE": 0.5}},
+        }
+        assert rank_methods(metrics)[0] == "b"

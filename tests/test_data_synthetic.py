@@ -1,0 +1,156 @@
+"""Tests for the synthetic marketplace simulator and extractors."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MarketplaceConfig,
+    build_marketplace,
+)
+from repro.data.extractors import (
+    ESellerGraphBuilder,
+    GMVSeriesExtractor,
+    NodeFeatureExtractor,
+    RelationExtractor,
+    StaticFeatureExtractor,
+    TemporalFeatureExtractor,
+)
+
+
+@pytest.fixture(scope="module")
+def market():
+    return build_marketplace(MarketplaceConfig(num_shops=80, seed=11))
+
+
+class TestSimulator:
+    def test_deterministic_from_seed(self):
+        a = build_marketplace(MarketplaceConfig(num_shops=30, seed=4))
+        b = build_marketplace(MarketplaceConfig(num_shops=30, seed=4))
+        assert np.allclose(a.gmv, b.gmv)
+        assert np.array_equal(a.spec.graph.src, b.spec.graph.src)
+
+    def test_different_seeds_differ(self):
+        a = build_marketplace(MarketplaceConfig(num_shops=30, seed=4))
+        b = build_marketplace(MarketplaceConfig(num_shops=30, seed=5))
+        assert not np.allclose(a.gmv, b.gmv)
+
+    def test_shapes(self, market):
+        cfg = market.config
+        assert market.gmv.shape == (cfg.num_shops, cfg.num_months)
+        assert market.observed.shape == market.gmv.shape
+        assert market.opened_month.shape == (cfg.num_shops,)
+
+    def test_gmv_nonnegative_and_zero_before_opening(self, market):
+        assert np.all(market.gmv >= 0)
+        for i in range(market.config.num_shops):
+            opened = market.opened_month[i]
+            assert np.allclose(market.gmv[i, :opened], 0.0)
+
+    def test_observed_matches_opening(self, market):
+        months = np.arange(market.config.num_months)
+        expected = months[None, :] >= market.opened_month[:, None]
+        assert np.array_equal(market.observed, expected)
+
+    def test_history_skew(self, market):
+        lengths = market.history_lengths(market.config.num_months - 3)
+        new_fraction = (lengths < 10).mean()
+        assert 0.15 < new_fraction < 0.75
+
+    def test_festival_months_elevated(self, market):
+        """November GMV should exceed the adjacent October on average."""
+        calendar = market.calendar_months()
+        nov_cols = np.flatnonzero(calendar == 10)
+        ratios = []
+        for col in nov_cols:
+            if col == 0:
+                continue
+            both = market.observed[:, col] & market.observed[:, col - 1]
+            prev = market.gmv[both, col - 1]
+            nov = market.gmv[both, col]
+            ok = prev > 0
+            if ok.any():
+                ratios.append(np.median(nov[ok] / prev[ok]))
+        assert np.mean(ratios) > 1.1
+
+    def test_supplier_leads_retailer(self, market):
+        """Supplier series correlate more with lead-shifted retailer
+        demand than plain correlation would suggest (on average)."""
+        spec = market.spec
+        lag_corrs, zero_corrs = [], []
+        for retailer, supplier in spec.supplier_of.items():
+            lag = spec.supply_lag[retailer]
+            a = market.gmv[supplier]
+            b = market.gmv[retailer]
+            if a.std() == 0 or b.std() == 0:
+                continue
+            lag_corrs.append(np.corrcoef(a[:-lag], b[lag:])[0, 1])
+            zero_corrs.append(np.corrcoef(a, b)[0, 1])
+        assert np.mean(lag_corrs) > np.mean(zero_corrs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarketplaceConfig(num_shops=1).validate()
+        with pytest.raises(ValueError):
+            MarketplaceConfig(num_months=3).validate()
+        with pytest.raises(ValueError):
+            MarketplaceConfig(detail_level="hourly").validate()
+
+    def test_order_detail_level_matches_monthly_gmv(self):
+        cfg = MarketplaceConfig(num_shops=12, seed=2, detail_level="orders")
+        market = build_marketplace(cfg)
+        table = market.database.monthly_gmv_table(0, cfg.num_months)
+        observed = market.observed
+        assert np.allclose(table[observed], market.gmv[observed], rtol=1e-6)
+
+
+class TestExtractors:
+    def test_gmv_series_extractor_matches_truth(self, market):
+        gmv, observed = GMVSeriesExtractor(market.database).extract(
+            0, market.config.num_months
+        )
+        assert np.allclose(gmv, market.gmv, rtol=1e-9)
+        assert np.array_equal(observed, market.observed)
+
+    def test_temporal_extractor_shape_and_cyclical(self, market):
+        feats = TemporalFeatureExtractor(market.database).extract(
+            0, market.config.num_months
+        )
+        assert feats.shape == (market.config.num_shops, market.config.num_months, 4)
+        # sin^2 + cos^2 == 1 for the calendar encoding.
+        assert np.allclose(feats[..., 0] ** 2 + feats[..., 1] ** 2, 1.0)
+
+    def test_static_extractor_one_hots(self, market):
+        static = StaticFeatureExtractor(
+            market.database, market.config.num_months
+        ).extract()
+        # Industry block sums to 1, region block sums to 1.
+        assert np.allclose(static[:, :6].sum(axis=1), 1.0)
+        assert np.allclose(static[:, 6:10].sum(axis=1), 1.0)
+        assert np.all((static[:, -1] >= 0) & (static[:, -1] <= 1))
+
+    def test_static_extractor_validates(self, market):
+        with pytest.raises(ValueError):
+            StaticFeatureExtractor(market.database, 0)
+
+    def test_relation_extractor_types(self, market):
+        src, dst, types = RelationExtractor(market.database).extract()
+        assert src.shape == dst.shape == types.shape
+        assert set(np.unique(types)) <= {0, 1, 2}
+
+    def test_graph_builder_bidirectional(self, market):
+        builder = ESellerGraphBuilder(market.database)
+        mono = builder.build(bidirectional=False)
+        bidir = builder.build(bidirectional=True)
+        assert bidir.num_edges >= mono.num_edges
+        # Every edge has its reverse in the bidirectional graph.
+        pairs = set(zip(bidir.src.tolist(), bidir.dst.tolist()))
+        assert all((d, s) in pairs for s, d in pairs)
+
+    def test_node_feature_extractor_bundle(self, market):
+        bundle = NodeFeatureExtractor(
+            market.database, market.config.num_months
+        ).extract(0, market.config.num_months)
+        n = market.config.num_shops
+        assert bundle.gmv.shape[0] == n
+        assert bundle.temporal.shape[:2] == bundle.gmv.shape
+        assert bundle.static.shape[0] == n

@@ -1,0 +1,151 @@
+"""Tests for the deployment simulation (pipeline, registry, serving)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Gaia, GaiaConfig
+from repro.data import MarketplaceConfig, build_dataset, build_marketplace
+from repro.deploy import (
+    ModelRegistry,
+    MonthlyPipeline,
+    OfflineModelServer,
+    OnlineModelServer,
+)
+from repro.training import TrainConfig, Trainer
+
+
+@pytest.fixture(scope="module")
+def market():
+    return build_marketplace(MarketplaceConfig(num_shops=40, seed=29))
+
+
+@pytest.fixture(scope="module")
+def dataset(market):
+    return build_dataset(market, train_fraction=0.6, val_fraction=0.2)
+
+
+@pytest.fixture(scope="module")
+def trained(dataset):
+    config = GaiaConfig(
+        input_window=dataset.input_window,
+        horizon=dataset.horizon,
+        temporal_dim=dataset.temporal_dim,
+        static_dim=dataset.static_dim,
+        channels=8,
+        num_scales=2,
+        num_layers=1,
+    )
+    model = Gaia(config, seed=0)
+    Trainer(model, dataset, TrainConfig(epochs=3, min_epochs=1)).fit()
+    return model, config
+
+
+class TestModelRegistry:
+    def test_publish_and_load(self, trained):
+        model, config = trained
+        registry = ModelRegistry()
+        version = registry.publish(model, trained_at_month=28, metadata={"mae": 1.0})
+        assert version.version == 1
+        fresh = Gaia(config, seed=99)
+        registry.load_into(fresh)
+        assert np.allclose(fresh.state_dict()["w_p"], model.state_dict()["w_p"])
+
+    def test_versions_accumulate(self, trained):
+        model, _ = trained
+        registry = ModelRegistry()
+        registry.publish(model, 27)
+        registry.publish(model, 28)
+        assert registry.num_versions == 2
+        assert registry.latest().version == 2
+        assert registry.get(1).trained_at_month == 27
+
+    def test_empty_registry_raises(self):
+        with pytest.raises(LookupError):
+            ModelRegistry().latest()
+        with pytest.raises(LookupError):
+            ModelRegistry().get(1)
+
+    def test_published_state_is_snapshot(self, trained):
+        model, _ = trained
+        registry = ModelRegistry()
+        version = registry.publish(model, 28)
+        before = version.state["w_p"].copy()
+        model.w_p.data += 100.0
+        assert np.allclose(version.state["w_p"], before)
+        model.w_p.data -= 100.0
+
+
+class TestServing:
+    def test_offline_bulk_predictions(self, trained, dataset):
+        model, _ = trained
+        server = OfflineModelServer(model, dataset)
+        preds = server.predict_all()
+        assert preds.shape == dataset.test.labels.shape
+        assert np.all(preds >= 0)
+
+    def test_online_matches_offline_when_subgraph_is_everything(self, trained, dataset):
+        """With enough hops the ego-subgraph covers the component, so the
+        online prediction must equal the offline one for that shop."""
+        model, _ = trained
+        offline = OfflineModelServer(model, dataset).predict_all()
+        online = OnlineModelServer(model, dataset, hops=dataset.graph.num_nodes)
+        shop = int(np.argmax(dataset.graph.in_degrees()))
+        response = online.predict(shop)
+        assert np.allclose(response.forecast, offline[shop], rtol=1e-8)
+
+    def test_online_logs_latency(self, trained, dataset):
+        model, _ = trained
+        server = OnlineModelServer(model, dataset, hops=2)
+        server.predict_many(np.arange(5))
+        summary = server.latency_summary()
+        assert summary["count"] == 5
+        assert summary["mean"] > 0
+        assert summary["p95"] >= summary["p50"]
+
+    def test_latency_summary_empty(self, trained, dataset):
+        model, _ = trained
+        server = OnlineModelServer(model, dataset)
+        assert server.latency_summary()["count"] == 0
+
+    def test_invalid_hops(self, trained, dataset):
+        model, _ = trained
+        with pytest.raises(ValueError):
+            OnlineModelServer(model, dataset, hops=-1)
+
+    def test_subgraph_smaller_than_graph(self, trained, dataset):
+        model, _ = trained
+        server = OnlineModelServer(model, dataset, hops=1)
+        response = server.predict(0)
+        assert response.subgraph_nodes <= dataset.graph.num_nodes
+
+
+class TestMonthlyPipeline:
+    def test_scheduled_runs_publish_versions(self, market, dataset):
+        def factory(ds):
+            config = GaiaConfig(
+                input_window=ds.input_window,
+                horizon=ds.horizon,
+                temporal_dim=ds.temporal_dim,
+                static_dim=ds.static_dim,
+                channels=8,
+                num_scales=2,
+                num_layers=1,
+            )
+            return Gaia(config, seed=0)
+
+        pipeline = MonthlyPipeline(
+            market, factory, TrainConfig(epochs=2, min_epochs=1)
+        )
+        runs = pipeline.run_schedule([27, 28])
+        assert len(runs) == 2
+        assert pipeline.registry.num_versions == 2
+        assert runs[0].month == 27
+        assert runs[1].version.version == 2
+        assert np.isfinite(runs[0].val_mae)
+
+    def test_month_bounds_validated(self, market):
+        pipeline = MonthlyPipeline(market, lambda ds: None)
+        with pytest.raises(ValueError):
+            pipeline.run_month(2)
+        with pytest.raises(ValueError):
+            pipeline.run_month(market.config.num_months)

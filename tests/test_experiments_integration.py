@@ -1,0 +1,136 @@
+"""Integration tests: the experiment drivers end to end (small scale).
+
+These exercise the same code paths as the benchmark harness but at a
+scale suitable for CI: a few dozen shops and a handful of epochs.  They
+assert mechanical correctness (shapes, reports, claim dictionaries),
+not the paper's quantitative claims — those are asserted by the
+benchmarks at calibrated scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset, build_marketplace
+from repro.experiments import (
+    naive_last_value,
+    quick_marketplace_config,
+    quick_train_config,
+    run_deployment,
+    run_fig1a,
+    run_fig3,
+    run_fig4,
+    run_method,
+    run_methods,
+    run_table1,
+    run_table2,
+)
+
+
+@pytest.fixture(scope="module")
+def env():
+    market = build_marketplace(quick_marketplace_config(num_shops=60))
+    dataset = build_dataset(market, train_fraction=0.6, val_fraction=0.2)
+    return market, dataset
+
+
+class TestRunner:
+    def test_run_method_neural(self, env):
+        _, dataset = env
+        result = run_method("GraphSage", dataset, quick_train_config(), channels=8)
+        assert result.predictions.shape == dataset.test.labels.shape
+        assert result.epochs > 0
+        assert "overall" in result.metrics
+        assert result.metric("overall", "MAE") > 0
+
+    def test_run_method_classical(self, env):
+        _, dataset = env
+        result = run_method("ARIMA", dataset)
+        assert result.epochs == 0
+        assert result.trainer is None
+
+    def test_keep_trainer(self, env):
+        _, dataset = env
+        result = run_method("Gaia", dataset, quick_train_config(), channels=8,
+                            keep_trainer=True)
+        assert result.trainer is not None
+
+    def test_precomputed_reused(self, env):
+        _, dataset = env
+        first = run_method("GraphSage", dataset, quick_train_config(), channels=8)
+        results = run_methods(["GraphSage"], dataset, quick_train_config(),
+                              precomputed={"GraphSage": first})
+        assert results["GraphSage"] is first
+
+    def test_naive_reference(self, env):
+        _, dataset = env
+        naive = naive_last_value(dataset)
+        assert naive.metrics["overall"]["MAPE"] > 0
+        assert naive.seconds == 0.0
+
+
+class TestTableDrivers:
+    def test_table1_structure(self, env):
+        _, dataset = env
+        outcome = run_table1(dataset, quick_train_config(),
+                             methods=["ARIMA", "GraphSage", "Gaia"])
+        assert set(outcome.metrics) == {"ARIMA", "GraphSage", "Gaia"}
+        assert "Table I (measured)" in outcome.report
+        assert "gaia_best_mape" in outcome.claims
+
+    def test_table2_structure(self, env):
+        _, dataset = env
+        outcome = run_table2(dataset, quick_train_config())
+        assert set(outcome.metrics) == {
+            "Gaia", "Gaia w/o ITA", "Gaia w/o FFL", "Gaia w/o TEL"
+        }
+        assert "all_ablations_hurt" in outcome.claims
+
+
+class TestFigureDrivers:
+    def test_fig1a(self, env):
+        _, dataset = env
+        outcome = run_fig1a(dataset)
+        assert outcome.stats.histogram.sum() == dataset.test.num_shops
+        assert "Fig 1(a)" in outcome.report
+
+    def test_fig3(self, env):
+        _, dataset = env
+        outcome = run_fig3(dataset, quick_train_config())
+        assert set(outcome.comparison.group_metrics) == {"new", "old"}
+        assert "Fig 3" in outcome.report
+
+    def test_fig4(self, env):
+        market, dataset = env
+        outcome = run_fig4(dataset, market, quick_train_config())
+        t = dataset.input_window
+        assert outcome.heatmap.shape == (t, t)
+        assert np.allclose(outcome.heatmap.sum(axis=1), 1.0)
+        assert outcome.study.similarities.size > 0
+        assert outcome.edge_lag in (1, 2)
+
+    def test_deployment(self, env):
+        _, dataset = env
+        outcome = run_deployment(dataset, quick_train_config(),
+                                 client_counts=[2, 4, 8])
+        assert len(outcome.total_seconds) == 3
+        assert outcome.total_seconds[-1] > outcome.total_seconds[0]
+        assert 0 < outcome.gaia_mape
+        assert "Deployment" in outcome.report
+
+
+class TestEndToEndPipeline:
+    def test_full_loop_improves_over_untrained(self, env):
+        """Training must clearly beat an untrained model of the same
+        architecture — the minimal end-to-end learning guarantee."""
+        _, dataset = env
+        from repro.baselines import baseline_config_for
+        from repro.baselines.graphsage import GraphSAGE
+        from repro.training import TrainConfig, Trainer
+
+        config = baseline_config_for(dataset, channels=8)
+        model = GraphSAGE(config, seed=0)
+        trainer = Trainer(model, dataset, TrainConfig(epochs=60, patience=60,
+                                                      min_epochs=30))
+        history = trainer.fit()
+        # Validation loss (scaled space) must drop well below epoch 0.
+        assert min(history.val_loss) < history.val_loss[0] * 0.8

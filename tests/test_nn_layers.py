@@ -1,0 +1,188 @@
+"""Tests for neural-network layers (repro.nn.layers)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import (
+    Conv1d,
+    Dropout,
+    Embedding,
+    GRUCell,
+    LSTMCell,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.tensor import Tensor
+
+from helpers import check_gradients
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_batched_input(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(Tensor(rng.normal(size=(2, 7, 4))))
+        assert out.shape == (2, 7, 3)
+
+    def test_training_reduces_loss(self, rng):
+        from repro.nn.optim import SGD
+
+        layer = Linear(3, 1, rng)
+        x = rng.normal(size=(32, 3))
+        y = x @ np.array([[1.0], [2.0], [-1.0]])
+        opt = SGD(layer.parameters(), lr=0.1)
+        first = None
+        for _ in range(100):
+            opt.zero_grad()
+            loss = F.mse_loss(layer(Tensor(x)), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.01
+
+
+class TestConv1d:
+    def test_shapes(self, rng):
+        layer = Conv1d(3, 5, width=4, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 9, 3))))
+        assert out.shape == (2, 9, 5)
+
+    def test_invalid_width(self, rng):
+        with pytest.raises(ValueError):
+            Conv1d(3, 5, width=0, rng=rng)
+
+    def test_gradients_flow_to_weight_and_bias(self, rng):
+        layer = Conv1d(2, 3, width=2, rng=rng)
+        out = layer(Tensor(rng.normal(size=(1, 5, 2))))
+        (out * out).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([1, 1, 7]))
+        assert out.shape == (3, 4)
+        assert np.allclose(out.data[0], out.data[1])
+
+    def test_2d_ids(self, rng):
+        emb = Embedding(10, 4, rng)
+        assert emb(np.zeros((2, 3), dtype=int)).shape == (2, 3, 4)
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(5, 2, rng)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_accumulates_on_repeats(self, rng):
+        emb = Embedding(4, 2, rng)
+        out = emb(np.array([2, 2]))
+        out.sum().backward()
+        assert np.allclose(emb.weight.grad[2], [2.0, 2.0])
+        assert np.allclose(emb.weight.grad[0], 0.0)
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self, rng):
+        ln = LayerNorm(8)
+        x = Tensor(rng.normal(size=(4, 8)) * 10 + 5)
+        y = ln(x).data
+        assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(y.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradient(self, rng):
+        x = Tensor(rng.normal(size=(3, 6)), requires_grad=True)
+        ln = LayerNorm(6)
+
+        def loss(ts):
+            return (ln(ts[0]) ** 2.0).sum()
+
+        check_gradients(loss, [x], atol=1e-4)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        layer = Dropout(0.5, rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(10,)))
+        assert layer(x) is x
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+    def test_train_mode_masks(self, rng):
+        layer = Dropout(0.5, rng)
+        out = layer(Tensor(np.ones(1000)))
+        assert (out.data == 0).sum() > 300
+
+
+class TestSequentialAndActivations:
+    def test_chain(self, rng):
+        model = Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 2, rng), Tanh())
+        out = model(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+        assert np.all(np.abs(out.data) <= 1.0)
+
+    def test_sigmoid_module(self, rng):
+        assert np.all(Sigmoid()(Tensor(rng.normal(size=(5,)))).data > 0)
+
+    def test_parameters_discovered_in_lists(self, rng):
+        model = Sequential(Linear(2, 2, rng), Linear(2, 2, rng))
+        assert len(model.parameters()) == 4
+
+
+class TestRecurrentCells:
+    def test_gru_shapes_and_state(self, rng):
+        cell = GRUCell(3, 5, rng)
+        h = cell.initial_state(4)
+        x = Tensor(rng.normal(size=(4, 3)))
+        h2 = cell(x, h)
+        assert h2.shape == (4, 5)
+
+    def test_gru_gradient_through_steps(self, rng):
+        cell = GRUCell(2, 3, rng)
+        h = cell.initial_state(2)
+        for _ in range(3):
+            h = cell(Tensor(rng.normal(size=(2, 2))), h)
+        (h * h).sum().backward()
+        assert all(p.grad is not None for p in cell.parameters())
+
+    def test_lstm_shapes(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        state = cell.initial_state(2)
+        h, c = cell(Tensor(rng.normal(size=(2, 3))), state)
+        assert h.shape == (2, 4)
+        assert c.shape == (2, 4)
+
+    def test_lstm_bounded_hidden(self, rng):
+        cell = LSTMCell(2, 3, rng)
+        state = cell.initial_state(1)
+        x = Tensor(np.full((1, 2), 100.0))
+        for _ in range(5):
+            h, c = cell(x, state)
+            state = (h, c)
+        assert np.all(np.abs(h.data) <= 1.0 + 1e-9)

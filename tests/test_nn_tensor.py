@@ -1,0 +1,244 @@
+"""Tests for the autograd engine core (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, as_tensor, no_grad, unbroadcast
+
+from helpers import check_gradients
+
+rng = np.random.default_rng(42)
+
+
+class TestTensorBasics:
+    def test_wraps_data_as_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_repr_mentions_shape_and_grad(self):
+        t = Tensor(np.zeros((2, 3)), requires_grad=True, name="w")
+        text = repr(t)
+        assert "(2, 3)" in text
+        assert "requires_grad" in text
+        assert "w" in text
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_detach_breaks_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 2)))
+        assert len(t) == 4
+        assert t.size == 8
+        assert t.ndim == 2
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_grad(self):
+        t = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_requires_scalar_without_seed(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2.0).backward()
+
+    def test_backward_seed_shape_check(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        out = t * 2.0
+        with pytest.raises(ValueError):
+            out.backward(np.ones((3,)))
+
+    def test_gradient_accumulates_across_backwards(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * 3.0).sum().backward()
+        (t * 3.0).sum().backward()
+        assert np.allclose(t.grad, [6.0])
+
+    def test_zero_grad(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * t).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph_gradient(self):
+        # y = (x*2) + (x*3); dy/dx = 5 — requires correct accumulation
+        # when a node is reachable through two paths.
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2.0 + x * 3.0
+        y.sum().backward()
+        assert np.allclose(x.grad, [5.0])
+
+    def test_shared_subexpression(self):
+        x = Tensor([2.0], requires_grad=True)
+        shared = x * x           # x^2
+        y = shared * shared      # x^4 -> dy/dx = 4 x^3 = 32
+        y.sum().backward()
+        assert np.allclose(x.grad, [32.0])
+
+    def test_no_grad_disables_recording(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_leading_axis_sum(self):
+        g = np.ones((4, 2, 3))
+        out = unbroadcast(g, (2, 3))
+        assert out.shape == (2, 3)
+        assert np.allclose(out, 4.0)
+
+    def test_stretched_axis_sum(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (2, 1))
+        assert out.shape == (2, 1)
+        assert np.allclose(out, 3.0)
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_gradient_total_preserved(self, a, b):
+        g = np.ones((a, b))
+        out = unbroadcast(g, (1, b))
+        assert out.sum() == pytest.approx(g.sum())
+
+
+class TestArithmeticGradients:
+    def test_add_broadcast(self):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        check_gradients(lambda ts: ((ts[0] + ts[1]) ** 2.0).sum(), [x, b])
+
+    def test_mul(self):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        y = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda ts: (ts[0] * ts[1]).sum(), [x, y])
+
+    def test_div(self):
+        x = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        y = Tensor(rng.normal(size=(5,)) + 3.0, requires_grad=True)
+        check_gradients(lambda ts: (ts[0] / ts[1]).sum(), [x, y])
+
+    def test_pow(self):
+        x = Tensor(np.abs(rng.normal(size=(5,))) + 0.5, requires_grad=True)
+        check_gradients(lambda ts: (ts[0] ** 3.0).sum(), [x])
+
+    def test_rsub_and_neg(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (5.0 - x) + (-x)
+        y.sum().backward()
+        assert np.allclose(x.grad, [-2.0, -2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        check_gradients(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_matmul_batched(self):
+        a = Tensor(rng.normal(size=(5, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(5, 4, 2)), requires_grad=True)
+        check_gradients(lambda ts: ((ts[0] @ ts[1]) ** 2.0).sum(), [a, b])
+
+    def test_matmul_broadcast_2d_vs_3d(self):
+        a = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(6, 3, 2)), requires_grad=True)
+        check_gradients(lambda ts: ((ts[0] @ ts[1]) ** 2.0).sum(), [a, b])
+
+    def test_matmul_vector_cases(self):
+        a = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        check_gradients(lambda ts: (ts[0] @ ts[1]) * 1.0, [a, b])
+        m = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        v = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        check_gradients(lambda ts: ((ts[0] @ ts[1]) ** 2.0).sum(), [m, v])
+
+
+class TestShapeOps:
+    def test_reshape_gradient(self):
+        x = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        check_gradients(lambda ts: (ts[0].reshape(3, 4) ** 2.0).sum(), [x])
+
+    def test_transpose_default_swaps_last_two(self):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        assert x.transpose().shape == (2, 4, 3)
+        check_gradients(lambda ts: (ts[0].transpose() ** 2.0).sum(), [x])
+
+    def test_transpose_permutation(self):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        y = x.transpose((2, 0, 1))
+        assert y.shape == (4, 2, 3)
+        check_gradients(lambda ts: (ts[0].transpose((2, 0, 1)) ** 2.0).sum(), [x])
+
+    def test_transpose_1d_noop(self):
+        x = Tensor([1.0, 2.0])
+        assert x.transpose().shape == (2,)
+
+    def test_sum_axis_keepdims(self):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda ts: (ts[0].sum(axis=1, keepdims=True) ** 2.0).sum(), [x])
+        check_gradients(lambda ts: (ts[0].sum(axis=0) ** 2.0).sum(), [x])
+
+    def test_sum_negative_axis(self):
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        check_gradients(lambda ts: (ts[0].sum(axis=-1) ** 2.0).sum(), [x])
+
+    def test_mean_matches_manual(self):
+        x = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        m = x.mean(axis=1)
+        assert np.allclose(m.data, x.data.mean(axis=1))
+        check_gradients(lambda ts: (ts[0].mean(axis=1) ** 2.0).sum(), [x])
+
+    def test_getitem_slice_gradient(self):
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        check_gradients(lambda ts: (ts[0][1:3] ** 2.0).sum(), [x])
+
+    def test_getitem_fancy_index_scatter_adds(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        y = x[idx].sum()
+        y.backward()
+        assert np.allclose(x.grad, [2.0, 0.0, 1.0, 0.0])
+
+
+@given(
+    st.integers(2, 5),
+    st.integers(2, 5),
+    st.floats(-2.0, 2.0, allow_nan=False),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_linearity_of_gradient(rows, cols, scale):
+    """d(scale * sum(x)) / dx == scale everywhere."""
+    x = Tensor(np.ones((rows, cols)), requires_grad=True)
+    (x * scale).sum().backward()
+    assert np.allclose(x.grad, scale)
+
+
+@given(st.integers(2, 6))
+@settings(max_examples=15, deadline=None)
+def test_property_matmul_identity(n):
+    """x @ I == x and gradient flows through unchanged."""
+    x = Tensor(np.random.default_rng(n).normal(size=(n, n)), requires_grad=True)
+    eye = Tensor(np.eye(n))
+    y = x @ eye
+    assert np.allclose(y.data, x.data)
+    y.sum().backward()
+    assert np.allclose(x.grad, 1.0)

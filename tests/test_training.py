@@ -1,0 +1,159 @@
+"""Tests for metrics, trainer and grid search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Gaia, GaiaConfig
+from repro.data import MarketplaceConfig, build_dataset, build_marketplace
+from repro.training import (
+    TrainConfig,
+    Trainer,
+    evaluate_forecast,
+    grid_search,
+    mae,
+    mape,
+    rmse,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    market = build_marketplace(MarketplaceConfig(num_shops=40, seed=23))
+    return build_dataset(market, train_fraction=0.6, val_fraction=0.2)
+
+
+def small_gaia(dataset, channels=8, **overrides):
+    config = GaiaConfig(
+        input_window=dataset.input_window,
+        horizon=dataset.horizon,
+        temporal_dim=dataset.temporal_dim,
+        static_dim=dataset.static_dim,
+        channels=channels,
+        num_scales=2,
+        num_layers=1,
+        **overrides,
+    )
+    return Gaia(config, seed=0)
+
+
+class TestMetrics:
+    def test_mae(self):
+        assert mae(np.array([1.0, 3.0]), np.array([0.0, 0.0])) == 2.0
+
+    def test_rmse(self):
+        assert rmse(np.array([3.0, 4.0]), np.zeros(2)) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_mape_ignores_near_zero_truth(self):
+        pred = np.array([10.0, 100.0])
+        true = np.array([0.0, 50.0])
+        assert mape(pred, true) == pytest.approx(1.0)  # only second entry
+
+    def test_mape_all_zero_truth_nan(self):
+        assert np.isnan(mape(np.ones(3), np.zeros(3)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mae(np.ones(2), np.ones(3))
+
+    def test_evaluate_forecast_columns(self):
+        pred = np.ones((4, 3))
+        true = np.ones((4, 3)) * 2
+        table = evaluate_forecast(pred, true, ["Oct", "Nov", "Dec"])
+        assert set(table) == {"Oct", "Nov", "Dec", "overall"}
+        assert table["Oct"]["MAE"] == 1.0
+        assert table["overall"]["MAPE"] == pytest.approx(0.5)
+
+    def test_evaluate_forecast_shop_mask(self):
+        pred = np.array([[1.0], [100.0]])
+        true = np.array([[1.0], [1.0]])
+        table = evaluate_forecast(pred, true, ["h"], shop_mask=np.array([True, False]))
+        assert table["h"]["MAE"] == 0.0
+
+    def test_evaluate_forecast_validates(self):
+        with pytest.raises(ValueError):
+            evaluate_forecast(np.ones((2, 2)), np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            evaluate_forecast(np.ones((2, 2)), np.ones((2, 2)), ["a"])
+
+    @given(st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_property_mae_le_rmse(self, n):
+        rng = np.random.default_rng(n)
+        pred = rng.normal(size=n)
+        true = rng.normal(size=n)
+        assert mae(pred, true) <= rmse(pred, true) + 1e-12
+
+    @given(st.floats(2.0, 1e6), st.floats(0.0, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_property_mape_scale_invariant(self, scale, ratio):
+        true = np.array([scale])
+        pred = np.array([scale * ratio])
+        assert mape(pred, true) == pytest.approx(abs(1 - ratio), abs=1e-9)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, dataset):
+        model = small_gaia(dataset)
+        trainer = Trainer(model, dataset, TrainConfig(epochs=15, patience=20,
+                                                      min_epochs=15))
+        history = trainer.fit()
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_early_stopping_and_best_restore(self, dataset):
+        model = small_gaia(dataset)
+        trainer = Trainer(model, dataset,
+                          TrainConfig(epochs=200, patience=3, min_epochs=1))
+        history = trainer.fit()
+        assert history.epochs_run <= 200
+        assert 0 <= history.best_epoch < history.epochs_run
+
+    def test_evaluate_respects_roles(self, dataset):
+        model = small_gaia(dataset)
+        trainer = Trainer(model, dataset, TrainConfig(epochs=2, min_epochs=1))
+        trainer.fit()
+        test_table = trainer.evaluate()
+        val_table = trainer.evaluate(role="val")
+        assert test_table["overall"]["MAE"] != val_table["overall"]["MAE"]
+
+    def test_predict_raw_units(self, dataset):
+        model = small_gaia(dataset)
+        trainer = Trainer(model, dataset, TrainConfig(epochs=2, min_epochs=1))
+        trainer.fit()
+        preds = trainer.predict_raw(dataset.test)
+        assert preds.shape == dataset.test.labels.shape
+        assert np.all(preds >= 0)
+
+    def test_history_records_epochs(self, dataset):
+        model = small_gaia(dataset)
+        trainer = Trainer(model, dataset,
+                          TrainConfig(epochs=4, patience=10, min_epochs=4))
+        history = trainer.fit()
+        assert history.epochs_run == 4
+        assert len(history.val_loss) == 4
+        assert history.seconds > 0
+
+
+class TestGridSearch:
+    def test_selects_best_on_validation(self, dataset):
+        def factory(channels):
+            return small_gaia(dataset, channels=channels)
+
+        result = grid_search(
+            factory,
+            dataset,
+            {"channels": [4, 8]},
+            TrainConfig(epochs=3, min_epochs=1),
+        )
+        assert result.best_params["channels"] in (4, 8)
+        assert len(result.trials) == 2
+        assert result.best_score == min(t["score"] for t in result.trials)
+
+    def test_validates_inputs(self, dataset):
+        with pytest.raises(ValueError):
+            grid_search(lambda: None, dataset, {}, None)
+        with pytest.raises(ValueError):
+            grid_search(lambda: None, dataset, {"a": [1]}, None, metric="R2")
