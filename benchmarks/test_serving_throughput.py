@@ -1,0 +1,147 @@
+"""Benchmark: serving-gateway throughput vs the sequential online server.
+
+Perf probe for the serving subsystem: on a 500-shop synthetic
+marketplace the gateway (``max_batch_size=32``, micro-batching + LRU
+caching) must sustain at least 3x the requests/sec of the sequential
+``OnlineModelServer.predict_many`` path on the same repeating request
+stream, while producing identical forecasts (<= 1e-6) and a non-trivial
+result-cache hit rate.  Results are appended to a JSON artifact
+(``BENCH_serving.json`` next to this file, override with
+``REPRO_BENCH_SERVING_ARTIFACT``) so the throughput trajectory is
+tracked across PRs.
+
+Scale knobs: ``REPRO_BENCH_SERVING_SHOPS`` (default 500) and
+``REPRO_BENCH_SERVING_REQUESTS`` (default 600).  Model weights are
+untrained — throughput does not depend on fit quality, and the
+equivalence check compares gateway vs sequential on the same weights.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import Gaia, GaiaConfig, build_dataset, build_marketplace
+from repro.data import MarketplaceConfig
+from repro.deploy import ModelRegistry, OnlineModelServer
+from repro.serving import GatewayConfig, LoadGenerator, ServingGateway, run_load
+
+from conftest import run_once
+
+SERVING_SHOPS = int(os.environ.get("REPRO_BENCH_SERVING_SHOPS", "500"))
+SERVING_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVING_REQUESTS", "600"))
+ARTIFACT_PATH = Path(os.environ.get(
+    "REPRO_BENCH_SERVING_ARTIFACT",
+    Path(__file__).resolve().parent / "BENCH_serving.json",
+))
+MIN_SPEEDUP = 3.0
+
+
+def _append_artifact(record: dict) -> None:
+    history = []
+    if ARTIFACT_PATH.exists():
+        try:
+            history = json.loads(ARTIFACT_PATH.read_text())
+        except (ValueError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    ARTIFACT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_serving_throughput(benchmark):
+    market = build_marketplace(MarketplaceConfig(num_shops=SERVING_SHOPS, seed=11))
+    dataset = build_dataset(market, train_fraction=0.65, val_fraction=0.15)
+    config = GaiaConfig(
+        input_window=dataset.input_window,
+        horizon=dataset.horizon,
+        temporal_dim=dataset.temporal_dim,
+        static_dim=dataset.static_dim,
+        channels=8,
+        num_scales=2,
+        num_layers=1,
+    )
+
+    def factory():
+        return Gaia(config, seed=0)
+
+    registry = ModelRegistry()
+    registry.publish(factory(), trained_at_month=market.config.num_months - 3)
+    model = factory()
+    registry.load_into(model)
+
+    generator = LoadGenerator(num_shops=dataset.test.num_shops, seed=7)
+    stream = generator.generate(
+        "repeating", num_requests=SERVING_REQUESTS,
+        working_set=max(SERVING_REQUESTS // 3, 1),
+    )
+
+    def run():
+        gateway = ServingGateway(
+            factory, dataset, registry,
+            GatewayConfig(max_batch_size=32),
+        )
+        sequential = OnlineModelServer(model, dataset, hops=2)
+        sequential_report = run_load(
+            sequential.predict_many, stream, pattern="repeating"
+        )
+        gateway_report = run_load(
+            gateway.predict_many, stream, pattern="repeating"
+        )
+        return gateway, gateway_report, sequential, sequential_report
+
+    gateway, gateway_report, sequential, sequential_report = run_once(benchmark, run)
+
+    # Numerical equivalence on a fresh slice of the stream.
+    sample = stream[:64]
+    gateway_forecasts = np.stack(
+        [r.forecast for r in gateway.predict_many(sample)]
+    )
+    sequential_forecasts = np.stack(
+        [r.forecast for r in sequential.predict_many(sample)]
+    )
+    max_diff = float(np.abs(gateway_forecasts - sequential_forecasts).max())
+
+    metrics = gateway.metrics_report()
+    speedup = gateway_report.throughput_rps / sequential_report.throughput_rps
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "shops": SERVING_SHOPS,
+        "requests": SERVING_REQUESTS,
+        "max_batch_size": gateway.config.max_batch_size,
+        "gateway": gateway_report.to_dict(),
+        "sequential": sequential_report.to_dict(),
+        "speedup": speedup,
+        "max_forecast_diff": max_diff,
+        "cache_hit_rate": metrics["cache_hit_rate"],
+        "batch_occupancy": metrics["batch_occupancy"],
+    }
+    _append_artifact(record)
+
+    print()
+    print(f"gateway    {gateway_report.throughput_rps:10.0f} req/s "
+          f"(p50 {gateway_report.latency['p50'] * 1e3:.2f} ms, "
+          f"p99 {gateway_report.latency['p99'] * 1e3:.2f} ms)")
+    print(f"sequential {sequential_report.throughput_rps:10.0f} req/s "
+          f"(p50 {sequential_report.latency['p50'] * 1e3:.2f} ms, "
+          f"p99 {sequential_report.latency['p99'] * 1e3:.2f} ms)")
+    print(f"speedup {speedup:.2f}x, cache hit rate "
+          f"{metrics['cache_hit_rate']:.2%}, max diff {max_diff:.2e}")
+
+    assert max_diff <= 1e-6, (
+        f"gateway forecasts deviate from sequential path by {max_diff:.2e}"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"gateway throughput only {speedup:.2f}x sequential "
+        f"({gateway_report.throughput_rps:.0f} vs "
+        f"{sequential_report.throughput_rps:.0f} req/s); need >= {MIN_SPEEDUP}x"
+    )
+    assert metrics["cache_hit_rate"] > 0.3, (
+        f"repeating load should hit the result cache; got "
+        f"{metrics['cache_hit_rate']:.2%}"
+    )

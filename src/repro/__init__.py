@@ -31,8 +31,23 @@ Subpackages
     Trainer, metrics, grid search.
 ``repro.deploy``
     Monthly pipeline, model registry, online/offline serving.
+``repro.serving``
+    Serving at scale: the high-throughput gateway — micro-batched
+    node-disjoint ego-subgraph scoring, LRU subgraph/result caches,
+    replica routing with hot model swaps, metrics, load generation.
 ``repro.analysis`` / ``repro.experiments``
     Figure analytics and per-table/figure experiment drivers.
+
+Serving at scale
+----------------
+Wrap any trained model (or a :class:`~repro.deploy.model_server.ModelRegistry`)
+in a :class:`~repro.serving.ServingGateway` to serve heavy request
+traffic: concurrent per-shop requests coalesce into one model forward
+per micro-batch, repeated requests hit an LRU result cache invalidated
+on model publishes, and replicas hot-swap weights without dropping
+requests — all while producing forecasts numerically equal to the
+sequential :class:`~repro.deploy.OnlineModelServer` path.  See
+``examples/serving_gateway.py``.
 """
 
 from .baselines import ABLATION_METHODS, TABLE1_METHODS, BaselineConfig, create_model
@@ -46,9 +61,10 @@ from .data import (
     build_dataset,
     build_marketplace,
 )
+from .serving import GatewayConfig, LoadGenerator, ServingGateway
 from .training import TrainConfig, Trainer, evaluate_forecast
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -69,4 +85,7 @@ __all__ = [
     "Trainer",
     "TrainConfig",
     "evaluate_forecast",
+    "ServingGateway",
+    "GatewayConfig",
+    "LoadGenerator",
 ]

@@ -109,9 +109,20 @@ class InstanceBatch:
         """Row-sliced copy for a node subset (ego-subgraph serving).
 
         ``indices`` follow the same order as the matching subgraph's
-        local node ids.
+        local node ids.  Duplicates are allowed: the serving gateway
+        gathers the rows for a whole micro-batch — the concatenated node
+        lists of many (possibly overlapping) ego-subgraphs — in one
+        call, repeating shared rows so each block-diagonal component
+        stays self-contained.
         """
         indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self.num_shops
+        ):
+            raise IndexError(
+                f"subset indices out of range [0, {self.num_shops}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
         return InstanceBatch(
             cutoff=self.cutoff,
             series=self.series[indices],

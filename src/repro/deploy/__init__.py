@@ -1,5 +1,20 @@
 """Deployment simulation: monthly offline pipeline, model registry,
-online/offline serving (paper §VI, Fig 5)."""
+online/offline serving (paper §VI, Fig 5).
+
+Serving at scale
+----------------
+The classes here are the *reference* serving path: one request, one
+ego-subgraph, one model forward.  For heavy traffic, put the
+:class:`~repro.serving.gateway.ServingGateway` (package
+:mod:`repro.serving`) in front: it micro-batches concurrent requests
+into node-disjoint unions of ego-subgraphs, caches subgraphs and
+finished forecasts in LRU planes, and shards across hot-swappable model
+replicas fed by this package's :class:`ModelRegistry` — the registry's
+``subscribe``/``publish`` hooks keep replica weights and caches
+consistent.  :meth:`OnlineModelServer.attach_gateway` turns the classic
+server into a thin client of that layer without changing its API or its
+numerics.
+"""
 
 from .model_server import ModelRegistry, ModelVersion
 from .pipeline import MonthlyPipeline, PipelineRun

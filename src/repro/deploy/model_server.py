@@ -4,13 +4,19 @@ The deployed system keeps an *offline* model server (bulk monthly
 scoring of existing e-sellers) and an *online* one (real-time scoring of
 newcoming e-sellers from their ego-subgraph).  Both read the same
 versioned registry populated by the offline training pipeline.
+
+Serving at scale: the registry is also the coordination point for hot
+model swaps — the :class:`~repro.serving.gateway.ServingGateway`
+subscribes via :meth:`ModelRegistry.subscribe`, and every ``publish``
+triggers replica weight reloads plus result-cache invalidation without
+dropping in-flight requests.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -35,18 +41,38 @@ class ModelRegistry:
 
     def __init__(self) -> None:
         self._versions: List[ModelVersion] = []
+        self._subscribers: List[Callable[[ModelVersion], None]] = []
 
     def publish(self, model: Module, trained_at_month: int,
                 metadata: Optional[Dict[str, float]] = None) -> ModelVersion:
-        """Snapshot a trained model's weights as a new version."""
+        """Snapshot a trained model's weights as a new version.
+
+        The stored state is deep-copied here rather than trusting
+        ``state_dict`` implementations to copy, so continued training of
+        ``model`` can never mutate an already-published version.
+        Subscribers are notified after the version is queryable.
+        """
         version = ModelVersion(
             version=len(self._versions) + 1,
-            state=model.state_dict(),
+            state={
+                name: np.array(value, dtype=np.float64, copy=True)
+                for name, value in model.state_dict().items()
+            },
             trained_at_month=trained_at_month,
             metadata=dict(metadata or {}),
         )
         self._versions.append(version)
+        for callback in list(self._subscribers):
+            callback(version)
         return version
+
+    def subscribe(self, callback: Callable[[ModelVersion], None]) -> None:
+        """Register a callback invoked after every successful publish."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[ModelVersion], None]) -> None:
+        """Remove a previously registered publish callback."""
+        self._subscribers.remove(callback)
 
     @property
     def num_versions(self) -> int:

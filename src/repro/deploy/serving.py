@@ -6,23 +6,33 @@
   (possibly newcoming) e-seller from its ego-subgraph, exactly as the
   deployed system does, and keeps per-request latency accounting so the
   paper's linear-scaling claim can be checked.
+
+Serving at scale: :class:`OnlineModelServer` is the *sequential*
+reference path.  Attach a :class:`~repro.serving.gateway.ServingGateway`
+(``server.attach_gateway(gateway)``) and the server becomes a thin
+client of the gateway layer — requests are micro-batched, cached and
+routed across replicas while keeping this class's API and numerics.
+The request log is a bounded ring buffer (``max_log`` entries) so a
+long-running server's memory never grows with traffic.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
 from ..data.dataset import ForecastDataset, InstanceBatch
-from ..graph.graph import ESellerGraph
 from ..graph.sampling import ego_subgraph
 from ..nn.module import Module
 from ..nn.tensor import no_grad
 
 __all__ = ["PredictionResponse", "OnlineModelServer", "OfflineModelServer"]
+
+DEFAULT_MAX_REQUEST_LOG = 10_000
 
 
 @dataclass
@@ -53,24 +63,49 @@ class OfflineModelServer:
 
 
 class OnlineModelServer:
-    """Real-time per-shop prediction from the ego-subgraph."""
+    """Real-time per-shop prediction from the ego-subgraph.
 
-    def __init__(self, model: Module, dataset: ForecastDataset, hops: int = 2) -> None:
+    Parameters
+    ----------
+    max_log:
+        Ring-buffer capacity for the request log; the newest ``max_log``
+        responses are retained for latency accounting and older ones are
+        evicted, bounding memory for long-running serving.
+    """
+
+    def __init__(self, model: Module, dataset: ForecastDataset, hops: int = 2,
+                 max_log: int = DEFAULT_MAX_REQUEST_LOG) -> None:
         if hops < 0:
             raise ValueError("hops must be non-negative")
+        if max_log <= 0:
+            raise ValueError(f"max_log must be positive, got {max_log}")
         self.model = model
         self.dataset = dataset
         self.hops = hops
-        self.request_log: List[PredictionResponse] = []
+        self.request_log: Deque[PredictionResponse] = deque(maxlen=max_log)
+        self.total_requests = 0
+        self.gateway = None
 
-    def predict(self, shop_index: int,
-                batch: Optional[InstanceBatch] = None) -> PredictionResponse:
-        """Score one e-seller in real time.
+    def attach_gateway(self, gateway) -> None:
+        """Become a thin client of a :class:`~repro.serving.gateway.ServingGateway`.
 
-        Extracts the shop's ``hops``-hop ego-subgraph, slices the batch
-        to those nodes, runs the model on the subgraph only, and
-        returns the center node's raw-unit forecast.
+        Default-batch requests are then delegated — micro-batched,
+        cached and replica-routed — while explicit ``batch`` overrides
+        keep using the local sequential path.
         """
+        if gateway is not None and gateway.config.hops != self.hops:
+            raise ValueError(
+                f"gateway hops ({gateway.config.hops}) != server hops ({self.hops})"
+            )
+        self.gateway = gateway
+
+    def _log(self, response: PredictionResponse) -> PredictionResponse:
+        self.request_log.append(response)
+        self.total_requests += 1
+        return response
+
+    def _predict_local(self, shop_index: int,
+                       batch: Optional[InstanceBatch]) -> PredictionResponse:
         if batch is None:
             batch = self.dataset.test
         started = time.perf_counter()
@@ -83,22 +118,41 @@ class OnlineModelServer:
             scaled = self.model(sub_batch, subgraph)
         raw = sub_batch.inverse_scale(scaled.data)
         latency = time.perf_counter() - started
-        response = PredictionResponse(
+        return self._log(PredictionResponse(
             shop_index=shop_index,
             forecast=raw[center_local],
             subgraph_nodes=subgraph.num_nodes,
             latency_seconds=latency,
-        )
-        self.request_log.append(response)
-        return response
+        ))
+
+    def predict(self, shop_index: int,
+                batch: Optional[InstanceBatch] = None) -> PredictionResponse:
+        """Score one e-seller in real time.
+
+        Extracts the shop's ``hops``-hop ego-subgraph, slices the batch
+        to those nodes, runs the model on the subgraph only, and
+        returns the center node's raw-unit forecast.  With a gateway
+        attached (and no explicit ``batch``), the request goes through
+        the batching/caching/routing layer instead.
+        """
+        if self.gateway is not None and batch is None:
+            return self._log(self.gateway.predict(shop_index))
+        return self._predict_local(shop_index, batch)
 
     def predict_many(self, shop_indices: np.ndarray,
                      batch: Optional[InstanceBatch] = None) -> List[PredictionResponse]:
-        """Serve a stream of requests sequentially (throughput probe)."""
-        return [self.predict(int(i), batch) for i in np.asarray(shop_indices)]
+        """Serve a stream of requests (throughput probe).
+
+        Sequential scoring by default; with a gateway attached the
+        stream is coalesced into micro-batches.
+        """
+        if self.gateway is not None and batch is None:
+            responses = self.gateway.predict_many(np.asarray(shop_indices))
+            return [self._log(r) for r in responses]
+        return [self._predict_local(int(i), batch) for i in np.asarray(shop_indices)]
 
     def latency_summary(self) -> Dict[str, float]:
-        """Mean / p50 / p95 latency over the request log."""
+        """Mean / p50 / p95 latency over the retained request log."""
         if not self.request_log:
             return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0}
         lat = np.array([r.latency_seconds for r in self.request_log])

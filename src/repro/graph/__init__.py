@@ -3,14 +3,22 @@
 from .algorithms import bfs_distances, connected_components, degree_statistics
 from .generators import SellerGraphSpec, generate_seller_graph
 from .graph import EdgeType, ESellerGraph
-from .sampling import ego_subgraph, k_hop_nodes, sample_neighbors
+from .sampling import (
+    EgoSubgraph,
+    ego_subgraph,
+    ego_subgraphs,
+    k_hop_nodes,
+    sample_neighbors,
+)
 
 __all__ = [
     "ESellerGraph",
     "EdgeType",
     "SellerGraphSpec",
     "generate_seller_graph",
+    "EgoSubgraph",
     "ego_subgraph",
+    "ego_subgraphs",
     "k_hop_nodes",
     "sample_neighbors",
     "connected_components",

@@ -131,18 +131,33 @@ class ESellerGraph:
         indptr = np.cumsum(indptr)
         return indptr, order, sorted_key
 
-    def out_edges(self, node: int) -> np.ndarray:
-        """Edge indices whose source is ``node``."""
+    def out_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR view over sources: ``(indptr, edge_order)``.
+
+        ``edge_order[indptr[v]:indptr[v + 1]]`` are the edge indices whose
+        source is ``v``.  Built lazily once and reused by every neighbor
+        query and frontier expansion.
+        """
         if self._csr is None:
             self._csr = self._build_csr(by_src=True)
         indptr, order, _ = self._csr
+        return indptr, order
+
+    def in_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR view over destinations: ``(indptr, edge_order)``."""
+        if self._csr_in is None:
+            self._csr_in = self._build_csr(by_src=False)
+        indptr, order, _ = self._csr_in
+        return indptr, order
+
+    def out_edges(self, node: int) -> np.ndarray:
+        """Edge indices whose source is ``node``."""
+        indptr, order = self.out_csr()
         return order[indptr[node]:indptr[node + 1]]
 
     def in_edges(self, node: int) -> np.ndarray:
         """Edge indices whose destination is ``node``."""
-        if self._csr_in is None:
-            self._csr_in = self._build_csr(by_src=False)
-        indptr, order, _ = self._csr_in
+        indptr, order = self.in_csr()
         return order[indptr[node]:indptr[node + 1]]
 
     def neighbors(self, node: int) -> np.ndarray:

@@ -2,44 +2,103 @@
 
 The deployed Gaia system (paper §VI) predicts a newcoming e-seller from
 the *ego-subgraph* extracted around it.  :func:`ego_subgraph` implements
-that extraction; :func:`sample_neighbors` provides GraphSAGE-style fanout
-capping for minibatch training on larger graphs.
+that extraction; :func:`ego_subgraphs` amortises it over many seeds for
+the serving gateway's micro-batches; :func:`sample_neighbors` provides
+GraphSAGE-style fanout capping for minibatch training on larger graphs.
+
+All frontier expansions run on the graph's CSR index
+(:meth:`~repro.graph.graph.ESellerGraph.out_csr` /
+:meth:`~repro.graph.graph.ESellerGraph.in_csr`), so each BFS hop touches
+only the edges incident to the current frontier instead of rescanning
+the full edge list.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from .graph import ESellerGraph
 
-__all__ = ["k_hop_nodes", "ego_subgraph", "sample_neighbors"]
+__all__ = [
+    "k_hop_nodes",
+    "ego_subgraph",
+    "ego_subgraphs",
+    "EgoSubgraph",
+    "sample_neighbors",
+]
+
+
+def _gather_segments(
+    indptr: np.ndarray, order: np.ndarray, nodes: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``order[indptr[v]:indptr[v+1]]`` for every ``v`` in ``nodes``.
+
+    Fully vectorised CSR multi-row gather: the returned array lists the
+    edge indices incident to each node, nodes in the given order.
+    """
+    counts = indptr[nodes + 1] - indptr[nodes]
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = indptr[nodes]
+    seg_offsets = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(seg_offsets, counts)
+    return order[np.repeat(starts, counts) + within]
 
 
 def k_hop_nodes(graph: ESellerGraph, seeds: Sequence[int], hops: int) -> np.ndarray:
     """Return nodes within ``hops`` (undirected) hops of ``seeds``.
 
     The frontier expands over both in- and out-edges because supply-chain
-    influence in the paper flows both ways through aggregation.
+    influence in the paper flows both ways through aggregation.  With
+    several seeds the result is the union of the per-seed neighborhoods —
+    the multi-seed form the serving gateway's batched extraction relies
+    on.  Each hop gathers only the frontier's incident edges from the
+    CSR index (O(frontier edges) per hop, not O(E)).
     """
     if hops < 0:
         raise ValueError(f"hops must be non-negative, got {hops}")
     seeds = np.asarray(seeds, dtype=np.int64)
     visited = np.zeros(graph.num_nodes, dtype=bool)
     visited[seeds] = True
-    frontier = seeds
+    frontier = np.unique(seeds)
+    if graph.num_edges == 0:
+        return np.flatnonzero(visited)
+    out_indptr, out_order = graph.out_csr()
+    in_indptr, in_order = graph.in_csr()
     for _ in range(hops):
         if frontier.size == 0:
             break
-        mask_out = np.isin(graph.src, frontier)
-        mask_in = np.isin(graph.dst, frontier)
-        nxt = np.concatenate([graph.dst[mask_out], graph.src[mask_in]])
-        nxt = np.unique(nxt)
+        eid_out = _gather_segments(out_indptr, out_order, frontier)
+        eid_in = _gather_segments(in_indptr, in_order, frontier)
+        nxt = np.unique(np.concatenate([graph.dst[eid_out], graph.src[eid_in]]))
         nxt = nxt[~visited[nxt]]
         visited[nxt] = True
         frontier = nxt
     return np.flatnonzero(visited)
+
+
+@dataclass
+class EgoSubgraph:
+    """One extracted ego-subgraph, ready for (batched) serving.
+
+    ``nodes`` are the original node indices (sorted); ``center_local`` is
+    the seed's position within them; ``subgraph`` is the induced graph
+    with nodes relabelled ``0..len(nodes)-1`` in that order.
+    """
+
+    center: int
+    subgraph: ESellerGraph
+    nodes: np.ndarray
+    center_local: int
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the ego-subgraph."""
+        return self.subgraph.num_nodes
 
 
 def ego_subgraph(
@@ -59,6 +118,40 @@ def ego_subgraph(
     return sub, originals, center_local
 
 
+def ego_subgraphs(
+    graph: ESellerGraph, centers: Sequence[int], hops: int = 2
+) -> List[EgoSubgraph]:
+    """Batched multi-seed ego-subgraph extraction.
+
+    Extracts one :class:`EgoSubgraph` per center, sharing the graph's CSR
+    index across all of them.  Each per-center node set equals the
+    corresponding single-seed :func:`ego_subgraph` exactly, so a serving
+    layer can stitch the results into one node-disjoint batch and still
+    reproduce per-request forwards bit-for-bit.
+    """
+    centers = np.asarray(centers, dtype=np.int64)
+    if centers.size and not (0 <= centers.min() and centers.max() < graph.num_nodes):
+        raise IndexError(
+            f"centers out of range for {graph.num_nodes} nodes: "
+            f"min={centers.min()}, max={centers.max()}"
+        )
+    if graph.num_edges:
+        graph.out_csr()
+        graph.in_csr()
+    results: List[EgoSubgraph] = []
+    for center in centers:
+        sub, originals, center_local = ego_subgraph(graph, int(center), hops)
+        results.append(
+            EgoSubgraph(
+                center=int(center),
+                subgraph=sub,
+                nodes=originals,
+                center_local=center_local,
+            )
+        )
+    return results
+
+
 def sample_neighbors(
     graph: ESellerGraph,
     nodes: Sequence[int],
@@ -69,25 +162,25 @@ def sample_neighbors(
 
     Returns ``(src, dst, edge_types)`` arrays of the sampled edges.  When
     a node has fewer than ``fanout`` in-edges, all are kept (sampling
-    without replacement).
+    without replacement).  The per-node reservoir runs vectorised: every
+    candidate edge draws a random key and each node keeps its ``fanout``
+    smallest keys, so no Python-level loop over nodes remains.
     """
     if fanout <= 0:
         raise ValueError(f"fanout must be positive, got {fanout}")
-    src_parts = []
-    dst_parts = []
-    type_parts = []
-    for node in np.asarray(nodes, dtype=np.int64):
-        edges = graph.in_edges(int(node))
-        if edges.size > fanout:
-            edges = rng.choice(edges, size=fanout, replace=False)
-        src_parts.append(graph.src[edges])
-        dst_parts.append(graph.dst[edges])
-        type_parts.append(graph.edge_types[edges])
-    if not src_parts:
-        empty = np.zeros(0, dtype=np.int64)
+    nodes = np.asarray(nodes, dtype=np.int64)
+    empty = np.zeros(0, dtype=np.int64)
+    if nodes.size == 0 or graph.num_edges == 0:
         return empty, empty.copy(), empty.copy()
-    return (
-        np.concatenate(src_parts),
-        np.concatenate(dst_parts),
-        np.concatenate(type_parts),
-    )
+    indptr, order = graph.in_csr()
+    counts = indptr[nodes + 1] - indptr[nodes]
+    edges = _gather_segments(indptr, order, nodes)
+    if edges.size == 0:
+        return empty, empty.copy(), empty.copy()
+    segments = np.repeat(np.arange(nodes.size, dtype=np.int64), counts)
+    keys = rng.random(edges.size)
+    perm = np.lexsort((keys, segments))
+    seg_offsets = np.cumsum(counts) - counts
+    rank = np.arange(edges.size, dtype=np.int64) - seg_offsets[segments]
+    keep = edges[perm][rank < fanout]
+    return graph.src[keep], graph.dst[keep], graph.edge_types[keep]

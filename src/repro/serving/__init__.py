@@ -1,0 +1,67 @@
+"""Serving at scale: the high-throughput gateway in front of the models.
+
+The paper's deployed system (§VI, Fig 5) answers real-time GMV forecast
+requests for newcoming e-sellers one ego-subgraph at a time.  This
+package is the production-style layer that lets the same models take
+heavy traffic:
+
+* :class:`~repro.serving.gateway.ServingGateway` — the front door.
+  Requests coalesce in a micro-batcher (``max_batch_size`` /
+  ``max_wait`` flush policy), route across hot-swappable model replicas,
+  and are scored as node-disjoint unions of ego-subgraphs — one model
+  forward per micro-batch instead of one per request, numerically equal
+  to the sequential path.
+* :class:`~repro.serving.cache.SubgraphCache` /
+  :class:`~repro.serving.cache.ResultCache` — LRU planes for extracted
+  ego-subgraphs (per graph epoch) and finished forecasts (per model
+  version), invalidated on registry publishes and graph mutations.
+* :class:`~repro.serving.router.ReplicaRouter` — rendezvous-hash or
+  least-loaded sharding over N replicas with hot model swaps that never
+  drop requests.
+* :class:`~repro.serving.metrics.MetricsRegistry` — QPS, batch
+  occupancy, cache hit rate, p50/p95/p99 latency.
+* :class:`~repro.serving.loadgen.LoadGenerator` / :func:`~repro.serving.loadgen.run_load`
+  — deterministic traffic patterns (uniform / zipf / repeating) and a
+  timed benchmark harness.
+
+Quickstart::
+
+    from repro.serving import GatewayConfig, ServingGateway
+
+    gateway = ServingGateway(
+        model_factory=lambda: gaia_factory(dataset),
+        dataset=dataset,
+        registry=pipeline.registry,                 # hot swaps on publish
+        config=GatewayConfig(max_batch_size=32, num_replicas=2),
+    )
+    responses = gateway.predict_many(shop_indices)  # == sequential path
+    print(gateway.metrics_report())
+"""
+
+from .batching import DisjointBatch, MicroBatcher, PendingRequest, build_disjoint_batch
+from .cache import CachedResult, LRUCache, ResultCache, SubgraphCache
+from .gateway import GatewayConfig, GatewayResponse, ServingGateway
+from .loadgen import LoadGenerator, LoadReport, run_load
+from .metrics import MetricsRegistry, RollingWindow
+from .router import ModelReplica, ReplicaRouter
+
+__all__ = [
+    "ServingGateway",
+    "GatewayConfig",
+    "GatewayResponse",
+    "MicroBatcher",
+    "PendingRequest",
+    "DisjointBatch",
+    "build_disjoint_batch",
+    "LRUCache",
+    "SubgraphCache",
+    "ResultCache",
+    "CachedResult",
+    "ReplicaRouter",
+    "ModelReplica",
+    "MetricsRegistry",
+    "RollingWindow",
+    "LoadGenerator",
+    "LoadReport",
+    "run_load",
+]

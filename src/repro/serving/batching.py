@@ -1,0 +1,153 @@
+"""Micro-batching: request coalescing and node-disjoint batch assembly.
+
+The gateway never runs one model forward per request.  Incoming requests
+park in a :class:`MicroBatcher` until either ``max_batch_size`` of them
+accumulated or the oldest has waited ``max_wait`` seconds; the drained
+batch is then stitched into a single *node-disjoint* graph — each
+request's ego-subgraph becomes its own connected component, node ids
+offset so components never collide — and scored with **one** forward
+pass.  Because components are disjoint and message passing is strictly
+per-node / per-edge, every center's output equals the per-request
+forward bit-for-bit, even when the original ego-subgraphs overlap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import InstanceBatch
+from ..graph.graph import ESellerGraph
+from ..graph.sampling import EgoSubgraph
+
+__all__ = ["PendingRequest", "MicroBatcher", "DisjointBatch", "build_disjoint_batch"]
+
+
+@dataclass
+class PendingRequest:
+    """One enqueued prediction request awaiting a batch slot."""
+
+    shop_index: int
+    enqueued_at: float
+    response: Optional[object] = None
+    done: bool = False
+
+    def resolve(self, response: object) -> None:
+        """Attach the finished response."""
+        self.response = response
+        self.done = True
+
+    def result(self):
+        """The finished response (raises until the batch flushed)."""
+        if not self.done:
+            raise RuntimeError(
+                f"request for shop {self.shop_index} not served yet; "
+                "flush the gateway first"
+            )
+        return self.response
+
+
+class MicroBatcher:
+    """Coalesces requests under a ``max_batch_size`` / ``max_wait`` policy.
+
+    ``submit`` parks a request and reports whether the batch is full;
+    ``due`` reports whether the oldest parked request has exceeded
+    ``max_wait``; ``drain`` hands back up to ``max_batch_size`` requests
+    in arrival order.  The batcher is synchronous and clock-injectable so
+    flush policy is deterministic under test.
+    """
+
+    def __init__(self, max_batch_size: int = 32, max_wait: float = 0.005,
+                 clock=time.perf_counter) -> None:
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be non-negative, got {max_wait}")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait = float(max_wait)
+        self._clock = clock
+        self._pending: List[PendingRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(self, shop_index: int) -> Tuple[PendingRequest, bool]:
+        """Park one request; returns ``(request, batch_is_full)``."""
+        request = PendingRequest(shop_index=int(shop_index),
+                                 enqueued_at=self._clock())
+        self._pending.append(request)
+        return request, len(self._pending) >= self.max_batch_size
+
+    def due(self, now: Optional[float] = None) -> bool:
+        """True when the oldest parked request exceeded ``max_wait``."""
+        if not self._pending:
+            return False
+        if now is None:
+            now = self._clock()
+        return (now - self._pending[0].enqueued_at) >= self.max_wait
+
+    def drain(self) -> List[PendingRequest]:
+        """Remove and return up to ``max_batch_size`` oldest requests."""
+        batch = self._pending[: self.max_batch_size]
+        self._pending = self._pending[self.max_batch_size:]
+        return batch
+
+
+@dataclass
+class DisjointBatch:
+    """A node-disjoint union of ego-subgraphs ready for one forward.
+
+    ``graph`` holds every component with offset node ids; ``batch`` is
+    the matching row-sliced :class:`~repro.data.dataset.InstanceBatch`
+    (rows may repeat when components share original nodes); ``center_rows``
+    locates each request's center inside the union.
+    """
+
+    graph: ESellerGraph
+    batch: InstanceBatch
+    center_rows: np.ndarray
+    component_sizes: np.ndarray
+    centers: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @property
+    def num_requests(self) -> int:
+        """Number of coalesced requests in the union."""
+        return int(self.center_rows.size)
+
+
+def build_disjoint_batch(
+    egos: Sequence[EgoSubgraph], source_batch: InstanceBatch
+) -> DisjointBatch:
+    """Stitch ego-subgraphs into one block-diagonal graph + feature batch.
+
+    Rows of the union batch are gathered from ``source_batch`` via one
+    :meth:`InstanceBatch.subset` call over the concatenated original node
+    indices (duplicates allowed — overlapping ego-subgraphs simply repeat
+    the shared rows), so no per-request slicing survives on the hot path.
+    """
+    if not egos:
+        raise ValueError("cannot build a batch from zero ego-subgraphs")
+    sizes = np.array([ego.num_nodes for ego in egos], dtype=np.int64)
+    offsets = np.cumsum(sizes) - sizes
+    src = np.concatenate(
+        [ego.subgraph.src + off for ego, off in zip(egos, offsets)]
+    )
+    dst = np.concatenate(
+        [ego.subgraph.dst + off for ego, off in zip(egos, offsets)]
+    )
+    types = np.concatenate([ego.subgraph.edge_types for ego in egos])
+    union = ESellerGraph(int(sizes.sum()), src, dst, types)
+    rows = np.concatenate([ego.nodes for ego in egos])
+    center_rows = offsets + np.array(
+        [ego.center_local for ego in egos], dtype=np.int64
+    )
+    return DisjointBatch(
+        graph=union,
+        batch=source_batch.subset(rows),
+        center_rows=center_rows,
+        component_sizes=sizes,
+        centers=np.array([ego.center for ego in egos], dtype=np.int64),
+    )

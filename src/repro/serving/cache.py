@@ -1,0 +1,172 @@
+"""LRU caches for the serving gateway.
+
+Two cache planes sit in front of the model replicas:
+
+* :class:`SubgraphCache` — extracted ego-subgraphs keyed on
+  ``(shop_index, hops)`` within a *graph epoch*; the whole plane is
+  dropped when the gateway learns the e-seller graph mutated.
+* :class:`ResultCache` — finished raw-unit forecasts keyed on
+  ``(shop_index, hops, model_version)``; entries for superseded model
+  versions are purged when the :class:`~repro.deploy.model_server.ModelRegistry`
+  publishes, so a hot model swap can never serve stale numbers.
+
+Both are thin policies over one generic :class:`LRUCache`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional
+
+import numpy as np
+
+from ..graph.sampling import EgoSubgraph
+
+__all__ = ["LRUCache", "SubgraphCache", "ResultCache", "CachedResult"]
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``get`` refreshes recency; ``put`` evicts the stalest entry once
+    ``capacity`` is exceeded.  Hit/miss counts are kept locally so cache
+    planes can be inspected without a metrics registry.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable):
+        """Return the cached value or ``None``, refreshing recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert/refresh an entry, evicting the LRU one when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_if(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``."""
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def clear(self) -> int:
+        """Drop all entries, returning how many were held."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped
+
+    def hit_rate(self) -> float:
+        """Lifetime hit fraction (0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SubgraphCache:
+    """LRU cache of extracted ego-subgraphs for one graph epoch.
+
+    The gateway bumps :attr:`epoch` (dropping everything) whenever the
+    underlying e-seller graph mutates — new shops, new supply-chain
+    edges — because every memoised node set may then be stale.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._lru = LRUCache(capacity)
+        self.epoch = 0
+
+    def get(self, shop_index: int, hops: int) -> Optional[EgoSubgraph]:
+        """Cached ego-subgraph for ``(shop_index, hops)``, if present."""
+        return self._lru.get((shop_index, hops))
+
+    def put(self, shop_index: int, hops: int, ego: EgoSubgraph) -> None:
+        """Memoise one extracted ego-subgraph."""
+        self._lru.put((shop_index, hops), ego)
+
+    def invalidate_graph(self) -> int:
+        """Graph mutated: advance the epoch and drop every entry."""
+        self.epoch += 1
+        return self._lru.clear()
+
+    @property
+    def stats(self) -> LRUCache:
+        """Underlying LRU (hits / misses / evictions / len)."""
+        return self._lru
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One memoised finished forecast."""
+
+    forecast: np.ndarray
+    subgraph_nodes: int
+
+
+class ResultCache:
+    """LRU cache of finished forecasts keyed by model version.
+
+    Keys are ``(shop_index, hops, model_version)``; because the version
+    participates in the key, a swapped-in model can never read a
+    predecessor's numbers even before the purge runs.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._lru = LRUCache(capacity)
+
+    def get(self, shop_index: int, hops: int,
+            model_version: int) -> Optional[CachedResult]:
+        """Cached result, if present."""
+        return self._lru.get((shop_index, hops, model_version))
+
+    def put(self, shop_index: int, hops: int, model_version: int,
+            forecast: np.ndarray, subgraph_nodes: int) -> None:
+        """Memoise one finished forecast (stored as an immutable copy)."""
+        value = np.asarray(forecast).copy()
+        value.setflags(write=False)
+        self._lru.put(
+            (shop_index, hops, model_version),
+            CachedResult(forecast=value, subgraph_nodes=int(subgraph_nodes)),
+        )
+
+    def invalidate_versions_other_than(self, model_version: int) -> int:
+        """Purge entries for every version except the one now serving."""
+        return self._lru.invalidate_if(lambda key: key[2] != model_version)
+
+    def clear(self) -> int:
+        """Drop all entries."""
+        return self._lru.clear()
+
+    @property
+    def stats(self) -> LRUCache:
+        """Underlying LRU (hits / misses / evictions / len)."""
+        return self._lru
+
+    def __len__(self) -> int:
+        return len(self._lru)

@@ -1,0 +1,333 @@
+"""The serving gateway: micro-batching + caching + replica routing.
+
+:class:`ServingGateway` is the production-style front door for real-time
+GMV forecasts (paper §VI, Fig 5, scaled up).  One request travels:
+
+1. **result cache** — ``(shop, hops, model_version)`` hit returns a
+   finished forecast without touching a model;
+2. **micro-batcher** — misses park until ``max_batch_size`` requests
+   accumulated or the oldest waited ``max_wait`` seconds;
+3. **replica router** — the drained batch is partitioned across model
+   replicas (rendezvous hash or least-loaded);
+4. **node-disjoint forward** — each replica's share is stitched into one
+   block-diagonal graph (subgraph extractions memoised in an LRU keyed
+   per graph epoch) and scored with a single model forward whose per-
+   center outputs equal the sequential per-request path bit-for-bit.
+
+The gateway subscribes to the :class:`~repro.deploy.model_server.ModelRegistry`:
+a publish triggers a hot weight swap on every replica and purges result
+cache entries from superseded versions.  ``notify_graph_changed`` does
+the same for graph mutations (new shops / edges).  All traffic is
+accounted in a :class:`~repro.serving.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import ForecastDataset, InstanceBatch
+from ..deploy.model_server import ModelRegistry, ModelVersion
+from ..deploy.serving import PredictionResponse
+from ..graph.sampling import EgoSubgraph, ego_subgraphs
+from ..nn.module import Module
+from ..nn.tensor import no_grad
+from .batching import MicroBatcher, PendingRequest, build_disjoint_batch
+from .cache import ResultCache, SubgraphCache
+from .metrics import MetricsRegistry
+from .router import ModelReplica, ReplicaRouter
+
+__all__ = ["GatewayConfig", "GatewayResponse", "ServingGateway"]
+
+
+@dataclass
+class GatewayConfig:
+    """Tuning knobs for one :class:`ServingGateway`."""
+
+    hops: int = 2
+    max_batch_size: int = 32
+    max_wait: float = 0.005
+    subgraph_cache_size: int = 2048
+    result_cache_size: int = 8192
+    num_replicas: int = 1
+    routing: str = "hash"
+    metrics_window: int = 4096
+
+    def validate(self) -> None:
+        """Reject inconsistent settings early."""
+        if self.hops < 0:
+            raise ValueError(f"hops must be non-negative, got {self.hops}")
+        if self.max_batch_size <= 0:
+            raise ValueError(
+                f"max_batch_size must be positive, got {self.max_batch_size}"
+            )
+        if self.num_replicas <= 0:
+            raise ValueError(
+                f"num_replicas must be positive, got {self.num_replicas}"
+            )
+
+
+@dataclass
+class GatewayResponse(PredictionResponse):
+    """A :class:`PredictionResponse` plus gateway-side provenance."""
+
+    cached: bool = False
+    replica_id: str = ""
+    model_version: int = 0
+    batch_size: int = 1
+
+
+class ServingGateway:
+    """High-throughput forecast serving over the existing model stack.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable building a registry-compatible model;
+        one instance is created per replica.
+    dataset:
+        The serving snapshot; forecasts run against ``dataset.test``
+        (override via ``source_batch``) and ``dataset.graph``.
+    registry:
+        Optional model registry.  When given, replicas load its latest
+        weights immediately and every later ``publish`` hot-swaps them.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Module],
+        dataset: ForecastDataset,
+        registry: Optional[ModelRegistry] = None,
+        config: Optional[GatewayConfig] = None,
+        source_batch: Optional[InstanceBatch] = None,
+        clock=time.perf_counter,
+    ) -> None:
+        self.config = config or GatewayConfig()
+        self.config.validate()
+        self.dataset = dataset
+        self.source_batch = source_batch if source_batch is not None else dataset.test
+        self.registry = registry
+        self._clock = clock
+        self.router = ReplicaRouter(
+            model_factory,
+            registry=registry,
+            num_replicas=self.config.num_replicas,
+            policy=self.config.routing,
+        )
+        self.batcher = MicroBatcher(
+            max_batch_size=self.config.max_batch_size,
+            max_wait=self.config.max_wait,
+            clock=clock,
+        )
+        self.subgraph_cache = SubgraphCache(self.config.subgraph_cache_size)
+        self.result_cache = ResultCache(self.config.result_cache_size)
+        self.metrics = MetricsRegistry(window=self.config.metrics_window,
+                                       clock=clock)
+        self._subscribed = registry is not None
+        if registry is not None:
+            registry.subscribe(self._on_publish)
+
+    def close(self) -> None:
+        """Detach from the registry and drain parked requests.
+
+        A discarded gateway would otherwise stay referenced by the
+        registry's subscriber list and keep hot-swapping its replicas on
+        every later publish.  Idempotent.
+        """
+        self.flush()
+        if self._subscribed and self.registry is not None:
+            self.registry.unsubscribe(self._on_publish)
+            self._subscribed = False
+
+    # ------------------------------------------------------------------
+    # invalidation hooks
+    # ------------------------------------------------------------------
+    def _on_publish(self, version: ModelVersion) -> None:
+        """Registry published: hot-swap replicas, purge stale results."""
+        self.router.sync(version.version)
+        self.result_cache.invalidate_versions_other_than(version.version)
+        self.metrics.inc("model_swaps")
+
+    def notify_graph_changed(self) -> None:
+        """Graph mutated: drop every memoised subgraph and result."""
+        self.subgraph_cache.invalidate_graph()
+        self.result_cache.clear()
+        self.metrics.inc("graph_invalidations")
+
+    # ------------------------------------------------------------------
+    # request intake
+    # ------------------------------------------------------------------
+    def submit(self, shop_index: int) -> PendingRequest:
+        """Enqueue one request; flushes when the batch fills or is due."""
+        shop_index = int(shop_index)
+        if not 0 <= shop_index < self.dataset.graph.num_nodes:
+            raise IndexError(
+                f"shop {shop_index} out of range for "
+                f"{self.dataset.graph.num_nodes} shops"
+            )
+        if self.batcher.due():
+            self.flush()
+        self.metrics.inc("requests_total")
+        request, full = self.batcher.submit(shop_index)
+        if full:
+            self.flush()
+        return request
+
+    def poll(self) -> None:
+        """Flush if the oldest parked request exceeded ``max_wait``."""
+        if self.batcher.due():
+            self.flush()
+
+    def flush(self) -> None:
+        """Serve every parked request, one micro-batch at a time."""
+        while len(self.batcher):
+            self._serve(self.batcher.drain())
+
+    def predict(self, shop_index: int) -> GatewayResponse:
+        """Score one shop synchronously (submit + immediate flush)."""
+        request = self.submit(shop_index)
+        if not request.done:
+            self.flush()
+        return request.result()
+
+    def predict_many(self, shop_indices: Sequence[int]) -> List[GatewayResponse]:
+        """Serve a request stream, coalescing into micro-batches.
+
+        Responses come back in request order; numerically they match the
+        sequential :meth:`~repro.deploy.serving.OnlineModelServer.predict_many`
+        path exactly.
+        """
+        requests = [self.submit(int(s)) for s in np.asarray(shop_indices)]
+        self.flush()
+        return [r.result() for r in requests]
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+    def _extract_egos(self, shops: List[int]) -> Dict[int, EgoSubgraph]:
+        """Fetch ego-subgraphs for unique shops, via the LRU cache."""
+        hops = self.config.hops
+        egos: Dict[int, EgoSubgraph] = {}
+        missing: List[int] = []
+        for shop in shops:
+            cached = self.subgraph_cache.get(shop, hops)
+            if cached is None:
+                missing.append(shop)
+                self.metrics.inc("subgraph_cache_misses")
+            else:
+                egos[shop] = cached
+                self.metrics.inc("subgraph_cache_hits")
+        if missing:
+            for ego in ego_subgraphs(self.dataset.graph, missing, hops):
+                self.subgraph_cache.put(ego.center, hops, ego)
+                egos[ego.center] = ego
+        return egos
+
+    def _resolve(self, request: PendingRequest, forecast: np.ndarray,
+                 subgraph_nodes: int, cached: bool, replica: ModelReplica,
+                 batch_size: int) -> None:
+        latency = self._clock() - request.enqueued_at
+        self.metrics.observe("latency_seconds", latency)
+        request.resolve(GatewayResponse(
+            shop_index=request.shop_index,
+            forecast=forecast,
+            subgraph_nodes=int(subgraph_nodes),
+            latency_seconds=latency,
+            cached=cached,
+            replica_id=replica.replica_id,
+            model_version=replica.version,
+            batch_size=batch_size,
+        ))
+
+    def _serve(self, requests: List[PendingRequest]) -> None:
+        """Score one drained micro-batch."""
+        if not requests:
+            return
+        hops = self.config.hops
+        # Partition: result-cache hits answer immediately; misses group
+        # per replica, coalescing duplicate shops into one computation.
+        groups: "OrderedDict[str, OrderedDict[int, List[PendingRequest]]]" = OrderedDict()
+        replicas: Dict[str, ModelReplica] = {}
+        for request in requests:
+            replica = self.router.route(request.shop_index)
+            cached = self.result_cache.get(
+                request.shop_index, hops, replica.version
+            )
+            if cached is not None:
+                self.metrics.inc("cache_hits")
+                self._resolve(request, cached.forecast, cached.subgraph_nodes,
+                              cached=True, replica=replica,
+                              batch_size=len(requests))
+                continue
+            self.metrics.inc("cache_misses")
+            # Claim the slot at assignment time so least-loaded routing
+            # sees the load of requests already parked on each replica.
+            replica.inflight += 1
+            replicas[replica.replica_id] = replica
+            by_shop = groups.setdefault(replica.replica_id, OrderedDict())
+            by_shop.setdefault(request.shop_index, []).append(request)
+        for replica_id, by_shop in groups.items():
+            self._forward_group(replicas[replica_id], by_shop, len(requests))
+
+    def _forward_group(self, replica: ModelReplica,
+                       by_shop: "OrderedDict[int, List[PendingRequest]]",
+                       batch_size: int) -> None:
+        """One node-disjoint forward for a replica's share of a batch."""
+        shops = list(by_shop)
+        num_requests = sum(len(reqs) for reqs in by_shop.values())
+        # The slots were claimed at routing time in _serve.
+        try:
+            egos = self._extract_egos(shops)
+            union = build_disjoint_batch(
+                [egos[s] for s in shops], self.source_batch
+            )
+            replica.model.eval()
+            with no_grad():
+                scaled = replica.model(union.batch, union.graph)
+            raw = union.batch.inverse_scale(scaled.data)
+        finally:
+            replica.inflight -= num_requests
+        replica.served_requests += num_requests
+        replica.served_batches += 1
+        self.metrics.inc("batches_total")
+        self.metrics.observe("batch_size", float(num_requests))
+        for row, shop in zip(union.center_rows, shops):
+            forecast = raw[int(row)].copy()
+            forecast.setflags(write=False)
+            nodes = int(egos[shop].num_nodes)
+            self.result_cache.put(shop, self.config.hops, replica.version,
+                                  forecast, nodes)
+            for request in by_shop[shop]:
+                self._resolve(request, forecast, nodes, cached=False,
+                              replica=replica, batch_size=batch_size)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def metrics_report(self) -> Dict[str, object]:
+        """Serialisable snapshot of gateway health and traffic."""
+        report = self.metrics.snapshot(max_batch_size=self.config.max_batch_size)
+        report["replicas"] = [
+            {
+                "replica_id": r.replica_id,
+                "version": r.version,
+                "served_requests": r.served_requests,
+                "served_batches": r.served_batches,
+            }
+            for r in self.router.replicas
+        ]
+        report["serving_version"] = self.router.serving_version
+        report["subgraph_cache"] = {
+            "size": len(self.subgraph_cache),
+            "hit_rate": self.subgraph_cache.stats.hit_rate(),
+            "epoch": self.subgraph_cache.epoch,
+        }
+        report["result_cache"] = {
+            "size": len(self.result_cache),
+            "hit_rate": self.result_cache.stats.hit_rate(),
+        }
+        return report

@@ -1,0 +1,132 @@
+"""Deterministic load generation for serving benchmarks.
+
+:class:`LoadGenerator` produces reproducible request streams over a shop
+universe — uniform, Zipf-skewed (a few hot sellers dominate, as in real
+marketplace traffic), or a repeating working-set cycle that exercises
+the gateway's result cache — and :func:`run_load` times an arbitrary
+``predict_many``-shaped callable over a stream, reporting throughput and
+latency percentiles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["LoadGenerator", "LoadReport", "run_load"]
+
+PATTERNS = ("uniform", "zipf", "repeating")
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one timed load run."""
+
+    pattern: str
+    num_requests: int
+    elapsed_seconds: float
+    throughput_rps: float
+    latency: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON artifacts."""
+        return {
+            "pattern": self.pattern,
+            "num_requests": self.num_requests,
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_rps": self.throughput_rps,
+            "latency": dict(self.latency),
+            "extra": dict(self.extra),
+        }
+
+
+class LoadGenerator:
+    """Seeded generator of request streams over ``num_shops`` shops."""
+
+    def __init__(self, num_shops: int, seed: int = 0) -> None:
+        if num_shops <= 0:
+            raise ValueError(f"num_shops must be positive, got {num_shops}")
+        self.num_shops = int(num_shops)
+        self.seed = int(seed)
+
+    def _rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    def generate(
+        self,
+        pattern: str,
+        num_requests: int,
+        working_set: int = 0,
+        zipf_exponent: float = 1.2,
+    ) -> np.ndarray:
+        """Produce a deterministic stream of shop indices.
+
+        * ``"uniform"`` — i.i.d. uniform over all shops.
+        * ``"zipf"`` — rank-frequency skew with exponent ``zipf_exponent``
+          over a shuffled shop ranking.
+        * ``"repeating"`` — a fixed random working set of ``working_set``
+          shops cycled in order; the canonical cache-friendly pattern.
+        """
+        if pattern not in PATTERNS:
+            raise ValueError(f"unknown pattern {pattern!r}; pick from {PATTERNS}")
+        if num_requests <= 0:
+            raise ValueError(f"num_requests must be positive, got {num_requests}")
+        rng = self._rng()
+        if pattern == "uniform":
+            return rng.integers(0, self.num_shops, size=num_requests, dtype=np.int64)
+        if pattern == "zipf":
+            ranks = np.arange(1, self.num_shops + 1, dtype=np.float64)
+            weights = ranks ** -float(zipf_exponent)
+            weights /= weights.sum()
+            shops = rng.permutation(self.num_shops)
+            return shops[
+                rng.choice(self.num_shops, size=num_requests, p=weights)
+            ].astype(np.int64)
+        if working_set <= 0:
+            working_set = max(self.num_shops // 4, 1)
+        working_set = min(working_set, self.num_shops)
+        pool = rng.choice(self.num_shops, size=working_set, replace=False)
+        reps = int(np.ceil(num_requests / working_set))
+        return np.tile(pool, reps)[:num_requests].astype(np.int64)
+
+
+def run_load(
+    predict_many: Callable[[np.ndarray], Sequence],
+    requests: np.ndarray,
+    pattern: str = "custom",
+    clock=time.perf_counter,
+) -> LoadReport:
+    """Time ``predict_many`` over one request stream.
+
+    ``predict_many`` must return one response per request, each exposing
+    ``latency_seconds`` (both :class:`~repro.deploy.serving.OnlineModelServer`
+    and :class:`~repro.serving.gateway.ServingGateway` do).
+    """
+    requests = np.asarray(requests, dtype=np.int64)
+    started = clock()
+    responses: List = list(predict_many(requests))
+    elapsed = max(clock() - started, 1e-12)
+    latencies = np.array(
+        [getattr(r, "latency_seconds", 0.0) for r in responses], dtype=np.float64
+    )
+    if latencies.size:
+        p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
+        latency = {
+            "mean": float(latencies.mean()),
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+        }
+    else:
+        latency = {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    return LoadReport(
+        pattern=pattern,
+        num_requests=int(requests.size),
+        elapsed_seconds=float(elapsed),
+        throughput_rps=float(requests.size / elapsed),
+        latency=latency,
+    )

@@ -1,0 +1,140 @@
+"""Serving metrics: counters, distributions and latency percentiles.
+
+A tiny Prometheus-flavoured registry scoped to one gateway instance.
+Counters accumulate monotonically; distributions (batch occupancy,
+latency) keep a bounded ring of recent observations so a long-running
+gateway reports rolling percentiles without unbounded memory.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["RollingWindow", "MetricsRegistry"]
+
+
+class RollingWindow:
+    """Fixed-capacity ring buffer of float observations.
+
+    Keeps the most recent ``capacity`` values; summary statistics are
+    computed over whatever the ring currently holds.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._buffer = np.zeros(self.capacity, dtype=np.float64)
+        self._next = 0
+        self._count = 0
+        self.total_observations = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation, evicting the oldest when full."""
+        self._buffer[self._next] = float(value)
+        self._next = (self._next + 1) % self.capacity
+        self._count = min(self._count + 1, self.capacity)
+        self.total_observations += 1
+
+    def values(self) -> np.ndarray:
+        """Currently retained observations (unordered)."""
+        return self._buffer[: self._count].copy()
+
+    def __len__(self) -> int:
+        return self._count
+
+    def summary(self) -> Dict[str, float]:
+        """Mean and p50/p95/p99 over the retained window."""
+        if self._count == 0:
+            return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        values = self._buffer[: self._count]
+        p50, p95, p99 = np.percentile(values, [50, 95, 99])
+        return {
+            "count": float(self.total_observations),
+            "mean": float(values.mean()),
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+        }
+
+
+class MetricsRegistry:
+    """Counters plus rolling distributions for one serving gateway.
+
+    Canonical series written by :class:`~repro.serving.gateway.ServingGateway`:
+
+    * counters — ``requests_total``, ``batches_total``, ``cache_hits``,
+      ``cache_misses``, ``subgraph_cache_hits``, ``subgraph_cache_misses``,
+      ``model_swaps``, ``graph_invalidations``
+    * distributions — ``latency_seconds`` (per request, queue wait
+      included), ``batch_size`` (requests per model forward)
+    """
+
+    def __init__(self, window: int = 2048,
+                 clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.started_at = clock()
+        self.counters: Dict[str, float] = {}
+        self._windows: Dict[str, RollingWindow] = {}
+        self._window_capacity = window
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment a monotone counter."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never written)."""
+        return self.counters.get(name, 0.0)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into a named rolling distribution."""
+        window = self._windows.get(name)
+        if window is None:
+            window = self._windows[name] = RollingWindow(self._window_capacity)
+        window.observe(value)
+
+    def distribution(self, name: str) -> Optional[RollingWindow]:
+        """The named rolling window, or ``None`` when never written."""
+        return self._windows.get(name)
+
+    # ------------------------------------------------------------------
+    # derived
+    # ------------------------------------------------------------------
+    def elapsed_seconds(self) -> float:
+        """Wall-clock seconds since the registry was created."""
+        return max(self._clock() - self.started_at, 1e-12)
+
+    def qps(self) -> float:
+        """Requests per second since start."""
+        return self.counter("requests_total") / self.elapsed_seconds()
+
+    def cache_hit_rate(self) -> float:
+        """Result-cache hit fraction (0 when no lookups yet)."""
+        hits = self.counter("cache_hits")
+        total = hits + self.counter("cache_misses")
+        return hits / total if total else 0.0
+
+    def batch_occupancy(self, max_batch_size: int) -> float:
+        """Mean batch fill fraction relative to ``max_batch_size``."""
+        window = self._windows.get("batch_size")
+        if window is None or len(window) == 0 or max_batch_size <= 0:
+            return 0.0
+        return float(window.values().mean()) / float(max_batch_size)
+
+    def snapshot(self, max_batch_size: Optional[int] = None) -> Dict[str, object]:
+        """One serialisable report of everything the registry tracks."""
+        report: Dict[str, object] = {
+            "elapsed_seconds": self.elapsed_seconds(),
+            "qps": self.qps(),
+            "cache_hit_rate": self.cache_hit_rate(),
+            "counters": dict(self.counters),
+            "distributions": {
+                name: window.summary() for name, window in self._windows.items()
+            },
+        }
+        if max_batch_size is not None:
+            report["batch_occupancy"] = self.batch_occupancy(max_batch_size)
+        return report

@@ -1,0 +1,163 @@
+"""Replica routing: shard requests across hot-swappable model replicas.
+
+Each :class:`ModelReplica` holds its own model instance whose weights
+come from the :class:`~repro.deploy.model_server.ModelRegistry`.  The
+:class:`ReplicaRouter` assigns every request key (shop index) to a
+replica either by **rendezvous hashing** (``policy="hash"`` — stable,
+deterministic, and minimally disruptive: removing a replica only remaps
+the keys that lived on it) or by **least-loaded** selection
+(``policy="load"``).  ``sync`` performs a hot model swap: replicas
+reload weights one at a time, so at any instant every replica holds a
+complete, consistent version and no request is dropped mid-swap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..deploy.model_server import ModelRegistry
+from ..nn.module import Module
+
+__all__ = ["ModelReplica", "ReplicaRouter"]
+
+
+def _rendezvous_weight(replica_id: str, key: int) -> int:
+    """Deterministic highest-random-weight score for (replica, key)."""
+    digest = hashlib.blake2b(
+        f"{replica_id}|{key}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass
+class ModelReplica:
+    """One serving replica: a model instance plus load accounting."""
+
+    replica_id: str
+    model: Module
+    version: int = 0
+    inflight: int = 0
+    served_requests: int = 0
+    served_batches: int = 0
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+
+class ReplicaRouter:
+    """Routes request keys to replicas and keeps their weights fresh.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable building a fresh, registry-compatible
+        model instance; called once per replica.
+    registry:
+        Source of published weights for :meth:`sync` hot swaps.  May be
+        ``None`` when the factory already returns loaded models.
+    num_replicas:
+        Initial replica count.
+    policy:
+        ``"hash"`` (rendezvous) or ``"load"`` (least in-flight, ties
+        broken by replica id for determinism).
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Module],
+        registry: Optional[ModelRegistry] = None,
+        num_replicas: int = 1,
+        policy: str = "hash",
+    ) -> None:
+        if num_replicas <= 0:
+            raise ValueError(f"num_replicas must be positive, got {num_replicas}")
+        if policy not in ("hash", "load"):
+            raise ValueError(f"unknown routing policy {policy!r}")
+        self.model_factory = model_factory
+        self.registry = registry
+        self.policy = policy
+        self._replicas: Dict[str, ModelReplica] = {}
+        self._next_id = 0
+        for _ in range(num_replicas):
+            self.add_replica()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def replicas(self) -> List[ModelReplica]:
+        """Current replicas, ordered by id."""
+        return [self._replicas[rid] for rid in sorted(self._replicas)]
+
+    @property
+    def num_replicas(self) -> int:
+        """Number of live replicas."""
+        return len(self._replicas)
+
+    def add_replica(self, replica_id: Optional[str] = None) -> ModelReplica:
+        """Spin up one replica (weights synced when a registry has versions)."""
+        if replica_id is None:
+            replica_id = f"replica-{self._next_id}"
+        self._next_id += 1
+        if replica_id in self._replicas:
+            raise ValueError(f"duplicate replica id {replica_id!r}")
+        replica = ModelReplica(replica_id=replica_id, model=self.model_factory())
+        if self.registry is not None and self.registry.num_versions:
+            record = self.registry.load_into(replica.model)
+            replica.version = record.version
+        self._replicas[replica_id] = replica
+        return replica
+
+    def remove_replica(self, replica_id: str) -> ModelReplica:
+        """Drain one replica out of the rotation.
+
+        With rendezvous hashing only the keys that mapped to the removed
+        replica move; every other assignment is untouched.
+        """
+        if replica_id not in self._replicas:
+            raise KeyError(f"unknown replica {replica_id!r}")
+        if len(self._replicas) == 1:
+            raise ValueError("cannot remove the last replica")
+        return self._replicas.pop(replica_id)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, key: int) -> ModelReplica:
+        """Pick the serving replica for one request key."""
+        if self.policy == "hash":
+            return max(
+                self.replicas,
+                key=lambda r: _rendezvous_weight(r.replica_id, int(key)),
+            )
+        return min(self.replicas, key=lambda r: (r.inflight, r.replica_id))
+
+    def assignments(self, keys: Sequence[int]) -> Dict[int, str]:
+        """Replica id chosen for each key (hash policy introspection)."""
+        return {int(k): self.route(int(k)).replica_id for k in keys}
+
+    # ------------------------------------------------------------------
+    # weight management
+    # ------------------------------------------------------------------
+    def sync(self, version: Optional[int] = None) -> int:
+        """Hot-swap every replica to ``version`` (default: latest).
+
+        Replicas reload sequentially; each finishes its in-flight batch
+        before its weights move, so requests are never dropped.  Returns
+        the version now serving.
+        """
+        if self.registry is None:
+            raise RuntimeError("router has no registry to sync from")
+        synced = 0
+        for replica in self.replicas:
+            record = self.registry.load_into(replica.model, version)
+            replica.version = record.version
+            synced = record.version
+        return synced
+
+    @property
+    def serving_version(self) -> int:
+        """Lowest version currently held by any replica (0 = unsynced)."""
+        if not self._replicas:
+            return 0
+        return min(r.version for r in self.replicas)

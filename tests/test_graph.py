@@ -12,6 +12,7 @@ from repro.graph import (
     connected_components,
     degree_statistics,
     ego_subgraph,
+    ego_subgraphs,
     generate_seller_graph,
     k_hop_nodes,
     sample_neighbors,
@@ -148,6 +149,60 @@ class TestSampling:
     def test_sample_neighbors_invalid_fanout(self, chain_graph):
         with pytest.raises(ValueError):
             sample_neighbors(chain_graph, [0], 0, np.random.default_rng(0))
+
+    def test_sample_neighbors_without_replacement(self):
+        # Star: 10 distinct sources into node 0.
+        g = ESellerGraph(11, src=list(range(1, 11)), dst=[0] * 10)
+        src, dst, _ = sample_neighbors(g, [0], fanout=4,
+                                       rng=np.random.default_rng(2))
+        assert src.size == 4
+        assert np.all(dst == 0)
+        assert len(set(src.tolist())) == 4  # no edge drawn twice
+
+    def test_sample_neighbors_subset_of_real_edges(self):
+        spec = generate_seller_graph(80, np.random.default_rng(1))
+        g = spec.graph
+        src, dst, types = sample_neighbors(g, np.arange(g.num_nodes), fanout=3,
+                                           rng=np.random.default_rng(2))
+        real_edges = set(zip(g.src.tolist(), g.dst.tolist(), g.edge_types.tolist()))
+        assert set(zip(src.tolist(), dst.tolist(), types.tolist())) <= real_edges
+        counts = np.zeros(g.num_nodes, dtype=int)
+        np.add.at(counts, dst, 1)
+        assert counts.max() <= 3
+
+    def test_sample_neighbors_empty_nodes(self, chain_graph):
+        src, dst, types = sample_neighbors(chain_graph, [], 2,
+                                           np.random.default_rng(0))
+        assert src.size == dst.size == types.size == 0
+
+    def test_multi_seed_k_hop_equals_per_seed_union(self):
+        spec = generate_seller_graph(60, np.random.default_rng(9))
+        g = spec.graph
+        seeds = [0, 7, 23, 41]
+        for hops in range(4):
+            merged = set(k_hop_nodes(g, seeds, hops).tolist())
+            union = set()
+            for s in seeds:
+                union |= set(k_hop_nodes(g, [s], hops).tolist())
+            assert merged == union
+
+    def test_batched_ego_subgraphs_match_single(self):
+        spec = generate_seller_graph(60, np.random.default_rng(4))
+        g = spec.graph
+        centers = [3, 17, 17, 42]
+        batched = ego_subgraphs(g, centers, hops=2)
+        assert [e.center for e in batched] == centers
+        for ego in batched:
+            sub, originals, center_local = ego_subgraph(g, ego.center, hops=2)
+            assert np.array_equal(ego.nodes, originals)
+            assert ego.center_local == center_local
+            assert ego.subgraph.num_edges == sub.num_edges
+            assert np.array_equal(ego.subgraph.src, sub.src)
+            assert np.array_equal(ego.subgraph.dst, sub.dst)
+
+    def test_batched_ego_subgraphs_validates_range(self, chain_graph):
+        with pytest.raises(IndexError):
+            ego_subgraphs(chain_graph, [0, 99], hops=1)
 
 
 class TestAlgorithms:

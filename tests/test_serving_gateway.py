@@ -1,0 +1,438 @@
+"""Tests for the serving gateway subsystem (repro.serving)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Gaia, GaiaConfig
+from repro.data import MarketplaceConfig, build_dataset, build_marketplace
+from repro.deploy import ModelRegistry, OnlineModelServer
+from repro.graph.sampling import ego_subgraphs
+from repro.nn.module import Module, Parameter
+from repro.serving import (
+    GatewayConfig,
+    LoadGenerator,
+    LRUCache,
+    MetricsRegistry,
+    MicroBatcher,
+    ReplicaRouter,
+    ServingGateway,
+    build_disjoint_batch,
+    run_load,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    market = build_marketplace(MarketplaceConfig(num_shops=50, seed=31))
+    return build_dataset(market, train_fraction=0.6, val_fraction=0.2)
+
+
+@pytest.fixture(scope="module")
+def gaia_config(dataset):
+    return GaiaConfig(
+        input_window=dataset.input_window,
+        horizon=dataset.horizon,
+        temporal_dim=dataset.temporal_dim,
+        static_dim=dataset.static_dim,
+        channels=8,
+        num_scales=2,
+        num_layers=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def factory(gaia_config):
+    return lambda: Gaia(gaia_config, seed=0)
+
+
+@pytest.fixture(scope="module")
+def registry(factory):
+    registry = ModelRegistry()
+    registry.publish(factory(), trained_at_month=28)
+    return registry
+
+
+def make_gateway(factory, dataset, registry=None, **kwargs):
+    # A forever max_wait keeps requests parked until max_batch_size fills
+    # (or an explicit flush), so tests exercise genuinely multi-request
+    # node-disjoint batches rather than degenerate singletons.
+    defaults = dict(max_batch_size=8, max_wait=10.0)
+    defaults.update(kwargs)
+    return ServingGateway(factory, dataset, registry,
+                          GatewayConfig(**defaults))
+
+
+class TestMicroBatcher:
+    def test_flushes_on_size(self):
+        batcher = MicroBatcher(max_batch_size=3, max_wait=10.0)
+        assert batcher.submit(0)[1] is False
+        assert batcher.submit(1)[1] is False
+        assert batcher.submit(2)[1] is True
+        assert len(batcher.drain()) == 3
+        assert len(batcher) == 0
+
+    def test_flushes_on_wait(self):
+        now = [0.0]
+        batcher = MicroBatcher(max_batch_size=100, max_wait=0.5,
+                               clock=lambda: now[0])
+        batcher.submit(0)
+        assert not batcher.due()
+        now[0] = 0.6
+        assert batcher.due()
+
+    def test_drain_caps_at_batch_size(self):
+        batcher = MicroBatcher(max_batch_size=2, max_wait=0.0)
+        for i in range(5):
+            batcher.submit(i)
+        assert len(batcher.drain()) == 2
+        assert len(batcher) == 3
+
+    def test_unserved_result_raises(self):
+        batcher = MicroBatcher()
+        request, _ = batcher.submit(0)
+        with pytest.raises(RuntimeError):
+            request.result()
+
+    def test_validates_policy(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait=-1.0)
+
+
+class TestLRUCache:
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)           # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.evictions == 1
+
+    def test_hit_rate(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_invalidate_if(self):
+        cache = LRUCache(8)
+        for i in range(6):
+            cache.put(("k", i), i)
+        dropped = cache.invalidate_if(lambda key: key[1] % 2 == 0)
+        assert dropped == 3
+        assert len(cache) == 3
+
+
+class TestGatewayNumerics:
+    def test_matches_sequential_predict_many(self, factory, dataset, registry):
+        gateway = make_gateway(factory, dataset, registry, max_batch_size=8)
+        model = factory()
+        registry.load_into(model)
+        sequential = OnlineModelServer(model, dataset, hops=2)
+        shops = np.arange(20)  # crosses several flush boundaries
+        batched = gateway.predict_many(shops)
+        reference = sequential.predict_many(shops)
+        assert [r.shop_index for r in batched] == shops.tolist()
+        # Batches genuinely coalesced: 20 requests in 3 forwards (8+8+4).
+        assert gateway.metrics.counter("batches_total") == 3
+        assert max(r.batch_size for r in batched) == 8
+        for got, want in zip(batched, reference):
+            assert got.subgraph_nodes == want.subgraph_nodes
+            np.testing.assert_allclose(got.forecast, want.forecast, atol=1e-6)
+
+    def test_duplicate_requests_coalesce_into_one_compute(
+            self, factory, dataset, registry):
+        gateway = make_gateway(factory, dataset, registry, max_batch_size=8)
+        responses = gateway.predict_many([5, 5, 5, 5])
+        np.testing.assert_array_equal(responses[0].forecast,
+                                      responses[1].forecast)
+        # All four parked into one batch and none hit the result cache,
+        # so one forward over one deduplicated ego-subgraph served them.
+        assert not any(r.cached for r in responses)
+        report = gateway.metrics_report()
+        assert report["counters"]["batches_total"] == 1
+        assert report["counters"]["subgraph_cache_misses"] == 1
+
+    def test_disjoint_batch_layout(self, dataset):
+        egos = ego_subgraphs(dataset.graph, [0, 0, 3], hops=1)
+        union = build_disjoint_batch(egos, dataset.test)
+        assert union.num_requests == 3
+        assert union.graph.num_nodes == sum(e.num_nodes for e in egos)
+        # Component offsets keep centers on their own rows.
+        for row, ego in zip(union.center_rows, egos):
+            assert union.batch.series[row] == pytest.approx(
+                dataset.test.series[ego.center]
+            )
+
+    def test_build_disjoint_batch_rejects_empty(self, dataset):
+        with pytest.raises(ValueError):
+            build_disjoint_batch([], dataset.test)
+
+    def test_submit_validates_range(self, factory, dataset, registry):
+        gateway = make_gateway(factory, dataset, registry)
+        with pytest.raises(IndexError):
+            gateway.submit(dataset.graph.num_nodes)
+
+
+class TestGatewayCaching:
+    def test_repeated_load_hits_result_cache(self, factory, dataset, registry):
+        gateway = make_gateway(factory, dataset, registry)
+        shops = np.arange(10)
+        first = gateway.predict_many(shops)
+        second = gateway.predict_many(shops)
+        assert not any(r.cached for r in first)
+        assert all(r.cached for r in second)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.forecast, b.forecast)
+        assert gateway.metrics.cache_hit_rate() == pytest.approx(0.5)
+
+    def test_publish_invalidates_result_cache(self, factory, dataset):
+        registry = ModelRegistry()
+        model_v1 = factory()
+        registry.publish(model_v1, trained_at_month=28)
+        gateway = make_gateway(factory, dataset, registry)
+        before = gateway.predict(7)
+        assert before.model_version == 1
+
+        model_v2 = factory()
+        model_v2.w_p.data = model_v2.w_p.data + 0.5
+        registry.publish(model_v2, trained_at_month=29)
+
+        assert len(gateway.result_cache) == 0  # purged on publish
+        after = gateway.predict(7)
+        assert after.model_version == 2
+        assert not after.cached
+        # And the new forecast matches the sequential path on v2 weights.
+        sequential = OnlineModelServer(model_v2, dataset, hops=2)
+        np.testing.assert_allclose(
+            after.forecast, sequential.predict(7).forecast, atol=1e-6
+        )
+        assert gateway.metrics.counter("model_swaps") == 1
+
+    def test_graph_change_invalidates_subgraph_cache(
+            self, factory, dataset, registry):
+        gateway = make_gateway(factory, dataset, registry)
+        gateway.predict_many(np.arange(6))
+        assert len(gateway.subgraph_cache) > 0
+        epoch = gateway.subgraph_cache.epoch
+        gateway.notify_graph_changed()
+        assert len(gateway.subgraph_cache) == 0
+        assert len(gateway.result_cache) == 0
+        assert gateway.subgraph_cache.epoch == epoch + 1
+        assert gateway.metrics.counter("graph_invalidations") == 1
+
+    def test_close_detaches_from_registry(self, factory, dataset):
+        registry = ModelRegistry()
+        registry.publish(factory(), trained_at_month=28)
+        gateway = make_gateway(factory, dataset, registry)
+        gateway.close()
+        gateway.close()  # idempotent
+        registry.publish(factory(), trained_at_month=29)
+        # Closed gateways no longer hot-swap on publish.
+        assert gateway.router.serving_version == 1
+        assert gateway.metrics.counter("model_swaps") == 0
+
+    def test_subgraph_cache_reused_across_versions(
+            self, factory, dataset):
+        registry = ModelRegistry()
+        registry.publish(factory(), trained_at_month=28)
+        gateway = make_gateway(factory, dataset, registry)
+        gateway.predict(3)
+        registry.publish(factory(), trained_at_month=29)
+        gateway.predict(3)
+        # The ego-subgraph did not change with the weights.
+        assert gateway.subgraph_cache.stats.hits >= 1
+
+
+class TestReplicaRouter:
+    def test_hash_routing_is_deterministic(self, factory, registry):
+        router = ReplicaRouter(factory, registry, num_replicas=3)
+        keys = list(range(40))
+        first = router.assignments(keys)
+        second = router.assignments(keys)
+        assert first == second
+        assert len(set(first.values())) > 1  # keys spread across replicas
+
+    def test_removal_only_remaps_lost_keys(self, factory, registry):
+        router = ReplicaRouter(factory, registry, num_replicas=3)
+        keys = list(range(60))
+        before = router.assignments(keys)
+        victim = router.replicas[1].replica_id
+        router.remove_replica(victim)
+        after = router.assignments(keys)
+        for key in keys:
+            if before[key] != victim:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != victim
+        # The victim's keys rebalanced somewhere.
+        moved = [k for k in keys if before[k] == victim]
+        assert moved and all(after[k] in {r.replica_id for r in router.replicas}
+                             for k in moved)
+
+    def test_cannot_remove_last_replica(self, factory, registry):
+        router = ReplicaRouter(factory, registry, num_replicas=1)
+        with pytest.raises(ValueError):
+            router.remove_replica(router.replicas[0].replica_id)
+
+    def test_load_policy_picks_least_loaded(self, factory, registry):
+        router = ReplicaRouter(factory, registry, num_replicas=2, policy="load")
+        a, b = router.replicas
+        a.inflight = 5
+        assert router.route(0) is b
+        b.inflight = 9
+        assert router.route(0) is a
+
+    def test_sync_hot_swaps_all_replicas(self, factory):
+        registry = ModelRegistry()
+        registry.publish(factory(), trained_at_month=28)
+        router = ReplicaRouter(factory, registry, num_replicas=2)
+        assert router.serving_version == 1
+        registry.publish(factory(), trained_at_month=29)
+        assert router.sync() == 2
+        assert all(r.version == 2 for r in router.replicas)
+
+    def test_gateway_spreads_work_across_replicas(
+            self, factory, dataset, registry):
+        gateway = make_gateway(factory, dataset, registry, num_replicas=2)
+        gateway.predict_many(np.arange(30))
+        served = [r.served_requests for r in gateway.router.replicas]
+        assert sum(served) == 30
+        assert all(s > 0 for s in served)
+
+    def test_gateway_load_policy_spreads_within_batch(
+            self, factory, dataset, registry):
+        gateway = make_gateway(factory, dataset, registry, num_replicas=3,
+                               routing="load", max_batch_size=30)
+        gateway.predict_many(np.arange(30))
+        served = [r.served_requests for r in gateway.router.replicas]
+        assert sum(served) == 30
+        # Least-loaded assignment balances one batch across all replicas.
+        assert served == [10, 10, 10]
+        assert all(r.inflight == 0 for r in gateway.router.replicas)
+
+
+class _RefStateModel(Module):
+    """Model whose state_dict leaks references (worst-case publisher)."""
+
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones(3), name="w")
+
+    def state_dict(self):
+        return {"w": self.w.data}  # no copy on purpose
+
+
+class TestRegistry:
+    def test_publish_snapshots_even_reference_state(self):
+        model = _RefStateModel()
+        registry = ModelRegistry()
+        version = registry.publish(model, trained_at_month=1)
+        model.w.data += 100.0
+        np.testing.assert_array_equal(version.state["w"], np.ones(3))
+
+    def test_subscribe_and_unsubscribe(self, factory):
+        registry = ModelRegistry()
+        seen = []
+        registry.subscribe(seen.append)
+        registry.publish(factory(), trained_at_month=28)
+        assert [v.version for v in seen] == [1]
+        registry.unsubscribe(seen.append)
+        registry.publish(factory(), trained_at_month=29)
+        assert [v.version for v in seen] == [1]
+
+
+class TestThinClientServer:
+    def test_bounded_request_log(self, factory, dataset):
+        server = OnlineModelServer(factory(), dataset, hops=1, max_log=5)
+        server.predict_many(np.arange(9))
+        assert len(server.request_log) == 5
+        assert server.total_requests == 9
+        assert server.latency_summary()["count"] == 5.0
+
+    def test_invalid_max_log(self, factory, dataset):
+        with pytest.raises(ValueError):
+            OnlineModelServer(factory(), dataset, max_log=0)
+
+    def test_gateway_attached_matches_local(self, factory, dataset, registry):
+        model = factory()
+        registry.load_into(model)
+        local = OnlineModelServer(model, dataset, hops=2)
+        client = OnlineModelServer(model, dataset, hops=2)
+        client.attach_gateway(make_gateway(factory, dataset, registry))
+        shops = np.arange(8)
+        via_gateway = client.predict_many(shops)
+        reference = local.predict_many(shops)
+        for got, want in zip(via_gateway, reference):
+            np.testing.assert_allclose(got.forecast, want.forecast, atol=1e-6)
+        assert len(client.request_log) == 8
+
+    def test_attach_gateway_hops_mismatch(self, factory, dataset, registry):
+        server = OnlineModelServer(factory(), dataset, hops=1)
+        with pytest.raises(ValueError):
+            server.attach_gateway(make_gateway(factory, dataset, registry))
+
+
+class TestMetrics:
+    def test_rolling_percentiles(self):
+        metrics = MetricsRegistry(window=16)
+        for value in range(1, 101):
+            metrics.observe("latency_seconds", float(value))
+        summary = metrics.distribution("latency_seconds").summary()
+        assert summary["count"] == 100.0
+        # Only the freshest 16 observations are retained.
+        assert summary["p50"] >= 85.0
+        assert summary["p99"] <= 100.0
+
+    def test_snapshot_shape(self, factory, dataset, registry):
+        gateway = make_gateway(factory, dataset, registry)
+        gateway.predict_many(np.arange(12))
+        report = gateway.metrics_report()
+        assert report["qps"] > 0
+        assert 0.0 < report["batch_occupancy"] <= 1.0
+        assert report["counters"]["requests_total"] == 12
+        assert report["serving_version"] == registry.latest().version
+        latency = report["distributions"]["latency_seconds"]
+        assert latency["p99"] >= latency["p50"] >= 0.0
+
+
+class TestLoadGenerator:
+    def test_deterministic_streams(self):
+        gen = LoadGenerator(num_shops=100, seed=3)
+        a = gen.generate("zipf", 50)
+        b = LoadGenerator(num_shops=100, seed=3).generate("zipf", 50)
+        np.testing.assert_array_equal(a, b)
+
+    def test_patterns_in_range(self):
+        gen = LoadGenerator(num_shops=30, seed=1)
+        for pattern in ("uniform", "zipf", "repeating"):
+            stream = gen.generate(pattern, 40, working_set=10)
+            assert stream.shape == (40,)
+            assert stream.min() >= 0 and stream.max() < 30
+
+    def test_repeating_cycles_working_set(self):
+        stream = LoadGenerator(num_shops=50, seed=2).generate(
+            "repeating", 30, working_set=10
+        )
+        assert len(np.unique(stream)) == 10
+        np.testing.assert_array_equal(stream[:10], stream[10:20])
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(10).generate("bursty", 5)
+
+    def test_run_load_report(self, factory, dataset, registry):
+        gateway = make_gateway(factory, dataset, registry)
+        stream = LoadGenerator(dataset.graph.num_nodes, seed=5).generate(
+            "repeating", 24, working_set=8
+        )
+        report = run_load(gateway.predict_many, stream, pattern="repeating")
+        assert report.num_requests == 24
+        assert report.throughput_rps > 0
+        assert report.latency["p95"] >= report.latency["p50"]
+        data = report.to_dict()
+        assert data["pattern"] == "repeating"
