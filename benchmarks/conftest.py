@@ -15,6 +15,7 @@ from __future__ import annotations
 import os
 from types import SimpleNamespace
 
+import numpy as np
 import pytest
 
 from repro.data import build_dataset, build_marketplace
@@ -26,6 +27,37 @@ from repro.experiments import (
 
 BENCH_SHOPS = int(os.environ.get("REPRO_BENCH_SHOPS", "400"))
 BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "400"))
+SMALL_SHOPS = int(os.environ.get("REPRO_BENCH_SMALL_SHOPS", "200"))
+
+
+def seeded_rng(seed: int = 0) -> np.random.Generator:
+    """Deterministic generator for benchmark randomness — one shared
+    entry point so every bench derives from an explicit seed."""
+    return np.random.default_rng(seed)
+
+
+def bench_dataset(num_shops: int, seed: int = 7, config_factory=None,
+                  **dataset_kwargs):
+    """Marketplace + shop-split dataset; shared by the serving /
+    partition / ablation benches so they stop duplicating setup.
+
+    ``config_factory`` defaults to the calibrated benchmark config;
+    benches whose JSON artifacts predate this helper pass their original
+    config class so their cross-PR history stays comparable.
+    """
+    factory = config_factory or benchmark_marketplace_config
+    market = build_marketplace(factory(num_shops=num_shops, seed=seed))
+    kwargs = dict(train_fraction=0.65, val_fraction=0.15)
+    kwargs.update(dataset_kwargs)
+    return market, build_dataset(market, **kwargs)
+
+
+@pytest.fixture(scope="session")
+def small_marketplace():
+    """Small shared marketplace/dataset for reduced-scale perf probes
+    (``REPRO_BENCH_SMALL_SHOPS``, default 200)."""
+    market, dataset = bench_dataset(SMALL_SHOPS)
+    return SimpleNamespace(market=market, dataset=dataset)
 
 
 @pytest.fixture(scope="session")

@@ -17,23 +17,15 @@ import numpy as np
 import pytest
 
 from repro.core import Gaia, GaiaConfig
-from repro.data import build_dataset, build_marketplace
-from repro.experiments import benchmark_marketplace_config
 from repro.graph import ESellerGraph
 from repro.nn.tensor import no_grad
 from repro.training import TrainConfig, Trainer
 
-from conftest import run_once
+from conftest import run_once, seeded_rng
 
-SMALL_SHOPS = 200
+pytestmark = pytest.mark.slow
+
 SMALL_EPOCHS = 150
-
-
-@pytest.fixture(scope="module")
-def small_env():
-    market = build_marketplace(benchmark_marketplace_config(num_shops=SMALL_SHOPS))
-    dataset = build_dataset(market, train_fraction=0.65, val_fraction=0.15)
-    return market, dataset
 
 
 def _train_gaia(dataset, graph=None, **config_overrides):
@@ -55,7 +47,7 @@ def _train_gaia(dataset, graph=None, **config_overrides):
 
 
 def _corrupt_graph(graph: ESellerGraph, fraction: float, seed: int) -> ESellerGraph:
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     src = graph.src.copy()
     dst = graph.dst.copy()
     n_corrupt = int(graph.num_edges * fraction)
@@ -66,8 +58,8 @@ def _corrupt_graph(graph: ESellerGraph, fraction: float, seed: int) -> ESellerGr
     return ESellerGraph(graph.num_nodes, src[keep], dst[keep], graph.edge_types[keep])
 
 
-def test_tel_scale_sweep(benchmark, small_env):
-    _, dataset = small_env
+def test_tel_scale_sweep(benchmark, small_marketplace):
+    dataset = small_marketplace.dataset
 
     def run():
         multi, _ = _train_gaia(dataset, num_scales=4)
@@ -80,8 +72,8 @@ def test_tel_scale_sweep(benchmark, small_env):
     assert multi < single * 1.15
 
 
-def test_layer_depth_sweep(benchmark, small_env):
-    _, dataset = small_env
+def test_layer_depth_sweep(benchmark, small_marketplace):
+    dataset = small_marketplace.dataset
 
     def run():
         two, _ = _train_gaia(dataset, num_layers=2)
@@ -93,8 +85,8 @@ def test_layer_depth_sweep(benchmark, small_env):
     assert two < one * 1.25
 
 
-def test_edge_corruption_degrades(benchmark, small_env):
-    _, dataset = small_env
+def test_edge_corruption_degrades(benchmark, small_marketplace):
+    dataset = small_marketplace.dataset
 
     def run():
         clean, _ = _train_gaia(dataset)
@@ -107,7 +99,7 @@ def test_edge_corruption_degrades(benchmark, small_env):
     assert clean < noisy * 1.05, "real edges should carry signal"
 
 
-def test_no_future_leakage(benchmark, small_env):
+def test_no_future_leakage(benchmark, small_marketplace):
     """Per-timestep causality of the attention path.
 
     Future months must not affect earlier timestamps through FFL + TEL
@@ -117,7 +109,7 @@ def test_no_future_leakage(benchmark, small_env):
     legitimate — the whole input window is observed at prediction time —
     so the full graph layer is exempt from the per-timestep check.
     """
-    _, dataset = small_env
+    dataset = small_marketplace.dataset
 
     def run():
         config = GaiaConfig(

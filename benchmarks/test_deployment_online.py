@@ -9,6 +9,9 @@ inference time scales linearly with the number of clients.
 from repro.experiments import run_deployment
 
 from conftest import run_once
+import pytest
+
+pytestmark = pytest.mark.slow
 
 
 def test_deployment_online(benchmark, bench_env):

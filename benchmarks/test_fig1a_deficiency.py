@@ -8,6 +8,9 @@ population and mass concentrated at short lengths.
 from repro.experiments import run_fig1a
 
 from conftest import run_once
+import pytest
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig1a_deficiency(benchmark, bench_env):

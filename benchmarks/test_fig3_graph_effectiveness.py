@@ -9,6 +9,9 @@ shops — the e-seller graph compensates for temporal deficiency.
 from repro.experiments import run_fig3
 
 from conftest import run_once
+import pytest
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig3_graph_effectiveness(benchmark, bench_env):

@@ -15,6 +15,9 @@ import numpy as np
 from repro.experiments import run_fig4
 
 from conftest import run_once
+import pytest
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig4_case_study(benchmark, bench_env):

@@ -11,6 +11,9 @@ from repro.baselines import TABLE1_METHODS
 from repro.experiments import naive_last_value, run_table1
 
 from conftest import run_once
+import pytest
+
+pytestmark = pytest.mark.slow
 
 
 def test_table1_overall(benchmark, bench_env):

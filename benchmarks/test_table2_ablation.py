@@ -11,6 +11,9 @@ from repro.baselines import ABLATION_METHODS
 from repro.experiments import run_table2
 
 from conftest import run_once
+import pytest
+
+pytestmark = pytest.mark.slow
 
 
 def test_table2_ablation(benchmark, bench_env):

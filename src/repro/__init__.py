@@ -28,9 +28,14 @@ Subpackages
 ``repro.baselines``
     All eight compared methods from Table I.
 ``repro.training``
-    Trainer, metrics, grid search.
+    Trainer, data-parallel ParallelTrainer, metrics, grid search.
+``repro.partition``
+    Sharded graph partitioning: edge-cut partitioners (greedy BFS /
+    label propagation, hash baseline) with halo sets for shard-local
+    ego-subgraph extraction.
 ``repro.deploy``
-    Monthly pipeline, model registry, online/offline serving.
+    Monthly pipeline (optionally sharded via ``n_shards``), model
+    registry, online/offline serving.
 ``repro.serving``
     Serving at scale: the high-throughput gateway — micro-batched
     node-disjoint ego-subgraph scoring, LRU subgraph/result caches,
@@ -61,8 +66,9 @@ from .data import (
     build_dataset,
     build_marketplace,
 )
+from .partition import GraphPartition, partition_graph
 from .serving import GatewayConfig, LoadGenerator, ServingGateway
-from .training import TrainConfig, Trainer, evaluate_forecast
+from .training import ParallelTrainer, TrainConfig, Trainer, evaluate_forecast
 
 __version__ = "1.1.0"
 
@@ -83,8 +89,11 @@ __all__ = [
     "TABLE1_METHODS",
     "ABLATION_METHODS",
     "Trainer",
+    "ParallelTrainer",
     "TrainConfig",
     "evaluate_forecast",
+    "GraphPartition",
+    "partition_graph",
     "ServingGateway",
     "GatewayConfig",
     "LoadGenerator",

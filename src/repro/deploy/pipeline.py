@@ -6,6 +6,16 @@ publish chain every month to track the evolving e-seller graph.
 marketplace: each run builds a dataset whose *test* cutoff is the
 current month, trains a fresh model on the preceding months, and
 publishes the weights to the :class:`~repro.deploy.model_server.ModelRegistry`.
+
+Scaling out: with ``n_shards > 1`` each run partitions the e-seller
+graph (:func:`~repro.partition.partitioners.partition_graph`) and trains
+with the data-parallel
+:class:`~repro.training.parallel.ParallelTrainer` instead of the
+sequential trainer — numerically equivalent, but each worker touches
+only its shard.  The run's :class:`~repro.partition.partition.GraphPartition`
+is kept on the :class:`PipelineRun` so the serving tier can route
+requests by partition owner
+(:class:`~repro.serving.router.ReplicaRouter` ``policy="partition"``).
 """
 
 from __future__ import annotations
@@ -16,6 +26,8 @@ from typing import Callable, List, Optional
 from ..data.dataset import ForecastDataset, build_dataset
 from ..data.synthetic import SyntheticMarketplace
 from ..nn.module import Module
+from ..partition import GraphPartition, partition_graph
+from ..training.parallel import ParallelTrainer
 from ..training.trainer import TrainConfig, Trainer
 from .model_server import ModelRegistry, ModelVersion
 
@@ -30,6 +42,7 @@ class PipelineRun:
     version: ModelVersion
     dataset: ForecastDataset
     val_mae: float
+    partition: Optional[GraphPartition] = None
 
 
 class MonthlyPipeline:
@@ -44,6 +57,18 @@ class MonthlyPipeline:
         Module``); called once per scheduled month.
     train_config:
         Trainer settings for each run.
+    n_shards:
+        Training parallelism: 1 (default) uses the sequential
+        :class:`~repro.training.trainer.Trainer`; ``> 1`` partitions the
+        month's graph and trains with the
+        :class:`~repro.training.parallel.ParallelTrainer`.
+    shard_mode:
+        ``"sim"`` (deterministic in-process workers) or ``"process"``
+        (one OS process per shard); only consulted when ``n_shards > 1``.
+    partition_method / halo_hops:
+        Forwarded to :func:`~repro.partition.partitioners.partition_graph`;
+        ``halo_hops=None`` lets the trainer infer the model's
+        message-passing depth.
     """
 
     def __init__(
@@ -53,12 +78,22 @@ class MonthlyPipeline:
         train_config: Optional[TrainConfig] = None,
         input_window: int = 24,
         horizon: int = 3,
+        n_shards: int = 1,
+        shard_mode: str = "sim",
+        partition_method: str = "bfs",
+        halo_hops: Optional[int] = None,
     ) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
         self.market = market
         self.model_factory = model_factory
         self.train_config = train_config or TrainConfig()
         self.input_window = input_window
         self.horizon = horizon
+        self.n_shards = n_shards
+        self.shard_mode = shard_mode
+        self.partition_method = partition_method
+        self.halo_hops = halo_hops
         self.registry = ModelRegistry()
         self.runs: List[PipelineRun] = []
 
@@ -77,16 +112,44 @@ class MonthlyPipeline:
             test_cutoff=month,
         )
         model = self.model_factory(dataset)
-        trainer = Trainer(model, dataset, self.train_config)
+        partition: Optional[GraphPartition] = None
+        if self.n_shards > 1:
+            trainer = ParallelTrainer(
+                model,
+                dataset,
+                self.train_config,
+                n_shards=self.n_shards,
+                mode=self.shard_mode,
+                partition_method=self.partition_method,
+                halo_hops=self.halo_hops,
+            )
+            partition = trainer.partition
+        else:
+            trainer = Trainer(model, dataset, self.train_config)
         trainer.fit()
-        val_mae = trainer.evaluate(dataset.val)["overall"]["MAE"]
+        val_mae = trainer.evaluate(dataset.val, role="val")["overall"]["MAE"]
         version = self.registry.publish(
-            model, trained_at_month=month, metadata={"val_mae": val_mae}
+            model,
+            trained_at_month=month,
+            metadata={"val_mae": val_mae, "n_shards": float(self.n_shards)},
         )
-        run = PipelineRun(month=month, version=version, dataset=dataset, val_mae=val_mae)
+        run = PipelineRun(
+            month=month,
+            version=version,
+            dataset=dataset,
+            val_mae=val_mae,
+            partition=partition,
+        )
         self.runs.append(run)
         return run
 
     def run_schedule(self, months: List[int]) -> List[PipelineRun]:
         """Execute several scheduled months in order."""
         return [self.run_month(m) for m in sorted(months)]
+
+    def latest_partition(self) -> Optional[GraphPartition]:
+        """Most recent run's graph partition (``None`` when unsharded)."""
+        for run in reversed(self.runs):
+            if run.partition is not None:
+                return run.partition
+        return None

@@ -54,7 +54,7 @@ class GatewayConfig:
     subgraph_cache_size: int = 2048
     result_cache_size: int = 8192
     num_replicas: int = 1
-    routing: str = "hash"
+    routing: str = "hash"  # "hash" | "load" | "partition" (needs partition_map)
     metrics_window: int = 4096
 
     def validate(self) -> None:
@@ -95,6 +95,14 @@ class ServingGateway:
     registry:
         Optional model registry.  When given, replicas load its latest
         weights immediately and every later ``publish`` hot-swaps them.
+    partition_map:
+        Node → partition assignment (array or
+        :class:`~repro.partition.partition.GraphPartition`) enabling
+        ``routing="partition"``: all shops of one graph partition are
+        scored by the same replica.  (This gateway's subgraph/result
+        caches are shared across replicas; the affinity pays off for
+        deployments whose replicas hold private caches, and here keeps
+        each partition's work on one model instance.)
     """
 
     def __init__(
@@ -104,6 +112,7 @@ class ServingGateway:
         registry: Optional[ModelRegistry] = None,
         config: Optional[GatewayConfig] = None,
         source_batch: Optional[InstanceBatch] = None,
+        partition_map=None,
         clock=time.perf_counter,
     ) -> None:
         self.config = config or GatewayConfig()
@@ -117,6 +126,7 @@ class ServingGateway:
             registry=registry,
             num_replicas=self.config.num_replicas,
             policy=self.config.routing,
+            partition_map=partition_map,
         )
         self.batcher = MicroBatcher(
             max_batch_size=self.config.max_batch_size,

@@ -3,11 +3,19 @@
 Each :class:`ModelReplica` holds its own model instance whose weights
 come from the :class:`~repro.deploy.model_server.ModelRegistry`.  The
 :class:`ReplicaRouter` assigns every request key (shop index) to a
-replica either by **rendezvous hashing** (``policy="hash"`` — stable,
+replica by **rendezvous hashing** (``policy="hash"`` — stable,
 deterministic, and minimally disruptive: removing a replica only remaps
-the keys that lived on it) or by **least-loaded** selection
-(``policy="load"``).  ``sync`` performs a hot model swap: replicas
-reload weights one at a time, so at any instant every replica holds a
+the keys that lived on it), by **least-loaded** selection
+(``policy="load"``), or by **partition affinity** (``policy="partition"``
+— keys map to their owning graph partition first, then the partition
+rendezvous-hashes onto a replica, so every shop of one partition lands
+on the same replica.  That is the deployment-shaped affinity: when
+replicas run as separate processes each with private caches, one
+partition's overlapping ego-subgraphs stay hot on a single machine; in
+this in-process gateway the caches are shared, so the policy only
+shapes which replica *computes* each partition).  ``sync`` performs a
+hot model swap: replicas reload
+weights one at a time, so at any instant every replica holds a
 complete, consistent version and no request is dropped mid-swap.
 """
 
@@ -16,6 +24,8 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..deploy.model_server import ModelRegistry
 from ..nn.module import Module
@@ -58,8 +68,16 @@ class ReplicaRouter:
     num_replicas:
         Initial replica count.
     policy:
-        ``"hash"`` (rendezvous) or ``"load"`` (least in-flight, ties
-        broken by replica id for determinism).
+        ``"hash"`` (rendezvous), ``"load"`` (least in-flight, ties
+        broken by replica id for determinism), or ``"partition"``
+        (partition-owner affinity; requires ``partition_map``).
+    partition_map:
+        Node → partition-id assignment for the ``"partition"`` policy:
+        either an integer array with one entry per shop or any object
+        exposing an ``assignment`` attribute (e.g. a
+        :class:`~repro.partition.partition.GraphPartition`).  Keys
+        beyond the map (shops added after partitioning) fall back to
+        plain rendezvous hashing on the key itself.
     """
 
     def __init__(
@@ -68,18 +86,37 @@ class ReplicaRouter:
         registry: Optional[ModelRegistry] = None,
         num_replicas: int = 1,
         policy: str = "hash",
+        partition_map=None,
     ) -> None:
         if num_replicas <= 0:
             raise ValueError(f"num_replicas must be positive, got {num_replicas}")
-        if policy not in ("hash", "load"):
+        if policy not in ("hash", "load", "partition"):
             raise ValueError(f"unknown routing policy {policy!r}")
         self.model_factory = model_factory
         self.registry = registry
         self.policy = policy
+        self._partition_map: Optional[np.ndarray] = None
+        if partition_map is not None:
+            self.set_partition_map(partition_map)
+        elif policy == "partition":
+            raise ValueError("policy 'partition' requires a partition_map")
         self._replicas: Dict[str, ModelReplica] = {}
         self._next_id = 0
         for _ in range(num_replicas):
             self.add_replica()
+
+    def set_partition_map(self, partition_map) -> None:
+        """Install / refresh the node → partition assignment.
+
+        Accepts a plain array or a
+        :class:`~repro.partition.partition.GraphPartition`; called again
+        after each monthly retrain to track the evolving graph.
+        """
+        assignment = getattr(partition_map, "assignment", partition_map)
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.ndim != 1:
+            raise ValueError("partition_map must be a 1-D node->shard array")
+        self._partition_map = assignment
 
     # ------------------------------------------------------------------
     # membership
@@ -125,12 +162,20 @@ class ReplicaRouter:
     # ------------------------------------------------------------------
     def route(self, key: int) -> ModelReplica:
         """Pick the serving replica for one request key."""
-        if self.policy == "hash":
-            return max(
-                self.replicas,
-                key=lambda r: _rendezvous_weight(r.replica_id, int(key)),
-            )
-        return min(self.replicas, key=lambda r: (r.inflight, r.replica_id))
+        if self.policy == "load":
+            return min(self.replicas, key=lambda r: (r.inflight, r.replica_id))
+        key = int(key)
+        if self.policy == "partition":
+            partition_map = self._partition_map
+            if partition_map is not None and 0 <= key < partition_map.size:
+                # Hash the owning partition, not the shop: one replica
+                # serves a whole partition, keeping its overlapping
+                # ego-subgraphs hot in that replica's caches.
+                key = int(partition_map[key])
+        return max(
+            self.replicas,
+            key=lambda r: _rendezvous_weight(r.replica_id, key),
+        )
 
     def assignments(self, keys: Sequence[int]) -> Dict[int, str]:
         """Replica id chosen for each key (hash policy introspection)."""

@@ -1,7 +1,8 @@
-"""Training infrastructure: metrics, trainer, grid search."""
+"""Training infrastructure: metrics, trainer, data-parallel trainer, grid search."""
 
 from .grid_search import GridSearchResult, grid_search
 from .metrics import evaluate_forecast, mae, mape, rmse
+from .parallel import ParallelTrainer, ShardedDataset, ShardView
 from .trainer import TrainConfig, Trainer, TrainHistory
 
 __all__ = [
@@ -12,6 +13,9 @@ __all__ = [
     "TrainConfig",
     "TrainHistory",
     "Trainer",
+    "ParallelTrainer",
+    "ShardedDataset",
+    "ShardView",
     "grid_search",
     "GridSearchResult",
 ]

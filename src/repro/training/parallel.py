@@ -1,0 +1,468 @@
+"""Data-parallel training: one worker per graph shard, synchronous averaging.
+
+The paper's production system retrains monthly over millions of shops
+(§VI); a single full-batch :class:`~repro.training.trainer.Trainer`
+cannot.  This module shards the problem along the graph:
+
+* :class:`ShardedDataset` cuts a :class:`~repro.data.dataset.ForecastDataset`
+  along a :class:`~repro.partition.partition.GraphPartition`.  Each
+  shard's local view contains the induced subgraph over ``owned | halo``
+  nodes and row-sliced batches; its train/val/test node masks select
+  **owned** rows only, so every global loss term is counted by exactly
+  one shard.
+* :class:`ParallelTrainer` runs one worker per shard with synchronous
+  gradient averaging.  Per step each worker computes the loss gradient
+  over its owned active shops; the master combines them weighted by the
+  shards' active-shop counts, clips, and applies one Adam step — the
+  exact sequence the sequential trainer performs on the full graph.
+
+**Numerical equivalence.**  With ``halo_hops >= `` the model's
+message-passing depth, a shard-local forward equals the full-graph
+forward on its owned rows (induced ``k``-hop neighborhoods are
+complete), and the count-weighted average of shard losses / gradients
+equals the global mean over active shops.  The whole trajectory —
+losses, early stopping, restored weights — therefore matches the
+sequential :class:`~repro.training.trainer.Trainer` up to float
+reassociation (~1e-12/step; the equivalence test budgets 1e-6).
+
+**Execution modes.**  ``mode="sim"`` runs the workers sequentially
+in-process — deterministic, dependency-free, used by tests and as the
+reference semantics.  ``mode="process"`` forks one OS process per shard
+and exchanges ``state_dict`` / gradient arrays over pipes each step, so
+shard forwards genuinely overlap and wall-clock drops on multi-core
+hosts (see ``benchmarks/test_partition_scaling.py``).
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing as mp
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import ForecastDataset, InstanceBatch
+from ..nn.module import Module
+from ..nn.optim import Adam, clip_grad_norm
+from ..nn.tensor import Tensor, no_grad
+from ..partition import GraphPartition, Partition, partition_graph
+from .metrics import MetricTable
+from .trainer import TrainConfig, Trainer, TrainHistory
+
+__all__ = ["ShardView", "ShardedDataset", "ParallelTrainer"]
+
+Grads = List[Optional[np.ndarray]]
+
+
+@dataclass
+class ShardView:
+    """One shard's local slice of the global training problem.
+
+    ``dataset`` is a self-contained :class:`ForecastDataset` over the
+    shard's ``owned | halo`` nodes whose role masks select owned rows
+    only; ``nodes`` maps local rows back to global node indices.
+    """
+
+    partition: Partition
+    dataset: ForecastDataset
+    nodes: np.ndarray
+    owned_mask: np.ndarray
+
+    @property
+    def partition_id(self) -> int:
+        """Shard index."""
+        return self.partition.partition_id
+
+
+class ShardedDataset:
+    """Split one :class:`ForecastDataset` by partition ownership.
+
+    Each shard receives the induced subgraph over its partition's
+    ``owned | halo`` node set, row-sliced train/val/test batches, and
+    role masks restricted to owned nodes — the disjoint-cover property
+    that makes count-weighted shard losses sum to the global loss.
+    """
+
+    def __init__(self, dataset: ForecastDataset, partition: GraphPartition) -> None:
+        if partition.graph.num_nodes != dataset.graph.num_nodes:
+            raise ValueError(
+                f"partition covers {partition.graph.num_nodes} nodes but the "
+                f"dataset graph has {dataset.graph.num_nodes}"
+            )
+        self.dataset = dataset
+        self.partition = partition
+        self.shards: List[ShardView] = [
+            self._build_shard(part) for part in partition.parts
+        ]
+
+    def _build_shard(self, part: Partition) -> ShardView:
+        dataset = self.dataset
+        nodes = part.nodes
+        local_graph, _ = dataset.graph.subgraph(nodes)
+        owned_mask = part.local_owned_mask()
+
+        def local_role_mask(role: str) -> np.ndarray:
+            return dataset.node_mask(role)[nodes] & owned_mask
+
+        local = ForecastDataset(
+            graph=local_graph,
+            train=[batch.subset(nodes) for batch in dataset.train],
+            val=dataset.val.subset(nodes),
+            test=dataset.test.subset(nodes),
+            scaler=dataset.scaler,
+            history_lengths=dataset.history_lengths[nodes],
+            input_window=dataset.input_window,
+            horizon=dataset.horizon,
+            split=dataset.split,
+            train_nodes=local_role_mask("train"),
+            val_nodes=local_role_mask("val"),
+            test_nodes=local_role_mask("test"),
+        )
+        return ShardView(
+            partition=part, dataset=local, nodes=nodes, owned_mask=owned_mask
+        )
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    def replication_factor(self) -> float:
+        """Total local rows across shards relative to the global row count."""
+        total = sum(shard.nodes.size for shard in self.shards)
+        return total / self.dataset.graph.num_nodes
+
+
+# ----------------------------------------------------------------------
+# per-shard loss/gradient computation (shared by sim and process modes)
+# ----------------------------------------------------------------------
+def _shard_loss(model: Module, dataset: ForecastDataset, batch: InstanceBatch,
+                role: str) -> Tuple[Optional[Tensor], int]:
+    """Mirror of ``Trainer._loss`` returning ``(loss, active_row_count)``.
+
+    Returns ``(None, 0)`` when the shard owns no active shop for the
+    role — a zero-weight contribution, not an error, because other
+    shards cover those rows.
+    """
+    active = batch.mask.any(axis=1) & dataset.node_mask(role)
+    count = int(active.sum())
+    if count == 0:
+        return None, 0
+    pred = model(batch, dataset.graph)
+    diff = pred[active] - Tensor(batch.labels_scaled[active])
+    return (diff * diff).mean(), count
+
+
+class _ShardWorker:
+    """Executes one shard's forward/backward; oblivious to transport."""
+
+    def __init__(self, model: Module, shard: ShardView) -> None:
+        self.model = model
+        self.shard = shard
+        self._params = model.parameters()
+
+    def train_step(self, state: Dict[str, np.ndarray],
+                   batch_index: int) -> Tuple[float, int, Optional[Grads]]:
+        """Gradient of the shard loss at ``state`` on one train batch."""
+        self.model.load_state_dict(state)
+        self.model.train()
+        self.model.zero_grad()
+        dataset = self.shard.dataset
+        loss, count = _shard_loss(
+            self.model, dataset, dataset.train[batch_index], "train"
+        )
+        if loss is None:
+            return 0.0, 0, None
+        loss.backward()
+        grads: Grads = [
+            None if p.grad is None else p.grad.copy() for p in self._params
+        ]
+        return loss.item(), count, grads
+
+    def val_loss(self, state: Dict[str, np.ndarray]) -> Tuple[float, int]:
+        """Shard validation loss at ``state`` (0-weight when inactive)."""
+        self.model.load_state_dict(state)
+        self.model.eval()
+        dataset = self.shard.dataset
+        with no_grad():
+            loss, count = _shard_loss(self.model, dataset, dataset.val, "val")
+        self.model.train()
+        if loss is None:
+            return 0.0, 0
+        return loss.item(), count
+
+
+def _worker_loop(conn, model: Module, shard: ShardView) -> None:
+    """Child-process server: answer train/val requests until stopped."""
+    worker = _ShardWorker(model, shard)
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "train":
+                conn.send(worker.train_step(message[1], message[2]))
+            elif command == "val":
+                conn.send(worker.val_loss(message[1]))
+            elif command == "stop":
+                break
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+class ParallelTrainer:
+    """Synchronous data-parallel trainer over graph shards.
+
+    Parameters
+    ----------
+    model:
+        The global model instance; holds the final weights after
+        :meth:`fit` exactly like the sequential trainer's model.
+    dataset:
+        Full-graph dataset; sharded internally.
+    config:
+        Same :class:`~repro.training.trainer.TrainConfig` as the
+        sequential trainer.
+    n_shards / partition:
+        Either a shard count (the graph is partitioned here with
+        ``partition_method`` / ``halo_hops``) or a prebuilt
+        :class:`~repro.partition.partition.GraphPartition`.
+    mode:
+        ``"sim"`` (deterministic in-process) or ``"process"``
+        (one forked worker process per shard).
+    halo_hops:
+        Ghost-zone depth; defaults to the model's message-passing depth
+        (``model.config.num_layers``) when discoverable, else 2.  Must
+        be >= the model depth for equivalence with sequential training;
+        a prebuilt ``partition`` shallower than the model is rejected
+        unless ``halo_hops`` is passed explicitly as an opt-out.
+    model_factory:
+        Optional zero-argument builder for worker model clones; default
+        deep-copies ``model``.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        dataset: ForecastDataset,
+        config: Optional[TrainConfig] = None,
+        n_shards: int = 2,
+        partition: Optional[GraphPartition] = None,
+        mode: str = "sim",
+        partition_method: str = "bfs",
+        halo_hops: Optional[int] = None,
+        model_factory=None,
+        seed: int = 0,
+    ) -> None:
+        if mode not in ("sim", "process"):
+            raise ValueError(f"unknown mode {mode!r}; use 'sim' or 'process'")
+        self.model = model
+        self.dataset = dataset
+        self.config = config or TrainConfig()
+        self.mode = mode
+        model_depth = getattr(getattr(model, "config", None), "num_layers", None)
+        if halo_hops is None and partition is None:
+            halo_hops = 2 if model_depth is None else model_depth
+        if partition is None:
+            partition = partition_graph(
+                dataset.graph,
+                n_shards,
+                method=partition_method,
+                halo_hops=halo_hops,
+                seed=seed,
+            )
+        elif (
+            halo_hops is None
+            and model_depth is not None
+            and partition.halo_hops < model_depth
+        ):
+            # A too-shallow ghost zone silently voids the equivalence
+            # guarantee; an explicit halo_hops= acts as the opt-out.
+            raise ValueError(
+                f"partition halo_hops={partition.halo_hops} is below the "
+                f"model's message-passing depth ({model_depth}); shard-local "
+                f"training would diverge from the sequential trainer.  Pass "
+                f"halo_hops={partition.halo_hops} explicitly to override."
+            )
+        self.partition = partition
+        self.sharded = ShardedDataset(dataset, partition)
+        factory = model_factory or (lambda: copy.deepcopy(model))
+        self._workers = [
+            _ShardWorker(factory(), shard) for shard in self.sharded.shards
+        ]
+        for worker in self._workers:
+            worker.model.load_state_dict(model.state_dict())
+        self._params = model.parameters()
+        self.optimizer = Adam(
+            self._params,
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self.history = TrainHistory()
+        self._pipes = None
+        self._processes = None
+        self._evaluator: Optional[Trainer] = None
+
+    # ------------------------------------------------------------------
+    # process-mode plumbing
+    # ------------------------------------------------------------------
+    def _start_processes(self) -> None:
+        if self._processes is not None:
+            return
+        try:
+            context = mp.get_context("fork")
+        except ValueError:
+            context = mp.get_context("spawn")
+        self._pipes = []
+        self._processes = []
+        for worker in self._workers:
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_loop,
+                args=(child_conn, worker.model, worker.shard),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._pipes.append(parent_conn)
+            self._processes.append(process)
+
+    def shutdown(self) -> None:
+        """Stop worker processes (no-op in sim mode / when never started)."""
+        if self._processes is None:
+            return
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop",))
+                pipe.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+        self._pipes = None
+        self._processes = None
+
+    def _scatter_gather(self, messages) -> list:
+        """Send one request per worker, then collect all replies."""
+        for pipe, message in zip(self._pipes, messages):
+            pipe.send(message)
+        return [pipe.recv() for pipe in self._pipes]
+
+    # ------------------------------------------------------------------
+    # one synchronous step
+    # ------------------------------------------------------------------
+    def _train_results(self, state, batch_index: int):
+        if self.mode == "process":
+            self._start_processes()
+            return self._scatter_gather(
+                [("train", state, batch_index)] * len(self._workers)
+            )
+        return [w.train_step(state, batch_index) for w in self._workers]
+
+    def _val_results(self, state):
+        if self.mode == "process":
+            self._start_processes()
+            return self._scatter_gather([("val", state)] * len(self._workers))
+        return [w.val_loss(state) for w in self._workers]
+
+    def _aggregate(self, results) -> Tuple[float, int]:
+        """Average shard gradients into the master model, count-weighted.
+
+        Sets ``param.grad`` to ``sum_s (n_s / n) * grad_s`` — exactly the
+        gradient of the global mean loss over all active shops — and
+        returns the matching weighted loss.
+        """
+        total = sum(count for _, count, _ in results)
+        if total == 0:
+            raise RuntimeError("no shard has active shops for role 'train'")
+        for param in self._params:
+            param.grad = None
+        loss = 0.0
+        for shard_loss, count, grads in results:
+            if count == 0:
+                continue
+            weight = count / total
+            loss += weight * shard_loss
+            for param, grad in zip(self._params, grads):
+                if grad is None:
+                    continue
+                if param.grad is None:
+                    param.grad = weight * grad
+                else:
+                    param.grad += weight * grad
+        return loss, total
+
+    def _weighted_val_loss(self, state) -> float:
+        results = self._val_results(state)
+        total = sum(count for _, count in results)
+        if total == 0:
+            raise RuntimeError("no shard has active shops for role 'val'")
+        return sum(loss * count for loss, count in results) / total
+
+    # ------------------------------------------------------------------
+    def fit(self) -> TrainHistory:
+        """Train to convergence; mirrors ``Trainer.fit`` step for step."""
+        cfg = self.config
+        started = time.perf_counter()
+        best_val = float("inf")
+        best_state = None
+        stall = 0
+        self.model.train()
+        try:
+            for epoch in range(cfg.epochs):
+                epoch_losses = []
+                for batch_index in range(len(self.dataset.train)):
+                    state = self.model.state_dict()
+                    results = self._train_results(state, batch_index)
+                    loss, _ = self._aggregate(results)
+                    clip_grad_norm(self._params, cfg.clip_norm)
+                    self.optimizer.step()
+                    epoch_losses.append(loss)
+                train_loss = float(np.mean(epoch_losses))
+                val_loss = self._weighted_val_loss(self.model.state_dict())
+                self.history.train_loss.append(train_loss)
+                self.history.val_loss.append(val_loss)
+                if cfg.verbose:
+                    print(
+                        f"epoch {epoch:3d} train {train_loss:.5f} "
+                        f"val {val_loss:.5f} [{self.sharded.num_shards} shards]"
+                    )
+                if val_loss < best_val - 1e-7:
+                    best_val = val_loss
+                    best_state = self.model.state_dict()
+                    self.history.best_epoch = epoch
+                    stall = 0
+                else:
+                    stall += 1
+                    if epoch + 1 >= cfg.min_epochs and stall >= cfg.patience:
+                        break
+        finally:
+            self.shutdown()
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        self.history.seconds = time.perf_counter() - started
+        return self.history
+
+    # ------------------------------------------------------------------
+    # evaluation (full-graph, via a sequential trainer shell)
+    # ------------------------------------------------------------------
+    def _sequential_shell(self) -> Trainer:
+        if self._evaluator is None:
+            self._evaluator = Trainer(self.model, self.dataset, self.config)
+        return self._evaluator
+
+    def predict_raw(self, batch: InstanceBatch) -> np.ndarray:
+        """Raw-unit forecasts from the trained global model."""
+        return self._sequential_shell().predict_raw(batch)
+
+    def evaluate(self, batch: Optional[InstanceBatch] = None,
+                 shop_mask: Optional[np.ndarray] = None,
+                 role: str = "test") -> MetricTable:
+        """Full-graph metric table, identical contract to ``Trainer.evaluate``."""
+        return self._sequential_shell().evaluate(batch, shop_mask, role)

@@ -1,12 +1,114 @@
-"""Shared test utilities: finite-difference gradient checking."""
+"""Shared test utilities: gradient checking and a hypothesis-free
+property-test harness (seeded trial runner with shrinking-lite)."""
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.graph import ESellerGraph
 from repro.nn.tensor import Tensor
+
+
+# ----------------------------------------------------------------------
+# property-test harness (no hypothesis dependency)
+# ----------------------------------------------------------------------
+class PropertyError(AssertionError):
+    """A property violated by some generated case, reported minimally."""
+
+
+def forall(
+    gen: Callable[[np.random.Generator], object],
+    prop: Callable[[object], None],
+    trials: int = 100,
+    seed: int = 0,
+    shrink: Optional[Callable[[object], Iterable[object]]] = None,
+    max_shrinks: int = 200,
+    name: str = "property",
+) -> None:
+    """Assert ``prop(gen(rng))`` holds for ``trials`` seeded random cases.
+
+    ``gen`` draws one case from the given generator; ``prop`` raises
+    ``AssertionError`` on violation.  On failure, if ``shrink`` is given
+    (``case -> iterable of strictly simpler candidate cases``), the case
+    is greedily minimised — shrinking-lite: first still-failing
+    candidate wins, repeated until no candidate fails or the
+    ``max_shrinks`` probe budget runs out — and the minimal case is
+    reported with the trial index and seed needed to replay it.
+    """
+
+    def fails(case) -> Optional[AssertionError]:
+        try:
+            prop(case)
+        except AssertionError as error:
+            return error
+        return None
+
+    rng = np.random.default_rng(seed)
+    for trial in range(trials):
+        case = gen(rng)
+        error = fails(case)
+        if error is None:
+            continue
+        probes = 0
+        if shrink is not None:
+            shrinking = True
+            while shrinking and probes < max_shrinks:
+                shrinking = False
+                for candidate in shrink(case):
+                    probes += 1
+                    smaller_error = fails(candidate)
+                    if smaller_error is not None:
+                        case, error = candidate, smaller_error
+                        shrinking = True
+                        break
+                    if probes >= max_shrinks:
+                        break
+        raise PropertyError(
+            f"{name} violated at trial {trial} (seed={seed}, "
+            f"{probes} shrink probes)\ncase: {case!r}\n{error}"
+        ) from error
+
+
+def random_eseller_graph(
+    rng: np.random.Generator,
+    max_nodes: int = 40,
+    max_edges: int = 120,
+    min_nodes: int = 1,
+) -> ESellerGraph:
+    """Draw a small random directed multigraph (self-loops, duplicate
+    edges and isolated nodes all possible — the adversarial corners)."""
+    num_nodes = int(rng.integers(min_nodes, max_nodes + 1))
+    num_edges = int(rng.integers(0, max_edges + 1))
+    if num_nodes == 0:
+        num_edges = 0
+    src = rng.integers(0, num_nodes, size=num_edges)
+    dst = rng.integers(0, num_nodes, size=num_edges)
+    types = rng.integers(0, 3, size=num_edges)
+    return ESellerGraph(num_nodes, src, dst, types)
+
+
+def shrink_graph(graph: ESellerGraph) -> Iterable[ESellerGraph]:
+    """Shrinking-lite candidates for a random graph: halve the edge
+    list, drop single edges, then trim trailing isolated nodes."""
+    e = graph.num_edges
+    if e > 1:
+        half = e // 2
+        yield ESellerGraph(
+            graph.num_nodes, graph.src[:half], graph.dst[:half], graph.edge_types[:half]
+        )
+        yield ESellerGraph(
+            graph.num_nodes, graph.src[half:], graph.dst[half:], graph.edge_types[half:]
+        )
+    for drop in range(min(e, 8)):
+        keep = np.arange(e) != drop
+        yield ESellerGraph(
+            graph.num_nodes, graph.src[keep], graph.dst[keep], graph.edge_types[keep]
+        )
+    used = int(max(graph.src.max(), graph.dst.max())) + 1 if e else 1
+    if used < graph.num_nodes:
+        yield ESellerGraph(used, graph.src, graph.dst, graph.edge_types)
 
 
 def numerical_gradient(fn: Callable[[], float], array: np.ndarray,

@@ -1,0 +1,208 @@
+"""Property-based invariants for ``repro.graph.sampling``.
+
+Seeded random multigraphs (self-loops, duplicate edges, isolated nodes)
+are thrown at the CSR-based frontier expansion, batched ego-subgraph
+extraction and vectorised neighbor sampling, and each result is checked
+against a brute-force reference.  The harness is
+:func:`tests.helpers.forall` — hypothesis-free trials with
+shrinking-lite minimisation.
+"""
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph import ESellerGraph, ego_subgraph, ego_subgraphs, k_hop_nodes, sample_neighbors
+
+from helpers import forall, random_eseller_graph, shrink_graph
+
+TRIALS = 60
+
+
+def brute_force_k_hop(graph: ESellerGraph, seeds, hops: int) -> np.ndarray:
+    """Reference BFS over an explicit undirected adjacency dict."""
+    adjacency = {v: set() for v in range(graph.num_nodes)}
+    for s, d in zip(graph.src, graph.dst):
+        adjacency[int(s)].add(int(d))
+        adjacency[int(d)].add(int(s))
+    dist = {int(s): 0 for s in seeds}
+    queue = deque(dist)
+    while queue:
+        v = queue.popleft()
+        if dist[v] >= hops:
+            continue
+        for u in adjacency[v]:
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return np.array(sorted(dist), dtype=np.int64)
+
+
+def induced_edge_multiset(graph: ESellerGraph, nodes: np.ndarray):
+    """Sorted multiset of (src, dst, type) edges induced on ``nodes``."""
+    members = np.zeros(graph.num_nodes, dtype=bool)
+    members[nodes] = True
+    keep = members[graph.src] & members[graph.dst]
+    triples = list(
+        zip(graph.src[keep].tolist(), graph.dst[keep].tolist(),
+            graph.edge_types[keep].tolist())
+    )
+    return sorted(triples)
+
+
+def graph_seeds_hops(rng: np.random.Generator):
+    graph = random_eseller_graph(rng, max_nodes=30, max_edges=90)
+    num_seeds = int(rng.integers(1, min(graph.num_nodes, 4) + 1))
+    seeds = rng.choice(graph.num_nodes, size=num_seeds, replace=False)
+    hops = int(rng.integers(0, 4))
+    return graph, seeds, hops
+
+
+def shrink_case(case):
+    graph, seeds, hops = case
+    for smaller in shrink_graph(graph):
+        kept = seeds[seeds < smaller.num_nodes]
+        if kept.size:
+            yield smaller, kept, hops
+    if seeds.size > 1:
+        yield graph, seeds[:1], hops
+    if hops > 0:
+        yield graph, seeds, hops - 1
+
+
+class TestKHopFrontier:
+    def test_matches_brute_force_bfs(self):
+        """CSR frontier expansion == textbook BFS, for any graph/seeds/hops."""
+
+        def prop(case):
+            graph, seeds, hops = case
+            fast = k_hop_nodes(graph, seeds, hops)
+            slow = brute_force_k_hop(graph, seeds, hops)
+            assert np.array_equal(fast, slow), f"{fast} != {slow}"
+
+        forall(graph_seeds_hops, prop, trials=TRIALS, seed=11,
+               shrink=shrink_case, name="k_hop_nodes == BFS")
+
+    def test_multi_seed_is_union_of_single_seeds(self):
+        def prop(case):
+            graph, seeds, hops = case
+            joint = k_hop_nodes(graph, seeds, hops)
+            union = np.unique(np.concatenate(
+                [k_hop_nodes(graph, [s], hops) for s in seeds]
+            ))
+            assert np.array_equal(joint, union)
+
+        forall(graph_seeds_hops, prop, trials=TRIALS, seed=12,
+               shrink=shrink_case, name="multi-seed k_hop is a union")
+
+
+class TestEgoSubgraphs:
+    def test_union_node_sets_exact(self):
+        """Batched extraction covers exactly the seeds' k-hop closure and
+        each per-center set equals the single-seed extraction."""
+
+        def prop(case):
+            graph, seeds, hops = case
+            egos = ego_subgraphs(graph, seeds, hops)
+            union = np.unique(np.concatenate([ego.nodes for ego in egos]))
+            expected = k_hop_nodes(graph, seeds, hops)
+            assert np.array_equal(union, expected)
+            for ego in egos:
+                _, originals, center_local = ego_subgraph(graph, ego.center, hops)
+                assert np.array_equal(ego.nodes, originals)
+                assert ego.center_local == center_local
+                assert int(ego.nodes[ego.center_local]) == ego.center
+
+        forall(graph_seeds_hops, prop, trials=TRIALS, seed=13,
+               shrink=shrink_case, name="ego_subgraphs union exactness")
+
+    def test_subgraph_edges_are_induced(self):
+        """Every ego's relabelled edge list is exactly the induced multiset."""
+
+        def prop(case):
+            graph, seeds, hops = case
+            for ego in ego_subgraphs(graph, seeds, hops):
+                local = list(
+                    zip(ego.nodes[ego.subgraph.src].tolist(),
+                        ego.nodes[ego.subgraph.dst].tolist(),
+                        ego.subgraph.edge_types.tolist())
+                )
+                assert sorted(local) == induced_edge_multiset(graph, ego.nodes)
+
+        forall(graph_seeds_hops, prop, trials=TRIALS, seed=14,
+               shrink=shrink_case, name="ego subgraphs are induced")
+
+
+class TestSampleNeighbors:
+    def test_fanout_and_degree_bounds(self):
+        """Per node: exactly min(fanout, in_degree) sampled in-edges,
+        sampling without replacement from the node's true in-edges."""
+
+        def prop(case):
+            graph, nodes, fanout, rng_seed = case
+            rng = np.random.default_rng(rng_seed)
+            src, dst, types = sample_neighbors(graph, nodes, fanout, rng)
+            assert src.shape == dst.shape == types.shape
+            true_in = {
+                int(v): sorted(
+                    zip(graph.src[graph.in_edges(int(v))].tolist(),
+                        graph.edge_types[graph.in_edges(int(v))].tolist())
+                )
+                for v in nodes
+            }
+            for v in np.asarray(nodes):
+                v = int(v)
+                picked = sorted(
+                    (int(s), int(t))
+                    for s, d, t in zip(src, dst, types) if int(d) == v
+                )
+                degree = len(true_in[v])
+                assert len(picked) == min(fanout, degree), (v, picked)
+                # without replacement: the picked multiset embeds in the
+                # node's true in-edge multiset
+                remaining = list(true_in[v])
+                for edge in picked:
+                    assert edge in remaining, (v, edge)
+                    remaining.remove(edge)
+
+        def gen(rng: np.random.Generator):
+            graph = random_eseller_graph(rng, max_nodes=25, max_edges=80)
+            count = int(rng.integers(1, min(graph.num_nodes, 6) + 1))
+            nodes = rng.choice(graph.num_nodes, size=count, replace=False)
+            fanout = int(rng.integers(1, 7))
+            return graph, nodes, fanout, int(rng.integers(0, 2**31))
+
+        forall(gen, prop, trials=TRIALS, seed=15,
+               name="sample_neighbors bounds")
+
+    def test_duplicate_query_nodes_tolerated(self):
+        """Querying the same node twice yields its segment twice."""
+        graph = ESellerGraph(4, src=[0, 1, 2, 0], dst=[3, 3, 3, 1])
+        rng = np.random.default_rng(0)
+        src, dst, _ = sample_neighbors(graph, [3, 3], fanout=2, rng=rng)
+        assert (dst == 3).sum() == 4
+
+
+class TestHarness:
+    def test_shrinking_reports_minimal_case(self):
+        """The harness minimises a failing numeric case greedily."""
+
+        def gen(rng):
+            return int(rng.integers(50, 100))
+
+        def prop(n):
+            assert n < 40, f"n={n}"
+
+        def shrink(n):
+            if n > 40:
+                yield n - 7
+                yield n - 1
+
+        try:
+            forall(gen, prop, trials=5, seed=0, shrink=shrink, name="demo")
+        except AssertionError as error:
+            # greedy descent must land in [40, 47): one step below would pass
+            reported = int(str(error).split("case: ")[1].split("\n")[0])
+            assert 40 <= reported < 47
+        else:
+            raise AssertionError("property should have failed")

@@ -58,8 +58,10 @@ def make_gateway(factory, dataset, registry=None, **kwargs):
     # node-disjoint batches rather than degenerate singletons.
     defaults = dict(max_batch_size=8, max_wait=10.0)
     defaults.update(kwargs)
+    partition_map = defaults.pop("partition_map", None)
     return ServingGateway(factory, dataset, registry,
-                          GatewayConfig(**defaults))
+                          GatewayConfig(**defaults),
+                          partition_map=partition_map)
 
 
 class TestMicroBatcher:
@@ -436,3 +438,202 @@ class TestLoadGenerator:
         assert report.latency["p95"] >= report.latency["p50"]
         data = report.to_dict()
         assert data["pattern"] == "repeating"
+
+
+# ----------------------------------------------------------------------
+# PR 1 regression gaps (ISSUE 2): mutation mid-flight, hot swaps under
+# concurrent load, duplicate-row subset unions, partition routing
+# ----------------------------------------------------------------------
+def _with_extra_edges(dataset, num_extra=8, seed=91):
+    """Copy of ``dataset`` whose graph gained random extra edges."""
+    import dataclasses
+
+    from repro.graph import ESellerGraph
+
+    graph = dataset.graph
+    rng = np.random.default_rng(seed)
+    extra_src = rng.integers(0, graph.num_nodes, size=num_extra)
+    extra_dst = rng.integers(0, graph.num_nodes, size=num_extra)
+    mutated = ESellerGraph(
+        graph.num_nodes,
+        np.concatenate([graph.src, extra_src]),
+        np.concatenate([graph.dst, extra_dst]),
+        np.concatenate([graph.edge_types, np.zeros(num_extra, dtype=np.int64)]),
+    )
+    return dataclasses.replace(dataset, graph=mutated)
+
+
+class TestGraphMutationMidFlight:
+    def test_parked_requests_see_mutated_graph(self, factory, dataset, registry):
+        """Requests parked in the batcher when the graph mutates must be
+        served from the NEW topology, not from memoised subgraphs."""
+        mutated = _with_extra_edges(dataset)
+        gateway = make_gateway(factory, dataset, registry)
+        shop = 7
+        # Warm the subgraph + result caches on the old topology.
+        stale = gateway.predict(shop)
+        # Requests park; then the graph mutates mid-flight.
+        parked = [gateway.submit(shop), gateway.submit(shop + 1)]
+        gateway.dataset = mutated
+        gateway.source_batch = mutated.test
+        gateway.notify_graph_changed()
+        assert len(gateway.subgraph_cache) == 0
+        assert len(gateway.result_cache) == 0
+        gateway.flush()
+        served = parked[0].result()
+        # Reference: a fresh gateway that only ever saw the new graph.
+        reference = make_gateway(factory, mutated, registry)
+        expected = reference.predict(shop)
+        np.testing.assert_allclose(served.forecast, expected.forecast,
+                                   atol=1e-10)
+        assert served.subgraph_nodes == expected.subgraph_nodes
+        # The mutation added edges through shop 7's neighborhood, so the
+        # stale pre-mutation answer must differ (graph signal is real).
+        assert served.subgraph_nodes != stale.subgraph_nodes or not np.allclose(
+            served.forecast, stale.forecast
+        )
+        gateway.close()
+        reference.close()
+
+    def test_epoch_advances_per_mutation(self, factory, dataset):
+        gateway = make_gateway(factory, dataset)
+        before = gateway.subgraph_cache.epoch
+        gateway.notify_graph_changed()
+        gateway.notify_graph_changed()
+        assert gateway.subgraph_cache.epoch == before + 2
+        gateway.close()
+
+
+class TestHotSwapUnderLoad:
+    def test_publish_mid_flight_serves_new_version(self, factory, dataset):
+        """A publish while requests are parked hot-swaps replicas first;
+        the drained batch is scored by the new version only."""
+        registry = ModelRegistry()
+        registry.publish(factory(), trained_at_month=28)
+        gateway = make_gateway(factory, dataset, registry, num_replicas=2)
+        old_version = gateway.router.serving_version
+        parked = [gateway.submit(i) for i in range(4)]
+        registry.publish(factory(), trained_at_month=29)  # mid-flight swap
+        gateway.flush()
+        for request in parked:
+            assert request.result().model_version == old_version + 1
+        assert gateway.router.serving_version == old_version + 1
+        gateway.close()
+
+    def test_concurrent_routing_during_hot_swaps(self, factory):
+        """route() stays consistent while sync() swaps weights underneath:
+        no exceptions, every answer is a live replica, and versions only
+        move forward."""
+        import threading
+
+        registry = ModelRegistry()
+        registry.publish(factory(), trained_at_month=28)
+        router = ReplicaRouter(factory, registry=registry, num_replicas=3)
+        errors = []
+        seen_versions = []
+        stop = threading.Event()
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                while not stop.is_set():
+                    key = int(rng.integers(0, 500))
+                    replica = router.route(key)
+                    assert replica.replica_id in {
+                        r.replica_id for r in router.replicas
+                    }
+                    seen_versions.append(replica.version)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(5):
+            registry.publish(factory(), trained_at_month=30)
+            router.sync()
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors
+        assert router.serving_version == registry.num_versions
+        assert seen_versions and max(seen_versions) <= registry.num_versions
+
+
+class TestSubsetDuplicateRows:
+    def test_duplicate_indices_repeat_rows(self, dataset):
+        batch = dataset.test
+        indices = np.array([3, 3, 0, 7, 3])
+        sub = batch.subset(indices)
+        assert sub.num_shops == 5
+        np.testing.assert_array_equal(sub.series, batch.series[indices])
+        np.testing.assert_array_equal(sub.labels, batch.labels[indices])
+        np.testing.assert_array_equal(sub.levels, batch.levels[indices])
+        # fancy indexing copies: mutating one duplicate row leaves the
+        # others (and the source batch) untouched
+        sub.series[0, 0] = -123.0
+        assert batch.series[3, 0] != -123.0
+        assert sub.series[1, 0] != -123.0
+
+    def test_overlapping_union_rows_match_components(self, dataset):
+        """A disjoint union over overlapping egos repeats shared rows so
+        every component stays self-contained."""
+        egos = ego_subgraphs(dataset.graph, [0, 1], hops=2)
+        union = build_disjoint_batch(egos, dataset.test)
+        shared = np.intersect1d(egos[0].nodes, egos[1].nodes)
+        offset = egos[0].num_nodes
+        for node in shared:
+            row_a = int(np.searchsorted(egos[0].nodes, node))
+            row_b = offset + int(np.searchsorted(egos[1].nodes, node))
+            np.testing.assert_array_equal(
+                union.batch.series[row_a], union.batch.series[row_b]
+            )
+
+    def test_out_of_range_subset_rejected(self, dataset):
+        batch = dataset.test
+        with pytest.raises(IndexError):
+            batch.subset(np.array([0, batch.num_shops]))
+        with pytest.raises(IndexError):
+            batch.subset(np.array([-1]))
+
+
+class TestPartitionRouting:
+    def test_partition_policy_groups_by_owner(self, factory, dataset, registry):
+        from repro.partition import partition_graph
+
+        parts = partition_graph(dataset.graph, 3, halo_hops=1)
+        gateway = make_gateway(
+            factory, dataset, registry,
+            num_replicas=3, routing="partition", partition_map=parts,
+        )
+        responses = gateway.predict_many(list(range(dataset.graph.num_nodes)))
+        replica_of_partition = {}
+        for response in responses:
+            pid = int(parts.assignment[response.shop_index])
+            replica_of_partition.setdefault(pid, set()).add(response.replica_id)
+        assert all(len(v) == 1 for v in replica_of_partition.values())
+        gateway.close()
+
+    def test_partition_policy_requires_map(self, factory):
+        with pytest.raises(ValueError, match="requires a partition_map"):
+            ReplicaRouter(factory, num_replicas=2, policy="partition")
+
+    def test_keys_beyond_map_fall_back_to_hash(self, factory):
+        router = ReplicaRouter(
+            factory, num_replicas=2, policy="partition",
+            partition_map=np.array([0, 0, 1]),
+        )
+        fallback = router.route(10)  # a shop added after partitioning
+        hash_router = ReplicaRouter(factory, num_replicas=2, policy="hash")
+        assert fallback.replica_id == hash_router.route(10).replica_id
+
+    def test_set_partition_map_refreshes_routing(self, factory):
+        router = ReplicaRouter(
+            factory, num_replicas=2, policy="partition",
+            partition_map=np.zeros(8, dtype=np.int64),
+        )
+        before = {router.route(k).replica_id for k in range(8)}
+        assert len(before) == 1  # one partition -> one replica
+        router.set_partition_map(np.arange(8) % 2)
+        after = {router.route(k).replica_id for k in range(8)}
+        assert len(after) == 2
