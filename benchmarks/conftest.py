@@ -12,7 +12,9 @@ configuration recorded in EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 from types import SimpleNamespace
 
 import numpy as np
@@ -88,3 +90,32 @@ def bench_env():
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+# ----------------------------------------------------------------------
+# execution-engine regression gate
+# ----------------------------------------------------------------------
+ENGINE_ARTIFACT = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+
+@pytest.fixture(scope="session")
+def engine_baseline():
+    """Last committed ``BENCH_engine.json`` record, snapshotted before
+    any test of this session rewrites the artifact.
+
+    ``test_engine_speedup`` fails the ``-m slow`` run when its measured
+    engine throughput regresses more than 10% below this record (set
+    ``REPRO_BENCH_UPDATE_BASELINE=1`` to accept an intentional change).
+    Returns ``None`` when no baseline has been committed yet.
+    """
+    if not ENGINE_ARTIFACT.exists():
+        return None
+    try:
+        history = json.loads(ENGINE_ARTIFACT.read_text())
+    except (ValueError, OSError):
+        return None
+    if isinstance(history, list) and history:
+        return history[-1]
+    if isinstance(history, dict):
+        return history
+    return None

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..data.dataset import InstanceBatch
 from ..graph.graph import ESellerGraph
+from ..nn import engine
 from ..nn import functional as F
 from ..nn import init
 from ..nn.layers import Conv1d, LayerNorm, Linear
@@ -53,7 +54,10 @@ class GraphLearningLayer(Module):
         m2 = F.tanh(self.lin2(self.embed2) * self.alpha)
         raw = m1 @ m2.transpose() - m2 @ m1.transpose()
         adj = F.relu(F.tanh(raw * self.alpha))
-        # Top-k sparsification: constant (non-differentiable) mask.
+        # Top-k sparsification: constant (non-differentiable) mask.  The
+        # mask depends on the current adjacency *values*, so a compiled
+        # plan must not freeze it — flag any active trace as dynamic.
+        engine.mark_dynamic("mtgnn top-k adjacency mask")
         data = adj.data
         n = data.shape[0]
         k = min(self.top_k, n)

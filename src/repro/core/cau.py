@@ -56,7 +56,14 @@ class ConvolutionalAttentionUnit(Module):
         return self._mask_cache[t]
 
     def project(self, h: Tensor) -> Tuple[Tensor, Tensor, Tensor]:
-        """Per-node Q/K/V projections of ``(S, T, C)`` representations."""
+        """Per-node Q/K/V projections of ``(S, T, C)`` representations.
+
+        Kept as three separate convolutions on purpose: fusing them into
+        one ``conv_bank`` block was measured slower here — the wide
+        block makes the input-gradient GEMM grow quadratically in total
+        channels, and the sliced outputs turn every downstream attention
+        kernel non-contiguous.
+        """
         return self.conv_q(h), self.conv_k(h), self.conv_v(h)
 
     def attend(self, q_dst: Tensor, k_src: Tensor, v_src: Tensor) -> Tensor:

@@ -81,8 +81,10 @@ class ITAGCNLayer(Module):
         self.last_inter_attention = self.cau.last_attention
 
         # alpha_{u,v}: scalar gate per edge, softmax over u's in-edges.
-        s_term = self.conv_s(h)                     # (S, T, 1)
-        d_term = self.conv_d(h)                     # (S, T, 1)
+        # Both 1x1 gate convolutions read the same h: fused bank.
+        s_term, d_term = F.conv_bank(
+            h, [self.conv_s.weight, self.conv_d.weight]
+        )                                           # 2x (S, T, 1)
         combined = F.gather_rows(s_term, dst) + F.gather_rows(d_term, src)
         gate = F.tanh(combined).reshape(src.size, -1) @ self.mu   # (E,)
         alpha = F.segment_softmax(gate, dst, num_nodes)

@@ -3,11 +3,14 @@
 The paper's models were implemented on Keras + AGL; neither is available
 in this offline environment, so ``repro.nn`` provides the full stack —
 reverse-mode autograd (:mod:`repro.nn.tensor`), differentiable ops
-(:mod:`repro.nn.functional`), layers (:mod:`repro.nn.layers`) and
-optimizers (:mod:`repro.nn.optim`) — that Gaia and every baseline in this
+(:mod:`repro.nn.functional`), layers (:mod:`repro.nn.layers`),
+optimizers (:mod:`repro.nn.optim`) and the fused graph-plan execution
+engine (:mod:`repro.nn.engine`: kernel registry, construction-time
+fusion, compiled-plan replay) — that Gaia and every baseline in this
 repository are built on.
 """
 
+from . import engine
 from . import functional
 from . import init
 from .layers import (
@@ -28,6 +31,7 @@ from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 
 __all__ = [
+    "engine",
     "functional",
     "init",
     "Tensor",

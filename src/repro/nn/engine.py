@@ -1,0 +1,1556 @@
+"""Graph-plan execution engine for the ``repro.nn`` autograd substrate.
+
+Every model in this repository bottoms out in the reverse-mode autograd
+of :mod:`repro.nn.tensor`.  The original implementation was deliberately
+eager: each op allocated a fresh ``Tensor``, captured a backward closure,
+and every ``backward()`` re-derived a topological order.  This module is
+the remedy — *record once, plan, then execute* — in three layers:
+
+1. **Kernel registry** (:data:`KERNELS`).  Every primitive op is a named
+   :class:`OpKernel` holding a pure ``forward(meta, arrays)`` /
+   ``vjp(meta, grad, arrays, out, saved)`` pair.  The eager dispatcher in
+   :mod:`repro.nn.tensor` and the planned executor below share these
+   functions, so eager and planned execution are the *same numerics by
+   construction*.  Kernels may carry a slower ``reference`` variant that
+   preserves the original (pre-engine) float association exactly; the
+   optimized variants (GEMM conv backward instead of ``einsum``,
+   sort+``reduceat`` scatter-add instead of ``np.add.at``, in-place
+   masked softmax, width-1 conv specialisation) are selected whenever the
+   engine mode is not ``"eager"``.
+
+2. **Construction-time fusion** (:func:`match_fusion`).  When the
+   dispatcher records ``add(matmul(x, w), b)`` it emits a single
+   ``linear`` node with parents ``(x, w, b)`` and a fused VJP; a
+   following ``relu`` / ``tanh`` / ``sigmoid`` folds into
+   ``linear_<act>``, and ``sum(mul(a, b))`` becomes a ``mul_sum``
+   reduction whose VJP never materialises the broadcast gradient.  The
+   fused forward reuses the already-computed producer value, so fusion
+   is free at record time, and the fused VJPs are element-for-element
+   identical to the composition they replace.
+
+3. **Plan cache + replay** (:class:`CompiledLoss`).  Tracing one forward
+   records a tape; the tape is pruned to the loss ancestors, its
+   creation order *is* a topological order (parents are always created
+   before children), and the resulting :class:`PlanStructure` — the op
+   schedule — is cached in a module-level table keyed by the graph's
+   structural signature, so the topological order is derived once per
+   architecture rather than re-sorted on every ``backward()``.  An
+   :class:`ExecutionPlan` binds a structure to concrete leaves and
+   replays forward + backward as a flat loop over arrays with
+   pre-allocated, step-reused gradient buffers: no ``Tensor`` objects,
+   no closures, no per-step garbage.
+
+Replay assumes the traced structure is *static*: same batch arrays, same
+index/mask constants, same control flow.  Ops whose recorded constants
+depend on tensor *values* (dropout masks, Huber's quadratic/linear
+split) call :func:`mark_dynamic` during tracing, and the compiled loss
+transparently falls back to fused-eager execution.  Trainers key one
+``CompiledLoss`` per training batch, which makes the assumption hold by
+construction; ``load_state_dict`` is safe because plans re-read
+``parameter.data`` on every run.
+
+Mode control: ``REPRO_NN_ENGINE`` (``"fused"`` default, ``"eager"`` for
+the pre-engine reference path) or the :func:`use_mode` context manager.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "OpKernel",
+    "KERNELS",
+    "register_kernel",
+    "engine_mode",
+    "set_engine_mode",
+    "use_mode",
+    "fused_enabled",
+    "match_fusion",
+    "trace",
+    "mark_dynamic",
+    "record_node",
+    "PlanError",
+    "PlanStructure",
+    "ExecutionPlan",
+    "CompiledLoss",
+    "compile_plan",
+    "inference_mode",
+    "stats_snapshot",
+    "reset_stats",
+]
+
+
+# ======================================================================
+# mode control
+# ======================================================================
+_VALID_MODES = ("fused", "eager")
+_MODE = [os.environ.get("REPRO_NN_ENGINE", "fused")]
+if _MODE[0] not in _VALID_MODES:
+    _MODE[0] = "fused"
+
+
+def engine_mode() -> str:
+    """Current execution mode: ``"fused"`` or ``"eager"``."""
+    return _MODE[0]
+
+
+def set_engine_mode(mode: str) -> None:
+    """Switch the global execution mode."""
+    if mode not in _VALID_MODES:
+        raise ValueError(f"unknown engine mode {mode!r}; use one of {_VALID_MODES}")
+    _MODE[0] = mode
+
+
+class use_mode:
+    """Context manager pinning the engine mode for a block."""
+
+    def __init__(self, mode: str) -> None:
+        if mode not in _VALID_MODES:
+            raise ValueError(f"unknown engine mode {mode!r}; use one of {_VALID_MODES}")
+        self._mode = mode
+
+    def __enter__(self) -> "use_mode":
+        self._prev = _MODE[0]
+        _MODE[0] = self._mode
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _MODE[0] = self._prev
+
+
+def fused_enabled() -> bool:
+    """Whether fused kernels / fusion rewrites are active."""
+    return _MODE[0] != "eager"
+
+
+def _tune_allocator() -> bool:
+    """Keep big step buffers on the heap instead of fresh mmap regions.
+
+    Every training step churns through tens of megabytes of activation
+    and gradient temporaries.  glibc serves allocations above its mmap
+    threshold with fresh ``mmap`` regions that are unmapped on free, so
+    each step pays a page fault per 4 KiB touched — measured at ~15-20%
+    of Gaia's step time at 1000 shops.  Raising the threshold once lets
+    the allocator recycle those buffers across steps (the engine's
+    buffer reuse at the allocator level).  Best-effort: silently a no-op
+    off glibc/Linux; opt out with ``REPRO_NN_NO_MALLOC_TUNE=1``.
+    """
+    if os.environ.get("REPRO_NN_NO_MALLOC_TUNE"):
+        return False
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL("libc.so.6", use_errno=True)
+        m_mmap_threshold = -3  # glibc mallopt param constant
+        return bool(libc.mallopt(m_mmap_threshold, 512 * 1024 * 1024))
+    except Exception:
+        return False
+
+
+_ALLOCATOR_TUNED = _tune_allocator()
+
+
+# ======================================================================
+# stats
+# ======================================================================
+_STATS: Dict[str, int] = {}
+
+
+def _bump(key: str, amount: int = 1) -> None:
+    _STATS[key] = _STATS.get(key, 0) + amount
+
+
+def stats_snapshot() -> Dict[str, int]:
+    """Copy of the engine counters (plans built, replays, fusions, ...)."""
+    return dict(_STATS)
+
+
+def reset_stats() -> None:
+    """Zero all engine counters."""
+    _STATS.clear()
+
+
+@contextmanager
+def inference_mode():
+    """``no_grad`` plus engine accounting for serving-style forwards."""
+    from .tensor import no_grad
+
+    _bump("inference_forwards")
+    with no_grad():
+        yield
+
+
+# ======================================================================
+# kernel registry
+# ======================================================================
+class OpKernel:
+    """A named forward/VJP pair, optionally with a reference variant.
+
+    ``forward(meta, arrays) -> (out, saved)`` computes the op on raw
+    numpy arrays; ``saved`` is opaque data reused by the VJP.
+    ``vjp(meta, grad, arrays, out, saved) -> tuple`` returns one
+    gradient (or ``None``) per input array; the caller unbroadcasts.
+    ``ref_forward`` / ``ref_vjp`` preserve the pre-engine float
+    association bit-for-bit and are used in ``"eager"`` mode.
+    """
+
+    __slots__ = ("name", "forward", "vjp", "ref_forward", "ref_vjp")
+
+    def __init__(self, name: str, forward: Callable, vjp: Callable,
+                 ref_forward: Optional[Callable] = None,
+                 ref_vjp: Optional[Callable] = None) -> None:
+        self.name = name
+        self.forward = forward
+        self.vjp = vjp
+        self.ref_forward = ref_forward or forward
+        self.ref_vjp = ref_vjp or vjp
+
+
+KERNELS: Dict[str, OpKernel] = {}
+
+
+def register_kernel(name: str, forward: Callable, vjp: Callable,
+                    ref_forward: Optional[Callable] = None,
+                    ref_vjp: Optional[Callable] = None) -> OpKernel:
+    """Add an :class:`OpKernel` to the registry (see ROADMAP for the
+    recipe for new fused kernels)."""
+    kernel = OpKernel(name, forward, vjp, ref_forward, ref_vjp)
+    KERNELS[name] = kernel
+    return kernel
+
+
+def select_kernel(name: str) -> Tuple[Callable, Callable]:
+    """Resolve the (forward, vjp) pair for the current mode."""
+    kernel = KERNELS[name]
+    if fused_enabled():
+        return kernel.forward, kernel.vjp
+    return kernel.ref_forward, kernel.ref_vjp
+
+
+# ======================================================================
+# shared numeric helpers
+# ======================================================================
+def _matmul_vjp_arrays(grad: np.ndarray, a: np.ndarray, b: np.ndarray):
+    """Gradients of ``a @ b`` following numpy semantics (incl. batched)."""
+    from .tensor import unbroadcast
+
+    if a.ndim == 1 and b.ndim == 1:
+        return grad * b, grad * a
+    if a.ndim == 1:
+        # (k,) @ (..., k, n) -> (..., n)
+        ga = (grad[..., None, :] * b).sum(axis=-1)
+        gb = a[:, None] * grad[..., None, :]
+        return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+    if b.ndim == 1:
+        # (..., m, k) @ (k,) -> (..., m)
+        ga = grad[..., :, None] * b
+        gb = (a * grad[..., :, None]).sum(axis=tuple(range(a.ndim - 1)))
+        return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+    ga = grad @ np.swapaxes(b, -1, -2)
+    if b.ndim == 2 and a.ndim > 2 and fused_enabled():
+        # Batched activations against one shared 2-D weight: fold the
+        # batch axes into the contraction and run a single GEMM instead
+        # of a stack of tiny ones followed by a reduction over a large
+        # temporary (transposed orientation: BLAS prefers small-M
+        # huge-K this way round).
+        k, n = b.shape
+        gb = (grad.reshape(-1, n).T @ a.reshape(-1, k)).T
+        return unbroadcast(ga, a.shape), gb
+    gb = np.swapaxes(a, -1, -2) @ grad
+    return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+
+def _scatter_rows(index: np.ndarray, values: np.ndarray, num_rows: int,
+                  meta: dict) -> np.ndarray:
+    """Scatter-add ``values`` rows into ``num_rows`` buckets.
+
+    Implemented as one ``np.bincount`` over a flattened composite index
+    ``row * row_size + column`` — a tight C accumulation loop that beats
+    ``np.add.at`` ~4x at this repo's edge counts (a sort + ``reduceat``
+    pipeline was measured and rejected too).  ``bincount`` adds in scan
+    order exactly like ``np.add.at``, so the result is bit-identical to
+    the unbuffered scatter.  The composite index only depends on the
+    (plan-static) gather index and row size, so it is memoised in
+    ``meta`` and replays for free.
+    """
+    out_shape = (num_rows,) + values.shape[1:]
+    if index.size == 0:
+        return np.zeros(out_shape, dtype=np.float64)
+    if index.min() < 0:
+        # bincount rejects negatives; normalise like numpy indexing does.
+        index = index + (index < 0) * num_rows
+    if values.ndim == 1:
+        return np.bincount(index, weights=values, minlength=num_rows)
+    flat = values.reshape(index.shape[0], -1)
+    d = flat.shape[1]
+    cache = meta.get("_flat_index")
+    if cache is None or cache[1] != d:
+        composite = (index[:, None] * d + np.arange(d)).ravel()
+        meta["_flat_index"] = cache = (composite, d)
+    return np.bincount(
+        cache[0], weights=flat.ravel(), minlength=num_rows * d
+    ).reshape(out_shape)
+
+
+# ======================================================================
+# kernels: arithmetic
+# ======================================================================
+def _fw_add(meta, arrays):
+    a, b = arrays
+    return a + b, None
+
+
+def _bw_add(meta, grad, arrays, out, saved):
+    return grad, grad
+
+
+def _fw_mul(meta, arrays):
+    a, b = arrays
+    return a * b, None
+
+
+def _mul_operand_grad(grad: np.ndarray, other: np.ndarray,
+                      operand_shape: tuple) -> np.ndarray:
+    """``grad * other`` reduced to a row-broadcast operand's shape.
+
+    When the operand was broadcast from ``(E, 1, ..., 1)`` (per-edge
+    attention weights scaling full messages), fold the product and the
+    trailing reduction into one row-dot pass instead of materialising
+    the full product and summing it afterwards.
+    """
+    if (
+        fused_enabled()
+        and operand_shape != grad.shape
+        and other.shape == grad.shape
+        and len(operand_shape) == grad.ndim
+        and operand_shape[0] == grad.shape[0]
+        and all(s == 1 for s in operand_shape[1:])
+        and grad.flags.c_contiguous
+        and other.flags.c_contiguous
+    ):
+        rows = grad.shape[0]
+        folded = np.einsum(
+            "ij,ij->i", grad.reshape(rows, -1), other.reshape(rows, -1)
+        )
+        return folded.reshape(operand_shape)
+    return grad * other
+
+
+def _bw_mul(meta, grad, arrays, out, saved):
+    a, b = arrays
+    # ``needs`` marks which operands require grad at record time; the
+    # skipped gradient would be discarded by the executor anyway, so
+    # not computing it changes nothing but the wall clock.
+    needs = meta["needs"] if meta else (True, True)
+    ga = _mul_operand_grad(grad, b, a.shape) if needs[0] else None
+    gb = _mul_operand_grad(grad, a, b.shape) if needs[1] else None
+    return ga, gb
+
+
+def _fw_div(meta, arrays):
+    a, b = arrays
+    return a / b, None
+
+
+def _bw_div(meta, grad, arrays, out, saved):
+    a, b = arrays
+    needs = meta["needs"] if meta else (True, True)
+    ga = grad / b if needs[0] else None
+    gb = -grad * a / (b * b) if needs[1] else None
+    return ga, gb
+
+
+def _fw_power(meta, arrays):
+    (a,) = arrays
+    return a ** meta["exponent"], None
+
+
+def _bw_power(meta, grad, arrays, out, saved):
+    (a,) = arrays
+    exponent = meta["exponent"]
+    return (grad * exponent * a ** (exponent - 1.0),)
+
+
+def _fw_matmul(meta, arrays):
+    a, b = arrays
+    return a @ b, None
+
+
+def _bw_matmul(meta, grad, arrays, out, saved):
+    return _matmul_vjp_arrays(grad, arrays[0], arrays[1])
+
+
+# ======================================================================
+# kernels: shape
+# ======================================================================
+def _fw_reshape(meta, arrays):
+    return arrays[0].reshape(meta["shape"]), None
+
+
+def _bw_reshape(meta, grad, arrays, out, saved):
+    return (grad.reshape(meta["old_shape"]),)
+
+
+def _fw_transpose(meta, arrays):
+    return np.transpose(arrays[0], meta["axes"]), None
+
+
+def _bw_transpose(meta, grad, arrays, out, saved):
+    return (np.transpose(grad, meta["inverse"]),)
+
+
+def _fw_sum(meta, arrays):
+    return arrays[0].sum(axis=meta["axis"], keepdims=meta["keepdims"]), None
+
+
+def _expand_reduced_grad(grad: np.ndarray, axis, keepdims: bool,
+                         in_shape: tuple) -> np.ndarray:
+    """Re-insert reduced axes so ``grad`` broadcasts against ``in_shape``."""
+    g = np.asarray(grad)
+    if axis is None:
+        return g
+    axes = axis if isinstance(axis, tuple) else (axis,)
+    axes = tuple(ax % len(in_shape) for ax in axes)
+    if not keepdims:
+        for ax in sorted(axes):
+            g = np.expand_dims(g, ax)
+    return g
+
+
+def _bw_sum(meta, grad, arrays, out, saved):
+    in_shape = meta["in_shape"]
+    g = _expand_reduced_grad(grad, meta["axis"], meta["keepdims"], in_shape)
+    return (np.broadcast_to(g, in_shape).copy(),)
+
+
+def _fw_getitem(meta, arrays):
+    return arrays[0][meta["index"]], None
+
+
+def _bw_getitem_ref(meta, grad, arrays, out, saved):
+    full = np.zeros(meta["in_shape"], dtype=np.float64)
+    np.add.at(full, meta["index"], grad)
+    return (full,)
+
+
+def _bw_getitem(meta, grad, arrays, out, saved):
+    index = meta["index"]
+    if isinstance(index, np.ndarray):
+        if index.dtype == np.bool_:
+            # A boolean mask selects each row at most once.
+            full = np.zeros(meta["in_shape"], dtype=np.float64)
+            full[index] = grad
+            return (full,)
+        if index.ndim == 1 and np.issubdtype(index.dtype, np.integer):
+            return (_scatter_rows(index, np.asarray(grad),
+                                  meta["in_shape"][0], meta),)
+    full = np.zeros(meta["in_shape"], dtype=np.float64)
+    if isinstance(index, (int, np.integer, slice)) or (
+        isinstance(index, tuple)
+        and all(isinstance(i, (int, np.integer, slice)) for i in index)
+    ):
+        # Basic indexing never aliases, so plain assignment is exact.
+        full[index] = grad
+    else:
+        np.add.at(full, index, grad)
+    return (full,)
+
+
+def _fw_concat(meta, arrays):
+    return np.concatenate(arrays, axis=meta["axis"]), None
+
+
+def _bw_concat(meta, grad, arrays, out, saved):
+    return tuple(np.split(grad, meta["splits"], axis=meta["axis"]))
+
+
+def _fw_stack(meta, arrays):
+    return np.stack(arrays, axis=meta["axis"]), None
+
+
+def _bw_stack(meta, grad, arrays, out, saved):
+    axis = meta["axis"]
+    parts = np.split(grad, len(arrays), axis=axis)
+    return tuple(np.squeeze(p, axis=axis) for p in parts)
+
+
+def _fw_pad_time(meta, arrays):
+    (a,) = arrays
+    pad_width = [(0, 0)] * a.ndim
+    pad_width[-2] = (meta["left"], meta["right"])
+    return np.pad(a, pad_width), None
+
+
+def _bw_pad_time(meta, grad, arrays, out, saved):
+    left, t = meta["left"], meta["t"]
+    index = [slice(None)] * grad.ndim
+    index[-2] = slice(left, left + t)
+    return (grad[tuple(index)],)
+
+
+# ======================================================================
+# kernels: pointwise
+# ======================================================================
+def _fw_exp(meta, arrays):
+    out = np.exp(arrays[0])
+    return out, None
+
+
+def _bw_exp(meta, grad, arrays, out, saved):
+    return (grad * out,)
+
+
+_LOG_EPS = 1e-12
+
+
+def _fw_log(meta, arrays):
+    # Guard non-positive inputs: clamp into [eps, inf) so the forward
+    # yields a large-negative value instead of nan/-inf and the backward
+    # stays finite.  (Numerics bugfix; applies in every mode.)
+    safe = np.maximum(arrays[0], _LOG_EPS)
+    return np.log(safe), safe
+
+
+def _bw_log(meta, grad, arrays, out, saved):
+    return (grad / saved,)
+
+
+def _fw_sqrt(meta, arrays):
+    return np.sqrt(arrays[0]), None
+
+
+def _bw_sqrt(meta, grad, arrays, out, saved):
+    return (grad * 0.5 / np.maximum(out, 1e-300),)
+
+
+def _fw_abs(meta, arrays):
+    return np.abs(arrays[0]), None
+
+
+def _bw_abs(meta, grad, arrays, out, saved):
+    return (grad * np.sign(arrays[0]),)
+
+
+def _fw_relu(meta, arrays):
+    (a,) = arrays
+    mask = a > 0
+    return a * mask, mask
+
+
+def _bw_relu(meta, grad, arrays, out, saved):
+    return (grad * saved,)
+
+
+def _fw_leaky_relu(meta, arrays):
+    (a,) = arrays
+    scale = np.where(a > 0, 1.0, meta["negative_slope"])
+    return a * scale, scale
+
+
+def _bw_leaky_relu(meta, grad, arrays, out, saved):
+    return (grad * saved,)
+
+
+def _fw_sigmoid(meta, arrays):
+    (a,) = arrays
+    z = np.exp(-np.abs(a))
+    return np.where(a >= 0, 1.0 / (1.0 + z), z / (1.0 + z)), None
+
+
+def _bw_sigmoid(meta, grad, arrays, out, saved):
+    return (grad * out * (1.0 - out),)
+
+
+def _fw_tanh(meta, arrays):
+    return np.tanh(arrays[0]), None
+
+
+def _bw_tanh(meta, grad, arrays, out, saved):
+    return (grad * (1.0 - out * out),)
+
+
+# ======================================================================
+# kernels: softmax family
+# ======================================================================
+def _fw_softmax(meta, arrays):
+    (a,) = arrays
+    axis = meta["axis"]
+    row_max = a.max(axis=axis, keepdims=True)
+    # Rows of -inf (fully suppressed logits) would otherwise turn into
+    # nan via (-inf) - (-inf) and 0/0; guard both like masked_softmax.
+    row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    ex = np.exp(a - row_max)
+    denom = np.maximum(ex.sum(axis=axis, keepdims=True), 1e-300)
+    return ex / denom, None
+
+
+def _bw_softmax(meta, grad, arrays, out, saved):
+    axis = meta["axis"]
+    dot = (grad * out).sum(axis=axis, keepdims=True)
+    return (out * (grad - dot),)
+
+
+def _fw_masked_softmax_ref(meta, arrays):
+    (a,) = arrays
+    mask, axis = meta["mask"], meta["axis"]
+    scores = a + mask
+    row_max = scores.max(axis=axis, keepdims=True)
+    row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    ex = np.exp(scores - row_max)
+    ex = np.where(np.isfinite(scores), ex, 0.0)
+    denom = ex.sum(axis=axis, keepdims=True)
+    safe = np.maximum(denom, 1e-300)
+    return ex / safe, None
+
+
+def _fw_masked_softmax(meta, arrays):
+    (a,) = arrays
+    mask, axis = meta["mask"], meta["axis"]
+    scores = a + mask                       # only fresh allocation
+    row_max = scores.max(axis=axis, keepdims=True)
+    row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    np.subtract(scores, row_max, out=scores)
+    # Masked entries are -inf after the shift, and exp(-inf) == 0.0
+    # exactly, so no explicit isfinite bookkeeping is needed (finite
+    # logits assumed; the reference variant also zeroes nan scores).
+    np.exp(scores, out=scores)
+    denom = scores.sum(axis=axis, keepdims=True)
+    np.maximum(denom, 1e-300, out=denom)
+    np.divide(scores, denom, out=scores)
+    return scores, None
+
+
+def _bw_masked_softmax_ref(meta, grad, arrays, out, saved):
+    axis = meta["axis"]
+    dot = (grad * out).sum(axis=axis, keepdims=True)
+    return (out * (grad - dot),)
+
+
+def _softmax_dot(grad: np.ndarray, out: np.ndarray, axis) -> np.ndarray:
+    """``(grad * out).sum(axis, keepdims=True)`` without the product
+    temporary — one einsum row-dot pass when reducing the last axis."""
+    if axis in (-1, grad.ndim - 1) and grad.flags.c_contiguous \
+            and out.flags.c_contiguous:
+        n = grad.shape[-1]
+        dot = np.einsum("ij,ij->i", grad.reshape(-1, n), out.reshape(-1, n))
+        return dot.reshape(grad.shape[:-1] + (1,))
+    return (grad * out).sum(axis=axis, keepdims=True)
+
+
+def _bw_masked_softmax(meta, grad, arrays, out, saved):
+    g = grad - _softmax_dot(grad, out, meta["axis"])
+    np.multiply(g, out, out=g)
+    return (g,)
+
+
+def _fw_scaled_masked_softmax(meta, arrays):
+    """``masked_softmax(a * scale)`` as one kernel (attention logits)."""
+    (a,) = arrays
+    axis = meta["axis"]
+    scores = a * meta["scale"]
+    scores += meta["mask"]
+    row_max = scores.max(axis=axis, keepdims=True)
+    row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    np.subtract(scores, row_max, out=scores)
+    np.exp(scores, out=scores)
+    denom = scores.sum(axis=axis, keepdims=True)
+    np.maximum(denom, 1e-300, out=denom)
+    np.divide(scores, denom, out=scores)
+    return scores, None
+
+
+def _bw_scaled_masked_softmax(meta, grad, arrays, out, saved):
+    g = grad - _softmax_dot(grad, out, meta["axis"])
+    np.multiply(g, out, out=g)
+    g *= meta["scale"]
+    return (g,)
+
+
+# ======================================================================
+# kernels: graph primitives
+# ======================================================================
+def _fw_gather_rows(meta, arrays):
+    return arrays[0][meta["index"]], None
+
+
+def _bw_gather_rows_ref(meta, grad, arrays, out, saved):
+    full = np.zeros(meta["in_shape"], dtype=np.float64)
+    np.add.at(full, meta["index"], grad)
+    return (full,)
+
+
+def _bw_gather_rows(meta, grad, arrays, out, saved):
+    return (_scatter_rows(meta["index"], np.asarray(grad),
+                          meta["in_shape"][0], meta),)
+
+
+def _fw_segment_sum_ref(meta, arrays):
+    (a,) = arrays
+    out = np.zeros((meta["num_segments"],) + a.shape[1:], dtype=np.float64)
+    np.add.at(out, meta["ids"], a)
+    return out, None
+
+
+def _fw_segment_sum(meta, arrays):
+    (a,) = arrays
+    return _scatter_rows(meta["ids"], a, meta["num_segments"], meta), None
+
+
+def _bw_segment_sum(meta, grad, arrays, out, saved):
+    return (grad[meta["ids"]],)
+
+
+def _fw_segment_max_gather(meta, arrays):
+    """Per-edge stability shift for the segment softmax.
+
+    Recomputed from the *current* scores on every execution so that plan
+    replay stays exact, but treated as a constant by the VJP — softmax
+    is shift-invariant, so the gradient through the max is exactly zero.
+    """
+    (scores,) = arrays
+    ids, num_segments = meta["ids"], meta["num_segments"]
+    seg_max = np.full(num_segments, -np.inf, dtype=np.float64)
+    np.maximum.at(seg_max, ids, scores)
+    seg_max = np.where(np.isfinite(seg_max), seg_max, 0.0)
+    return seg_max[ids], None
+
+
+def _bw_segment_max_gather(meta, grad, arrays, out, saved):
+    return (None,)
+
+
+# ======================================================================
+# kernels: convolution
+# ======================================================================
+def _im2col(x: np.ndarray, width: int) -> np.ndarray:
+    """Extract sliding windows: ``(B, T, C) -> (B, T - w + 1, w, C)``."""
+    b, t, c = x.shape
+    out_t = t - width + 1
+    strides = (x.strides[0], x.strides[1], x.strides[1], x.strides[2])
+    return np.lib.stride_tricks.as_strided(
+        x, shape=(b, out_t, width, c), strides=strides, writeable=False
+    )
+
+
+def _fw_conv1d_ref(meta, arrays):
+    x, w = arrays[0], arrays[1]
+    width, c_in, c_out = w.shape
+    left, right = meta["left"], meta["right"]
+    b = x.shape[0]
+    xp = np.pad(x, ((0, 0), (left, right), (0, 0)))
+    cols = _im2col(xp, width)
+    w2 = w.reshape(width * c_in, c_out)
+    out_t = cols.shape[1]
+    cols2 = cols.reshape(b, out_t, width * c_in)
+    out = cols2 @ w2
+    if len(arrays) == 3:
+        out = out + arrays[2]
+    return out, np.ascontiguousarray(cols2)
+
+
+def _bw_conv1d_ref(meta, grad, arrays, out, saved):
+    x, w = arrays[0], arrays[1]
+    width, c_in, c_out = w.shape
+    left = meta["left"]
+    b, t, _ = x.shape
+    out_t = grad.shape[1]
+    w2 = w.reshape(width * c_in, c_out)
+    cols2 = saved
+    gw = np.einsum("btk,bto->ko", cols2, grad).reshape(width, c_in, c_out)
+    gcols = grad @ w2.T
+    gcols = gcols.reshape(b, out_t, width, c_in)
+    gx_padded = np.zeros((b, t + left + meta["right"], c_in), dtype=np.float64)
+    for offset in range(width):
+        gx_padded[:, offset:offset + out_t, :] += gcols[:, :, offset, :]
+    gx = gx_padded[:, left:left + t, :]
+    if len(arrays) == 3:
+        return gx, gw, grad.sum(axis=(0, 1))
+    return gx, gw
+
+
+def _fw_conv1d(meta, arrays):
+    x, w = arrays[0], arrays[1]
+    width, c_in, c_out = w.shape
+    b, t, _ = x.shape
+    if width == 1:
+        # Pointwise conv == per-timestamp linear map: one big GEMM, no
+        # padding, no window extraction, nothing saved.
+        out = (x.reshape(b * t, c_in) @ w[0]).reshape(b, t, c_out)
+        if len(arrays) == 3:
+            out += arrays[2]
+        return out, None
+    left, right = meta["left"], meta["right"]
+    # Manual zero-pad: np.pad's generic machinery is measurably slower.
+    xp = np.zeros((b, t + left + right, c_in), dtype=np.float64)
+    xp[:, left:left + t, :] = x
+    cols = _im2col(xp, width)
+    out_t = cols.shape[1]
+    cols2 = np.ascontiguousarray(cols).reshape(b, out_t, width * c_in)
+    out = cols2 @ w.reshape(width * c_in, c_out)
+    if len(arrays) == 3:
+        out += arrays[2]
+    return out, cols2
+
+
+def _conv_input_grad(grad: np.ndarray, w: np.ndarray, t: int,
+                     left: int) -> np.ndarray:
+    """Gradient w.r.t. the conv input, as a flipped correlation GEMM.
+
+    ``gx[m] = sum_j grad[m - j] @ w[j].T`` is itself a width-``w``
+    convolution of the zero-padded output gradient with the kernel
+    flipped along time and transposed — one im2col + one GEMM instead of
+    a per-offset strided accumulation loop (~3x faster at this repo's
+    shapes).
+    """
+    width, c_in, c_out = w.shape
+    b, out_t, _ = grad.shape
+    padded_len = out_t + 2 * (width - 1)
+    gp = np.zeros((b, padded_len, c_out), dtype=np.float64)
+    gp[:, width - 1:width - 1 + out_t, :] = grad
+    gcols = np.ascontiguousarray(_im2col(gp, width))
+    gcols = gcols.reshape(b * (out_t + width - 1), width * c_out)
+    w_flip = w[::-1].transpose(0, 2, 1).reshape(width * c_out, c_in)
+    gx_full = (gcols @ w_flip).reshape(b, out_t + width - 1, c_in)
+    return gx_full[:, left:left + t, :]
+
+
+def _bw_conv1d(meta, grad, arrays, out, saved):
+    x, w = arrays[0], arrays[1]
+    width, c_in, c_out = w.shape
+    b, t, _ = x.shape
+    if width == 1:
+        g2 = grad.reshape(b * t, c_out)
+        gw = (x.reshape(b * t, c_in).T @ g2).reshape(1, c_in, c_out)
+        gx = (g2 @ w[0].T).reshape(b, t, c_in)
+        if len(arrays) == 3:
+            return gx, gw, grad.sum(axis=(0, 1))
+        return gx, gw
+    out_t = grad.shape[1]
+    cols2 = saved
+    k = width * c_in
+    # GEMM instead of einsum, in the (small, huge-K) transposed
+    # orientation BLAS handles best; the transpose copy is k x c_out.
+    gw = (grad.reshape(b * out_t, c_out).T @ cols2.reshape(b * out_t, k))
+    gw = np.ascontiguousarray(gw.T).reshape(width, c_in, c_out)
+    gx = _conv_input_grad(grad, w, t, meta["left"])
+    if len(arrays) == 3:
+        return gx, gw, grad.sum(axis=(0, 1))
+    return gx, gw
+
+
+# ======================================================================
+# kernels: fused
+# ======================================================================
+def _block_weight(ws: Sequence[np.ndarray], wmax: int, c_in: int) -> np.ndarray:
+    """Stack causal kernels of mixed widths into one dense block weight.
+
+    A width-``w`` kernel occupies the *last* ``w`` window offsets of the
+    shared width-``wmax`` im2col (causal right-alignment); everything
+    else stays zero, so one GEMM against the block computes every scale
+    at once.
+    """
+    total = sum(w.shape[2] for w in ws)
+    block = np.zeros((wmax, c_in, total), dtype=np.float64)
+    col = 0
+    for w in ws:
+        width, _, c_out = w.shape
+        block[wmax - width:, :, col:col + c_out] = w
+        col += c_out
+    return block.reshape(wmax * c_in, total)
+
+
+def _fw_multi_conv1d(meta, arrays):
+    """Fused multi-scale causal conv bank over one shared input.
+
+    Replaces K separate ``conv1d`` ops (skinny GEMMs + K pad/im2col
+    passes, e.g. TEL's capture/denoise groups) with one im2col and one
+    wide GEMM; outputs are laid out exactly as the channel-concat of the
+    per-scale convs.
+    """
+    n = meta["num_scales"]
+    x = arrays[0]
+    ws = arrays[1:1 + n]
+    widths = tuple(w.shape[0] for w in ws)
+    wmax = max(widths)
+    b, t, c_in = x.shape
+    left = wmax - 1
+    xp = np.zeros((b, t + left, c_in), dtype=np.float64)
+    xp[:, left:, :] = x
+    cols2 = np.ascontiguousarray(_im2col(xp, wmax)).reshape(b * t, wmax * c_in)
+    block = _block_weight(ws, wmax, c_in)
+    out2 = cols2 @ block
+    if meta["bias"]:
+        out2 += np.concatenate(arrays[1 + n:])
+    return out2.reshape(b, t, out2.shape[1]), (cols2, block)
+
+
+def _bw_multi_conv1d(meta, grad, arrays, out, saved):
+    n = meta["num_scales"]
+    x = arrays[0]
+    ws = arrays[1:1 + n]
+    b, t, c_in = x.shape
+    cols2, block = saved
+    total = grad.shape[2]
+    g2 = grad.reshape(b * t, total)
+    g_block = np.ascontiguousarray((g2.T @ cols2).T).reshape(-1, c_in, total)
+    wmax = g_block.shape[0]
+    grads = [None] * len(arrays)
+    col = 0
+    for i, w in enumerate(ws):
+        width, _, c_out = w.shape
+        # Rows outside a scale's block are gradients of structural
+        # zeros, not of parameters — dropped by construction.
+        grads[1 + i] = np.ascontiguousarray(
+            g_block[wmax - width:, :, col:col + c_out]
+        )
+        col += c_out
+    grads[0] = _conv_input_grad(
+        grad, block.reshape(wmax, c_in, total), t, wmax - 1
+    )
+    if meta["bias"]:
+        g_bias = g2.sum(axis=0)
+        col = 0
+        for i, w in enumerate(ws):
+            c_out = w.shape[2]
+            grads[1 + n + i] = g_bias[col:col + c_out]
+            col += c_out
+    return tuple(grads)
+
+
+def _fw_linear(meta, arrays):
+    x, w, b = arrays
+    return (x @ w) + b, None
+
+
+def _bw_linear(meta, grad, arrays, out, saved):
+    gx, gw = _matmul_vjp_arrays(grad, arrays[0], arrays[1])
+    return gx, gw, grad
+
+
+def _make_linear_act(act_forward: Callable, act_grad: Callable):
+    """Build forward/vjp for ``act(x @ w + b)``.
+
+    ``act_grad(grad, out)`` must return the gradient at the
+    pre-activation, element-for-element identical to the unfused
+    activation VJP so fused and composed graphs stay bit-equal.
+    """
+
+    def forward(meta, arrays):
+        x, w, b = arrays
+        return act_forward((x @ w) + b), None
+
+    def vjp(meta, grad, arrays, out, saved):
+        gz = act_grad(grad, out)
+        gx, gw = _matmul_vjp_arrays(gz, arrays[0], arrays[1])
+        return gx, gw, gz
+
+    return forward, vjp
+
+
+def _relu_act(z: np.ndarray) -> np.ndarray:
+    mask = z > 0
+    return z * mask
+
+
+def _sigmoid_act(z: np.ndarray) -> np.ndarray:
+    e = np.exp(-np.abs(z))
+    return np.where(z >= 0, 1.0 / (1.0 + e), e / (1.0 + e))
+
+
+_fw_linear_relu, _bw_linear_relu = _make_linear_act(
+    _relu_act, lambda grad, out: grad * (out > 0)
+)
+_fw_linear_tanh, _bw_linear_tanh = _make_linear_act(
+    np.tanh, lambda grad, out: grad * (1.0 - out * out)
+)
+_fw_linear_sigmoid, _bw_linear_sigmoid = _make_linear_act(
+    _sigmoid_act, lambda grad, out: grad * out * (1.0 - out)
+)
+
+
+def _fw_mul_sum(meta, arrays):
+    a, b = arrays
+    return (a * b).sum(axis=meta["axis"], keepdims=meta["keepdims"]), None
+
+
+def _bw_mul_sum(meta, grad, arrays, out, saved):
+    a, b = arrays
+    in_shape = meta["in_shape"]
+    g = _expand_reduced_grad(grad, meta["axis"], meta["keepdims"], in_shape)
+    # Broadcast *view* — the composed sum-VJP would materialise a copy.
+    g = np.broadcast_to(g, in_shape)
+    return g * b, g * a
+
+
+# ======================================================================
+# registry population
+# ======================================================================
+register_kernel("add", _fw_add, _bw_add)
+register_kernel("mul", _fw_mul, _bw_mul)
+register_kernel("div", _fw_div, _bw_div)
+register_kernel("power", _fw_power, _bw_power)
+register_kernel("matmul", _fw_matmul, _bw_matmul)
+register_kernel("reshape", _fw_reshape, _bw_reshape)
+register_kernel("transpose", _fw_transpose, _bw_transpose)
+register_kernel("sum", _fw_sum, _bw_sum)
+register_kernel("getitem", _fw_getitem, _bw_getitem,
+                ref_vjp=_bw_getitem_ref)
+register_kernel("concat", _fw_concat, _bw_concat)
+register_kernel("stack", _fw_stack, _bw_stack)
+register_kernel("pad_time", _fw_pad_time, _bw_pad_time)
+register_kernel("exp", _fw_exp, _bw_exp)
+register_kernel("log", _fw_log, _bw_log)
+register_kernel("sqrt", _fw_sqrt, _bw_sqrt)
+register_kernel("abs", _fw_abs, _bw_abs)
+register_kernel("relu", _fw_relu, _bw_relu)
+register_kernel("leaky_relu", _fw_leaky_relu, _bw_leaky_relu)
+register_kernel("sigmoid", _fw_sigmoid, _bw_sigmoid)
+register_kernel("tanh", _fw_tanh, _bw_tanh)
+register_kernel("softmax", _fw_softmax, _bw_softmax)
+register_kernel("masked_softmax", _fw_masked_softmax, _bw_masked_softmax,
+                ref_forward=_fw_masked_softmax_ref,
+                ref_vjp=_bw_masked_softmax_ref)
+register_kernel("scaled_masked_softmax", _fw_scaled_masked_softmax,
+                _bw_scaled_masked_softmax)
+register_kernel("gather_rows", _fw_gather_rows, _bw_gather_rows,
+                ref_vjp=_bw_gather_rows_ref)
+register_kernel("segment_sum", _fw_segment_sum, _bw_segment_sum,
+                ref_forward=_fw_segment_sum_ref)
+register_kernel("segment_max_gather", _fw_segment_max_gather,
+                _bw_segment_max_gather)
+register_kernel("conv1d", _fw_conv1d, _bw_conv1d,
+                ref_forward=_fw_conv1d_ref, ref_vjp=_bw_conv1d_ref)
+register_kernel("multi_conv1d", _fw_multi_conv1d, _bw_multi_conv1d)
+register_kernel("linear", _fw_linear, _bw_linear)
+register_kernel("linear_relu", _fw_linear_relu, _bw_linear_relu)
+register_kernel("linear_tanh", _fw_linear_tanh, _bw_linear_tanh)
+register_kernel("linear_sigmoid", _fw_linear_sigmoid, _bw_linear_sigmoid)
+register_kernel("mul_sum", _fw_mul_sum, _bw_mul_sum)
+
+#: fused ops reachable only through :func:`match_fusion` or the fused
+#: entry points in :mod:`repro.nn.functional` (``linear``, ``conv_bank``).
+FUSED_OPS = ("linear", "linear_relu", "linear_tanh", "linear_sigmoid",
+             "mul_sum", "multi_conv1d", "scaled_masked_softmax")
+
+_ACT_FUSION = {"relu": "linear_relu", "tanh": "linear_tanh",
+               "sigmoid": "linear_sigmoid"}
+
+
+def _is_recorded(t: object, op: str) -> bool:
+    return getattr(t, "_op", None) == op and getattr(t, "requires_grad", False)
+
+
+def match_fusion(op: str, inputs: Sequence, meta: Optional[dict]):
+    """Rewrite an op being recorded into a fused node, or return ``None``.
+
+    The rewrite reuses the producer's already-computed forward value, so
+    fusion never recomputes work at record time; replay computes the
+    fused kernel directly (the bypassed producer is pruned from the
+    plan unless another consumer needs it).
+
+    Returns ``(op, inputs, meta, out_data, saved)``.
+    """
+    if op == "add" and len(inputs) == 2:
+        for i in (0, 1):
+            prod, other = inputs[i], inputs[1 - i]
+            if _is_recorded(prod, "matmul") and prod is not other:
+                x, w = prod._parents
+                out = inputs[0].data + inputs[1].data
+                _bump("fused_linear")
+                return "linear", (x, w, other), {}, out, None
+    elif op in _ACT_FUSION and len(inputs) == 1:
+        prod = inputs[0]
+        if _is_recorded(prod, "linear"):
+            fused = _ACT_FUSION[op]
+            if op == "relu":
+                out = _relu_act(prod.data)
+            elif op == "tanh":
+                out = np.tanh(prod.data)
+            else:
+                out = _sigmoid_act(prod.data)
+            _bump("fused_" + fused)
+            return fused, prod._parents, {}, out, None
+    elif op == "sum" and len(inputs) == 1:
+        prod = inputs[0]
+        if _is_recorded(prod, "mul"):
+            new_meta = dict(meta)
+            new_meta["in_shape"] = prod.data.shape
+            out = prod.data.sum(axis=meta["axis"], keepdims=meta["keepdims"])
+            _bump("fused_mul_sum")
+            return "mul_sum", prod._parents, new_meta, out, None
+    elif op == "concat" and len(inputs) >= 2 and meta["axis"] in (-1, 2):
+        fused = _match_conv_bank(inputs)
+        if fused is not None:
+            return fused
+    elif op == "masked_softmax" and len(inputs) == 1:
+        prod = inputs[0]
+        if _is_recorded(prod, "mul"):
+            for raw, scale in (prod._parents, prod._parents[::-1]):
+                if (
+                    raw.requires_grad
+                    and not scale.requires_grad
+                    and scale.data.size == 1
+                ):
+                    new_meta = {"mask": meta["mask"], "axis": meta["axis"],
+                                "scale": float(scale.data)}
+                    out, _ = _fw_masked_softmax(meta, (prod.data,))
+                    _bump("fused_scaled_masked_softmax")
+                    return "scaled_masked_softmax", (raw,), new_meta, out, None
+    return None
+
+
+def _match_conv_bank(inputs: Sequence):
+    """Concat of causal convs over one shared input -> ``multi_conv1d``.
+
+    Fires on TEL-style multi-scale banks.  Unlike the other fusion
+    rules, the bank recomputes its forward (one im2col + one block GEMM)
+    instead of splicing the per-scale outputs, so that the recorded
+    value is bit-identical to what plan replay computes; the bypassed
+    per-scale conv nodes are pruned from the plan.
+    """
+    first_bias = None
+    for node in inputs:
+        if not _is_recorded(node, "conv1d") or node.data.ndim != 3:
+            return None
+        width = node._parents[1].data.shape[0]
+        if node._meta["right"] != 0 or node._meta["left"] != width - 1:
+            return None  # not causal
+        has_bias = len(node._parents) == 3
+        if first_bias is None:
+            first_bias = has_bias
+        elif has_bias != first_bias:
+            return None
+        if node._parents[0] is not inputs[0]._parents[0]:
+            return None  # different source tensors
+    x = inputs[0]._parents[0]
+    weights = tuple(node._parents[1] for node in inputs)
+    biases = tuple(node._parents[2] for node in inputs) if first_bias else ()
+    new_meta = {"num_scales": len(inputs), "bias": first_bias}
+    new_inputs = (x,) + weights + biases
+    out, saved = _fw_multi_conv1d(
+        new_meta, tuple(t.data for t in new_inputs)
+    )
+    _bump("fused_multi_conv1d")
+    return "multi_conv1d", new_inputs, new_meta, out, saved
+
+
+# ======================================================================
+# tracing
+# ======================================================================
+class Tape:
+    """Creation-ordered record of one traced forward pass."""
+
+    __slots__ = ("nodes", "dynamic", "reasons")
+
+    def __init__(self) -> None:
+        self.nodes: List = []
+        self.dynamic = False
+        self.reasons: List[str] = []
+
+
+_TAPES: List[Tape] = []
+
+
+def record_node(tensor: object) -> None:
+    """Called by the dispatcher for every op node while tracing."""
+    if _TAPES:
+        _TAPES[-1].nodes.append(tensor)
+
+
+def tracing() -> bool:
+    """Whether a trace is currently being recorded."""
+    return bool(_TAPES)
+
+
+def mark_dynamic(reason: str) -> None:
+    """Flag the active trace as not replay-safe (value-dependent
+    constants such as dropout masks or Huber's branch mask)."""
+    if _TAPES:
+        tape = _TAPES[-1]
+        tape.dynamic = True
+        if reason not in tape.reasons:
+            tape.reasons.append(reason)
+
+
+@contextmanager
+def trace():
+    """Record every op node created in the block onto a fresh tape."""
+    tape = Tape()
+    _TAPES.append(tape)
+    try:
+        yield tape
+    finally:
+        _TAPES.pop()
+
+
+# ======================================================================
+# plans
+# ======================================================================
+class PlanError(RuntimeError):
+    """The traced graph cannot be compiled into a static plan."""
+
+
+class _Step:
+    """One scheduled op: slot-indexed inputs/output plus its kernel."""
+
+    __slots__ = ("op", "ins", "out", "forward", "vjp")
+
+    def __init__(self, op: str, ins: Tuple[int, ...], out: int) -> None:
+        self.op = op
+        self.ins = ins
+        self.out = out
+        kernel = KERNELS[op]
+        self.forward = kernel.forward
+        self.vjp = kernel.vjp
+
+
+def _meta_fingerprint(meta: Optional[dict]):
+    if not meta:
+        return None
+    parts = []
+    for key in sorted(meta):
+        if key.startswith("_"):
+            continue  # kernel-private caches (e.g. scatter layouts)
+        value = meta[key]
+        if isinstance(value, np.ndarray):
+            parts.append((key, "nd", value.shape, str(value.dtype)))
+        elif isinstance(value, (tuple, list)):
+            parts.append((key, "seq", len(value)))
+        elif isinstance(value, slice):
+            parts.append((key, "slice", value.start, value.stop, value.step))
+        else:
+            parts.append((key, value))
+    return tuple(parts)
+
+
+class PlanStructure:
+    """The architecture-level half of a plan: slots, schedule, signature.
+
+    Cached module-wide keyed by :attr:`signature`, so two traces of the
+    same model architecture (e.g. every epoch over one training batch,
+    or every shard with identical shapes) share one topological order.
+    """
+
+    __slots__ = ("steps", "num_slots", "param_slots", "const_slots",
+                 "root_slot", "slot_shapes", "needs_grad", "signature")
+
+    def __init__(self, steps: List[_Step], num_slots: int,
+                 param_slots: Tuple[int, ...], const_slots: Tuple[int, ...],
+                 root_slot: int, slot_shapes: Tuple[tuple, ...],
+                 signature) -> None:
+        self.steps = steps
+        self.num_slots = num_slots
+        self.param_slots = param_slots
+        self.const_slots = const_slots
+        self.root_slot = root_slot
+        self.slot_shapes = slot_shapes
+        self.signature = signature
+        needs = [False] * num_slots
+        for slot in param_slots:
+            needs[slot] = True
+        for step in steps:
+            needs[step.out] = any(needs[i] for i in step.ins)
+        self.needs_grad = tuple(needs)
+
+
+_STRUCTURES: Dict[object, PlanStructure] = {}
+
+
+def structure_cache_info() -> Dict[str, int]:
+    """Size of the shared structure cache (for tests / reporting)."""
+    return {"structures": len(_STRUCTURES)}
+
+
+def _collect_ancestors(root) -> Dict[int, object]:
+    found: Dict[int, object] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        key = id(node)
+        if key in found:
+            continue
+        found[key] = node
+        stack.extend(node._parents)
+    return found
+
+
+def compile_plan(root, tape: Tape) -> "ExecutionPlan":
+    """Compile a traced scalar loss into an :class:`ExecutionPlan`.
+
+    Raises :class:`PlanError` when the graph is not statically
+    replayable (dynamic ops, ancestors created outside the trace, or a
+    non-scalar root).
+    """
+    if tape.dynamic:
+        raise PlanError("dynamic trace: " + ", ".join(tape.reasons))
+    if root.data.size != 1:
+        raise PlanError("plans require a scalar loss root")
+    ancestors = _collect_ancestors(root)
+    op_nodes = [t for t in tape.nodes if id(t) in ancestors]
+    recorded = {id(t) for t in op_nodes}
+    slot_of: Dict[int, int] = {}
+    leaves: List = []
+    for node in ancestors.values():
+        if node._parents:
+            if id(node) not in recorded:
+                raise PlanError(
+                    "loss depends on an op recorded outside the trace"
+                )
+        else:
+            slot_of[id(node)] = len(leaves)
+            leaves.append(node)
+    steps: List[_Step] = []
+    metas: List[Optional[dict]] = []
+    next_slot = len(leaves)
+    for node in op_nodes:
+        if node._op is None or node._backward_fn is not None:
+            raise PlanError(
+                f"node {node!r} uses a closure backward; only registry "
+                "kernels are replayable"
+            )
+        ins = tuple(slot_of[id(p)] for p in node._parents)
+        slot_of[id(node)] = next_slot
+        steps.append(_Step(node._op, ins, next_slot))
+        metas.append(node._meta)
+        next_slot += 1
+    slot_shapes = tuple(
+        [leaf.data.shape for leaf in leaves] + [n.data.shape for n in op_nodes]
+    )
+    signature = (
+        tuple(
+            (s.op, s.ins, slot_shapes[s.out], _meta_fingerprint(m))
+            for s, m in zip(steps, metas)
+        ),
+        tuple(slot_shapes[:len(leaves)]),
+        tuple(i for i, leaf in enumerate(leaves) if leaf.requires_grad),
+        slot_of[id(root)],
+    )
+    structure = _STRUCTURES.get(signature)
+    if structure is None:
+        structure = PlanStructure(
+            steps=steps,
+            num_slots=next_slot,
+            param_slots=signature[2],
+            const_slots=tuple(
+                i for i, leaf in enumerate(leaves) if not leaf.requires_grad
+            ),
+            root_slot=slot_of[id(root)],
+            slot_shapes=slot_shapes,
+            signature=signature,
+        )
+        _STRUCTURES[signature] = structure
+        _bump("plan_structures_built")
+    else:
+        _bump("plan_structure_cache_hits")
+    _bump("plans_compiled")
+    return ExecutionPlan(structure, leaves, metas)
+
+
+class ExecutionPlan:
+    """A :class:`PlanStructure` bound to concrete leaves and buffers.
+
+    ``run()`` replays forward and backward as flat loops over numpy
+    arrays.  Parameter leaves are re-read through their ``Tensor``
+    (``load_state_dict`` replaces ``.data``), constants are captured
+    array references, and per-slot gradient buffers are allocated once
+    and reused across steps.
+    """
+
+    __slots__ = ("structure", "metas", "_params", "_consts", "_values",
+                 "_saved", "_grads", "_unbroadcast", "_seed")
+
+    def __init__(self, structure: PlanStructure, leaves: List,
+                 metas: List[Optional[dict]]) -> None:
+        from .tensor import unbroadcast
+
+        self.structure = structure
+        self.metas = metas
+        self._unbroadcast = unbroadcast
+        self._params = [
+            (structure.param_slots[j], leaf)
+            for j, leaf in enumerate(
+                [l for l in leaves if l.requires_grad]
+            )
+        ]
+        self._consts = [
+            (slot, leaf.data)
+            for slot, leaf in zip(
+                structure.const_slots, [l for l in leaves if not l.requires_grad]
+            )
+        ]
+        self._values: List[Optional[np.ndarray]] = [None] * structure.num_slots
+        for slot, data in self._consts:
+            self._values[slot] = data
+        self._saved: List[object] = [None] * len(structure.steps)
+        self._grads: List[Optional[np.ndarray]] = [None] * structure.num_slots
+        self._seed = np.ones(structure.slot_shapes[structure.root_slot])
+
+    # ------------------------------------------------------------------
+    def check_bindings(self) -> bool:
+        """Whether the bound leaves still match the recorded shapes."""
+        shapes = self.structure.slot_shapes
+        for slot, param in self._params:
+            if param.data.shape != shapes[slot]:
+                return False
+        for slot, data in self._consts:
+            if data.shape != shapes[slot]:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def forward(self) -> float:
+        """Replay the forward schedule; returns the scalar loss."""
+        values = self._values
+        saved = self._saved
+        for slot, param in self._params:
+            values[slot] = param.data
+        for i, step in enumerate(self.structure.steps):
+            arrays = tuple(values[j] for j in step.ins)
+            out, sv = step.forward(self.metas[i], arrays)
+            values[step.out] = out
+            saved[i] = sv
+        return float(values[self.structure.root_slot])
+
+    def backward(self) -> None:
+        """Replay the VJP schedule over per-slot gradient references.
+
+        Accumulation mirrors the eager walk exactly — gradients are
+        passed by reference and combined with out-of-place additions in
+        the same order — so planned and eager parameter gradients are
+        bit-for-bit identical.
+        """
+        structure = self.structure
+        values = self._values
+        grads = self._grads
+        needs = structure.needs_grad
+        unbroadcast = self._unbroadcast
+        for i in range(structure.num_slots):
+            grads[i] = None
+        grads[structure.root_slot] = self._seed
+        steps = structure.steps
+        metas = self.metas
+        saved = self._saved
+        for i in range(len(steps) - 1, -1, -1):
+            step = steps[i]
+            grad = grads[step.out]
+            if grad is None:
+                continue
+            grads[step.out] = None
+            arrays = tuple(values[j] for j in step.ins)
+            pgrads = step.vjp(metas[i], grad, arrays, values[step.out], saved[i])
+            for j, pgrad in zip(step.ins, pgrads):
+                if pgrad is None or not needs[j]:
+                    continue
+                pgrad = unbroadcast(
+                    np.asarray(pgrad, dtype=np.float64),
+                    structure.slot_shapes[j],
+                )
+                if grads[j] is None:
+                    grads[j] = pgrad
+                else:
+                    grads[j] = grads[j] + pgrad
+        for slot, param in self._params:
+            pgrad = grads[slot]
+            grads[slot] = None
+            if pgrad is None:
+                continue
+            if param.grad is None:
+                param.grad = pgrad.copy()
+            else:
+                param.grad = param.grad + pgrad
+        self._release()
+
+    def _release(self) -> None:
+        """Drop activations / saved forward buffers after a step.
+
+        Trainers hold one plan per train batch for their lifetime;
+        without this, every *cold* plan would pin a full set of float64
+        activations (including im2col buffers) between steps.  Constant
+        leaf bindings are kept — they are references to long-lived batch
+        arrays, not copies.
+        """
+        values = self._values
+        grads = self._grads
+        for step in self.structure.steps:
+            values[step.out] = None
+            grads[step.out] = None
+        for slot, _ in self._params:
+            values[slot] = None
+            grads[slot] = None
+        saved = self._saved
+        for i in range(len(saved)):
+            saved[i] = None
+
+    def run(self) -> float:
+        """One full planned training step: forward + backward."""
+        _bump("plan_replays")
+        loss = self.forward()
+        self.backward()
+        return loss
+
+
+# ======================================================================
+# compiled losses
+# ======================================================================
+class CompiledLoss:
+    """Trace-once / replay-many wrapper around a scalar loss closure.
+
+    ``fn`` must build the loss from stable inputs (same batch arrays,
+    same masks) on every call; parameters may change freely.  The first
+    ``run()`` traces eagerly and compiles a plan; later runs replay it.
+    If the trace is dynamic (dropout, value-dependent constants) or
+    compilation fails, every run transparently falls back to fused-eager
+    execution — correctness never depends on replayability.
+
+    After ``run()``, ``param.grad`` is populated exactly as
+    ``loss.backward()`` would have (accumulating into pre-existing
+    gradients), and the scalar loss value is returned.
+    """
+
+    __slots__ = ("_fn", "_plan", "_dynamic", "_reason")
+
+    def __init__(self, fn: Callable[[], object]) -> None:
+        self._fn = fn
+        self._plan: Optional[ExecutionPlan] = None
+        self._dynamic = False
+        self._reason = ""
+
+    @property
+    def fallback_reason(self) -> str:
+        """Why the loss is running eagerly ('' when planned)."""
+        return self._reason
+
+    def _eager(self) -> float:
+        loss = self._fn()
+        loss.backward()
+        return float(loss.data)
+
+    def run(self) -> float:
+        """Execute one step; returns the loss, populates ``.grad``."""
+        if self._dynamic or not fused_enabled():
+            _bump("compiled_eager_steps")
+            return self._eager()
+        plan = self._plan
+        if plan is not None:
+            if plan.check_bindings():
+                loss = plan.forward()
+                plan.backward()
+                _bump("plan_replays")
+                return loss
+            # Shapes moved under us: retrace next run.
+            self._plan = None
+            _bump("plan_rebinds")
+        with trace() as tape:
+            loss = self._fn()
+        try:
+            self._plan = compile_plan(loss, tape)
+        except PlanError as error:
+            self._dynamic = True
+            self._reason = str(error)
+            _bump("plan_fallbacks")
+        loss.backward()
+        return float(loss.data)

@@ -45,10 +45,7 @@ class Linear(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         """Compute the layer output (see class docstring)."""
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return F.linear(x, self.weight, self.bias)
 
 
 class Conv1d(Module):

@@ -17,11 +17,29 @@ from .tensor import Tensor
 __all__ = ["Parameter", "Module"]
 
 
-class Parameter(Tensor):
-    """A trainable :class:`Tensor` (always ``requires_grad=True``)."""
+#: name suffixes that mark a parameter as a bias / normalisation term.
+_NO_DECAY_SUFFIXES = ("bias", "gain", "shift")
 
-    def __init__(self, data, name: str = "") -> None:
+
+class Parameter(Tensor):
+    """A trainable :class:`Tensor` (always ``requires_grad=True``).
+
+    ``decay_exempt`` marks parameters that weight decay must skip —
+    biases and normalisation gains/shifts, which regularising toward
+    zero only distorts (it skews the small-graph baselines; see the
+    optimizers).  The default heuristic follows the familiar torch
+    convention: vectors and scalars (``ndim <= 1``) plus anything whose
+    name ends in ``bias`` / ``gain`` / ``shift`` are exempt; pass
+    ``decay_exempt`` explicitly to override.
+    """
+
+    def __init__(self, data, name: str = "",
+                 decay_exempt: bool | None = None) -> None:
         super().__init__(data, requires_grad=True, name=name)
+        if decay_exempt is None:
+            leaf = name.rsplit(".", 1)[-1]
+            decay_exempt = self.data.ndim <= 1 or leaf in _NO_DECAY_SUFFIXES
+        self.decay_exempt = bool(decay_exempt)
 
 
 class Module:

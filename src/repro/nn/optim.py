@@ -67,12 +67,17 @@ class SGD(Optimizer):
         self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 
     def step(self) -> None:
-        """Apply one optimization update to all parameters."""
+        """Apply one optimization update to all parameters.
+
+        Weight decay skips parameters flagged ``decay_exempt`` (biases
+        and norm gains/shifts) — decaying those toward zero distorts
+        the model instead of regularising it.
+        """
         for i, p in enumerate(self.parameters):
             if p.grad is None:
                 continue
             grad = p.grad
-            if self.weight_decay:
+            if self.weight_decay and not getattr(p, "decay_exempt", False):
                 grad = grad + self.weight_decay * p.data
             if self.momentum:
                 if self._velocity[i] is None:
@@ -97,19 +102,28 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
-        self._step_count = 0
+        # Bias correction is counted per parameter, not globally: a
+        # parameter that only starts receiving gradients at step k (a
+        # lazily-used embedding, a late-joined group) must see its own
+        # step count in 1 - beta^t, otherwise its first updates are
+        # under-corrected and systematically too small.
+        self._steps: List[int] = [0] * len(self.parameters)
         self._m: List[Optional[np.ndarray]] = [None] * len(self.parameters)
         self._v: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 
     def step(self) -> None:
-        """Apply one optimization update to all parameters."""
-        self._step_count += 1
-        bias1 = 1.0 - self.beta1 ** self._step_count
-        bias2 = 1.0 - self.beta2 ** self._step_count
+        """Apply one optimization update to all parameters.
+
+        Decoupled weight decay skips ``decay_exempt`` parameters
+        (biases, norm gains/shifts), mirroring :class:`SGD`.
+        """
         for i, p in enumerate(self.parameters):
             if p.grad is None:
                 continue
             grad = p.grad
+            self._steps[i] += 1
+            bias1 = 1.0 - self.beta1 ** self._steps[i]
+            bias2 = 1.0 - self.beta2 ** self._steps[i]
             if self._m[i] is None:
                 self._m[i] = np.zeros_like(p.data)
                 self._v[i] = np.zeros_like(p.data)
@@ -118,6 +132,6 @@ class Adam(Optimizer):
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
             update = m_hat / (np.sqrt(v_hat) + self.eps)
-            if self.weight_decay:
+            if self.weight_decay and not getattr(p, "decay_exempt", False):
                 update = update + self.weight_decay * p.data
             p.data = p.data - self.lr * update

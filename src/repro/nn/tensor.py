@@ -8,21 +8,46 @@ model in this repository (Gaia and all eight baselines) is built on the
 Design notes
 ------------
 * ``Tensor`` wraps a ``numpy.ndarray`` (always ``float64``) together with
-  an optional gradient buffer and a closure that propagates gradients to
-  its parents.  Calling :meth:`Tensor.backward` performs a topological
-  sort of the recorded graph and runs the closures in reverse order.
+  an optional gradient buffer and a reference to the registered kernel
+  that produced it.  Ops are *data, not closures*: every primitive is an
+  :class:`repro.nn.engine.OpKernel` — a pure ``forward(meta, arrays)`` /
+  ``vjp(meta, grad, arrays, out, saved)`` pair — dispatched through
+  :func:`_apply_op`.  Because kernels are addressable by name, the same
+  definitions serve three executors: the eager path here, the
+  construction-time fuser, and the planned replay executor in
+  :mod:`repro.nn.engine` (record once → cache the schedule keyed by
+  graph structure → re-execute over raw arrays with reused gradient
+  buffers).
+* Scheduling: every tensor carries a monotonically increasing creation
+  index (``_seq``).  Creation order is by construction a topological
+  order of the recorded graph, so :meth:`Tensor.backward` simply visits
+  the loss ancestors in decreasing ``_seq`` — no DFS re-sort — and the
+  planned executor walks its recorded tape in reverse.  Both walks
+  process the same nodes in the same order with the same kernels, which
+  makes eager and planned gradients **bit-for-bit identical**; that is
+  the engine's equivalence guarantee (see ROADMAP, "execution engine").
+* Fusion happens when ops are recorded, behind this module's public API:
+  ``add(matmul(x, w), b)`` becomes one ``linear`` node,
+  ``relu/tanh/sigmoid`` fold into it, and ``sum(mul(a, b))`` becomes a
+  ``mul_sum`` reduction.  Call sites — every model in the repo — are
+  untouched; fused VJPs are element-identical to the composition they
+  replace.
 * Broadcasting follows numpy semantics; gradients of broadcast operands
-  are reduced back to the operand's shape by :func:`unbroadcast`.
-* The engine is intentionally eager and single-threaded: graphs in this
-  project are small (hundreds of nodes, dozens of timestamps), so clarity
-  wins over throughput.
+  are reduced back to the operand's shape by :func:`unbroadcast`, which
+  right-aligns gradients whose rank already dropped below the operand's
+  (size-1 axes in scalar-output chains) before reducing stretched axes.
+* ``REPRO_NN_ENGINE=eager`` (or ``engine.use_mode("eager")``) restores
+  the original unfused kernels and float association exactly.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
+
+from . import engine
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
@@ -30,6 +55,8 @@ __all__ = ["Tensor", "as_tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
 
 
 _GRAD_ENABLED = [True]
+
+_SEQ = itertools.count()
 
 
 class no_grad:
@@ -65,10 +92,17 @@ def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     """
     if grad.shape == shape:
         return grad
-    # Sum over leading axes that were added by broadcasting.
     extra = grad.ndim - len(shape)
     if extra > 0:
+        # Sum over leading axes that were added by broadcasting.
         grad = grad.sum(axis=tuple(range(extra)))
+    elif extra < 0:
+        # The gradient's rank already dropped below the operand's — only
+        # possible when every missing axis has size 1 (e.g. a ``(1,)``
+        # operand in a scalar-output chain).  Right-align by re-inserting
+        # the missing leading axes; without this the stretched-axis scan
+        # below indexes past ``grad.shape`` and mis-reduces.
+        grad = grad.reshape((1,) * -extra + grad.shape)
     # Sum over axes that were stretched from size 1.
     stretched = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
     if stretched:
@@ -89,13 +123,15 @@ class Tensor:
     parents:
         Tensors this value was computed from (internal).
     backward_fn:
-        Closure mapping the output gradient to parent gradient updates
-        (internal).
+        Legacy closure mapping the output gradient to parent gradients.
+        Ops created through :func:`_apply_op` use registry kernels
+        instead; the closure path remains for ad-hoc extensions.
     name:
         Optional debugging label.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn",
+                 "name", "_op", "_meta", "_saved", "_vjp", "_seq")
 
     def __init__(
         self,
@@ -113,6 +149,11 @@ class Tensor:
         self._parents: tuple = tuple(parents) if self.requires_grad else ()
         self._backward_fn = backward_fn if self.requires_grad else None
         self.name = name
+        self._op: Optional[str] = None
+        self._meta: Optional[dict] = None
+        self._saved: object = None
+        self._vjp: Optional[Callable] = None
+        self._seq = next(_SEQ)
 
     # ------------------------------------------------------------------
     # basic protocol
@@ -171,6 +212,13 @@ class Tensor:
         else:
             self.grad = self.grad + grad
 
+    def _parent_grads(self, grad: np.ndarray):
+        """Run this node's VJP (registry kernel or legacy closure)."""
+        if self._backward_fn is not None:
+            return self._backward_fn(grad)
+        arrays = tuple(p.data for p in self._parents)
+        return self._vjp(self._meta, grad, arrays, self.data, self._saved)
+
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor through the recorded graph.
 
@@ -199,9 +247,9 @@ class Tensor:
             if not node._parents:
                 node._accumulate(node_grad)
                 continue
-            if node._backward_fn is None:
+            if node._backward_fn is None and node._vjp is None:
                 continue
-            parent_grads = node._backward_fn(node_grad)
+            parent_grads = node._parent_grads(node_grad)
             for parent, pgrad in zip(node._parents, parent_grads):
                 if pgrad is None or not parent.requires_grad:
                     continue
@@ -279,32 +327,70 @@ def as_tensor(value: ArrayLike) -> Tensor:
 
 
 def _topological_order(root: Tensor) -> list:
-    """Return tensors reachable from ``root`` in reverse topological order."""
+    """Return tensors reachable from ``root``, root first.
+
+    Creation order is a topological order by construction (parents exist
+    before children), so the schedule is simply the ancestor set sorted
+    by decreasing creation index — the same order the planned executor
+    replays, which keeps eager and planned gradient accumulation
+    bit-for-bit identical.
+    """
+    found: set = set()
     order: list = []
-    visited: set = set()
-    stack: list = [(root, False)]
+    stack: list = [root]
     while stack:
-        node, processed = stack.pop()
-        if processed:
-            order.append(node)
+        node = stack.pop()
+        if id(node) in found:
             continue
-        if id(node) in visited:
-            continue
-        visited.add(id(node))
-        stack.append((node, True))
-        for parent in node._parents:
-            if id(parent) not in visited:
-                stack.append((parent, False))
-    order.reverse()
+        found.add(id(node))
+        order.append(node)
+        stack.extend(node._parents)
+    order.sort(key=lambda t: t._seq, reverse=True)
     return order
 
 
 def _make(data: np.ndarray, parents: Sequence[Tensor], backward_fn) -> Tensor:
-    """Create an op output tensor, recording the graph if needed."""
+    """Create an op output tensor from a legacy backward closure.
+
+    Registry ops go through :func:`_apply_op`; this remains the quick
+    path for one-off differentiable ops in tests or experiments.
+    """
     requires = is_grad_enabled() and any(p.requires_grad for p in parents)
     if not requires:
         return Tensor(data)
     return Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn)
+
+
+def _apply_op(op: str, inputs: tuple, meta: Optional[dict] = None) -> Tensor:
+    """Dispatch one primitive through the engine's kernel registry.
+
+    Chooses the kernel variant for the current engine mode, applies
+    construction-time fusion when recording, creates the output node and
+    registers it on the active trace (if any).
+    """
+    recording = is_grad_enabled() and any(t.requires_grad for t in inputs)
+    if recording and engine.fused_enabled():
+        rewrite = engine.match_fusion(op, inputs, meta)
+        if rewrite is not None:
+            op, inputs, meta, out_data, saved = rewrite
+            return _record(op, inputs, meta, out_data, saved,
+                           engine.KERNELS[op].vjp)
+    forward, vjp = engine.select_kernel(op)
+    out_data, saved = forward(meta, tuple(t.data for t in inputs))
+    if not recording:
+        return Tensor(out_data)
+    return _record(op, inputs, meta, out_data, saved, vjp)
+
+
+def _record(op: str, inputs: tuple, meta: Optional[dict], out_data: np.ndarray,
+            saved: object, vjp: Callable) -> Tensor:
+    result = Tensor(out_data, requires_grad=True, parents=inputs)
+    result._op = op
+    result._meta = meta
+    result._saved = saved
+    result._vjp = vjp
+    engine.record_node(result)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -312,78 +398,35 @@ def _make(data: np.ndarray, parents: Sequence[Tensor], backward_fn) -> Tensor:
 # ----------------------------------------------------------------------
 def add(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise (broadcasting) addition."""
-    out_data = a.data + b.data
-
-    def backward(grad: np.ndarray):
-        return grad, grad
-
-    return _make(out_data, (a, b), backward)
+    return _apply_op("add", (a, b))
 
 
 def mul(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise (broadcasting) multiplication."""
-    out_data = a.data * b.data
-
-    def backward(grad: np.ndarray):
-        return grad * b.data, grad * a.data
-
-    return _make(out_data, (a, b), backward)
+    return _apply_op("mul", (a, b),
+                     {"needs": (a.requires_grad, b.requires_grad)})
 
 
 def div(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise (broadcasting) division."""
-    out_data = a.data / b.data
-
-    def backward(grad: np.ndarray):
-        return grad / b.data, -grad * a.data / (b.data * b.data)
-
-    return _make(out_data, (a, b), backward)
+    return _apply_op("div", (a, b),
+                     {"needs": (a.requires_grad, b.requires_grad)})
 
 
 def power(a: Tensor, exponent: float) -> Tensor:
     """Elementwise power with a constant exponent."""
-    out_data = a.data ** exponent
-
-    def backward(grad: np.ndarray):
-        return (grad * exponent * a.data ** (exponent - 1.0),)
-
-    return _make(out_data, (a,), backward)
+    return _apply_op("power", (a,), {"exponent": float(exponent)})
 
 
 def matmul(a: Tensor, b: Tensor) -> Tensor:
     """Matrix product following numpy ``@`` semantics (incl. batched)."""
-    out_data = a.data @ b.data
-
-    def backward(grad: np.ndarray):
-        a_data, b_data = a.data, b.data
-        if a_data.ndim == 1 and b_data.ndim == 1:
-            return grad * b_data, grad * a_data
-        if a_data.ndim == 1:
-            # (k,) @ (..., k, n) -> (..., n)
-            ga = (grad[..., None, :] * b_data).sum(axis=-1)
-            gb = a_data[:, None] * grad[..., None, :]
-            return unbroadcast(ga, a_data.shape), unbroadcast(gb, b_data.shape)
-        if b_data.ndim == 1:
-            # (..., m, k) @ (k,) -> (..., m)
-            ga = grad[..., :, None] * b_data
-            gb = (a_data * grad[..., :, None]).sum(axis=tuple(range(a_data.ndim - 1)))
-            return unbroadcast(ga, a_data.shape), unbroadcast(gb, b_data.shape)
-        ga = grad @ np.swapaxes(b_data, -1, -2)
-        gb = np.swapaxes(a_data, -1, -2) @ grad
-        return unbroadcast(ga, a_data.shape), unbroadcast(gb, b_data.shape)
-
-    return _make(out_data, (a, b), backward)
+    return _apply_op("matmul", (a, b))
 
 
 def reshape(a: Tensor, shape: tuple) -> Tensor:
     """Reshape with gradient support."""
-    old_shape = a.data.shape
-    out_data = a.data.reshape(shape)
-
-    def backward(grad: np.ndarray):
-        return (grad.reshape(old_shape),)
-
-    return _make(out_data, (a,), backward)
+    return _apply_op("reshape", (a,),
+                     {"shape": shape, "old_shape": a.data.shape})
 
 
 def transpose(a: Tensor, axes: Optional[Sequence[int]] = None) -> Tensor:
@@ -394,32 +437,16 @@ def transpose(a: Tensor, axes: Optional[Sequence[int]] = None) -> Tensor:
         axes = list(range(a.data.ndim))
         axes[-1], axes[-2] = axes[-2], axes[-1]
     axes = tuple(axes)
-    inverse = tuple(np.argsort(axes))
-    out_data = np.transpose(a.data, axes)
-
-    def backward(grad: np.ndarray):
-        return (np.transpose(grad, inverse),)
-
-    return _make(out_data, (a,), backward)
+    inverse = tuple(int(i) for i in np.argsort(axes))
+    return _apply_op("transpose", (a,), {"axes": axes, "inverse": inverse})
 
 
 def tensor_sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     """Sum reduction with gradient support."""
-    out_data = a.data.sum(axis=axis, keepdims=keepdims)
-    in_shape = a.data.shape
-
-    def backward(grad: np.ndarray):
-        g = np.asarray(grad)
-        if axis is None:
-            return (np.broadcast_to(g, in_shape).copy(),)
-        axes = axis if isinstance(axis, tuple) else (axis,)
-        axes = tuple(ax % len(in_shape) for ax in axes)
-        if not keepdims:
-            for ax in sorted(axes):
-                g = np.expand_dims(g, ax)
-        return (np.broadcast_to(g, in_shape).copy(),)
-
-    return _make(out_data, (a,), backward)
+    return _apply_op(
+        "sum", (a,),
+        {"axis": axis, "keepdims": keepdims, "in_shape": a.data.shape},
+    )
 
 
 def tensor_mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
@@ -436,12 +463,5 @@ def tensor_mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
 
 def getitem(a: Tensor, index) -> Tensor:
     """Indexing / slicing with gradient support (scatter-add backward)."""
-    out_data = a.data[index]
-    in_shape = a.data.shape
-
-    def backward(grad: np.ndarray):
-        full = np.zeros(in_shape, dtype=np.float64)
-        np.add.at(full, index, grad)
-        return (full,)
-
-    return _make(out_data, (a,), backward)
+    return _apply_op("getitem", (a,),
+                     {"index": index, "in_shape": a.data.shape})

@@ -34,8 +34,8 @@ from ..data.dataset import ForecastDataset, InstanceBatch
 from ..deploy.model_server import ModelRegistry, ModelVersion
 from ..deploy.serving import PredictionResponse
 from ..graph.sampling import EgoSubgraph, ego_subgraphs
+from ..nn import engine
 from ..nn.module import Module
-from ..nn.tensor import no_grad
 from .batching import MicroBatcher, PendingRequest, build_disjoint_batch
 from .cache import ResultCache, SubgraphCache
 from .metrics import MetricsRegistry
@@ -296,7 +296,11 @@ class ServingGateway:
                 [egos[s] for s in shops], self.source_batch
             )
             replica.model.eval()
-            with no_grad():
+            # Inference mode = no autograd metadata + the engine's
+            # optimized kernel set (GEMM convolutions, reduceat
+            # scatter-adds, in-place masked softmax) for the stitched
+            # block-diagonal forward.
+            with engine.inference_mode():
                 scaled = replica.model(union.batch, union.graph)
             raw = union.batch.inverse_scale(scaled.data)
         finally:
@@ -339,5 +343,9 @@ class ServingGateway:
         report["result_cache"] = {
             "size": len(self.result_cache),
             "hit_rate": self.result_cache.stats.hit_rate(),
+        }
+        report["engine"] = {
+            "mode": engine.engine_mode(),
+            **engine.stats_snapshot(),
         }
         return report

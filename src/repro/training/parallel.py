@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.dataset import ForecastDataset, InstanceBatch
+from ..nn import engine
 from ..nn.module import Module
 from ..nn.optim import Adam, clip_grad_norm
 from ..nn.tensor import Tensor, no_grad
@@ -138,6 +139,16 @@ class ShardedDataset:
 # ----------------------------------------------------------------------
 # per-shard loss/gradient computation (shared by sim and process modes)
 # ----------------------------------------------------------------------
+def _active_rows(dataset: ForecastDataset, batch: InstanceBatch,
+                 role: str) -> np.ndarray:
+    """Rows the shard loss averages over: active shops in the role set.
+
+    Single source of truth — the compiled-plan cache weights shards by
+    this same mask, so the two must never drift apart.
+    """
+    return batch.mask.any(axis=1) & dataset.node_mask(role)
+
+
 def _shard_loss(model: Module, dataset: ForecastDataset, batch: InstanceBatch,
                 role: str) -> Tuple[Optional[Tensor], int]:
     """Mirror of ``Trainer._loss`` returning ``(loss, active_row_count)``.
@@ -146,7 +157,7 @@ def _shard_loss(model: Module, dataset: ForecastDataset, batch: InstanceBatch,
     role — a zero-weight contribution, not an error, because other
     shards cover those rows.
     """
-    active = batch.mask.any(axis=1) & dataset.node_mask(role)
+    active = _active_rows(dataset, batch, role)
     count = int(active.sum())
     if count == 0:
         return None, 0
@@ -156,12 +167,39 @@ def _shard_loss(model: Module, dataset: ForecastDataset, batch: InstanceBatch,
 
 
 class _ShardWorker:
-    """Executes one shard's forward/backward; oblivious to transport."""
+    """Executes one shard's forward/backward; oblivious to transport.
 
-    def __init__(self, model: Module, shard: ShardView) -> None:
+    Training steps run through one :class:`~repro.nn.engine.CompiledLoss`
+    per train batch — same planned executor as the sequential trainer,
+    with gradients bit-identical to the eager graph walk.  The shard's
+    active-row count is batch-static and cached alongside the plan.
+    """
+
+    def __init__(self, model: Module, shard: ShardView,
+                 use_engine: bool = True) -> None:
         self.model = model
         self.shard = shard
+        self.use_engine = use_engine
         self._params = model.parameters()
+        self._compiled: Dict[int, Tuple[int, Optional[engine.CompiledLoss]]] = {}
+
+    def _compiled_entry(self, batch_index: int):
+        entry = self._compiled.get(batch_index)
+        if entry is None:
+            dataset = self.shard.dataset
+            batch = dataset.train[batch_index]
+            count = int(_active_rows(dataset, batch, "train").sum())
+            compiled = None
+            if count and self.use_engine:
+
+                def loss_fn(b=batch, d=dataset):
+                    loss, _ = _shard_loss(self.model, d, b, "train")
+                    return loss
+
+                compiled = engine.CompiledLoss(loss_fn)
+            entry = (count, compiled)
+            self._compiled[batch_index] = entry
+        return entry
 
     def train_step(self, state: Dict[str, np.ndarray],
                    batch_index: int) -> Tuple[float, int, Optional[Grads]]:
@@ -169,17 +207,22 @@ class _ShardWorker:
         self.model.load_state_dict(state)
         self.model.train()
         self.model.zero_grad()
-        dataset = self.shard.dataset
-        loss, count = _shard_loss(
-            self.model, dataset, dataset.train[batch_index], "train"
-        )
-        if loss is None:
+        count, compiled = self._compiled_entry(batch_index)
+        if count == 0:
             return 0.0, 0, None
-        loss.backward()
+        if compiled is not None and engine.fused_enabled():
+            loss_value = compiled.run()
+        else:
+            dataset = self.shard.dataset
+            loss, _ = _shard_loss(
+                self.model, dataset, dataset.train[batch_index], "train"
+            )
+            loss.backward()
+            loss_value = loss.item()
         grads: Grads = [
             None if p.grad is None else p.grad.copy() for p in self._params
         ]
-        return loss.item(), count, grads
+        return loss_value, count, grads
 
     def val_loss(self, state: Dict[str, np.ndarray]) -> Tuple[float, int]:
         """Shard validation loss at ``state`` (0-weight when inactive)."""
@@ -194,9 +237,10 @@ class _ShardWorker:
         return loss.item(), count
 
 
-def _worker_loop(conn, model: Module, shard: ShardView) -> None:
+def _worker_loop(conn, model: Module, shard: ShardView,
+                 use_engine: bool = True) -> None:
     """Child-process server: answer train/val requests until stopped."""
-    worker = _ShardWorker(model, shard)
+    worker = _ShardWorker(model, shard, use_engine=use_engine)
     try:
         while True:
             message = conn.recv()
@@ -291,7 +335,8 @@ class ParallelTrainer:
         self.sharded = ShardedDataset(dataset, partition)
         factory = model_factory or (lambda: copy.deepcopy(model))
         self._workers = [
-            _ShardWorker(factory(), shard) for shard in self.sharded.shards
+            _ShardWorker(factory(), shard, use_engine=self.config.use_engine)
+            for shard in self.sharded.shards
         ]
         for worker in self._workers:
             worker.model.load_state_dict(model.state_dict())
@@ -322,7 +367,7 @@ class ParallelTrainer:
             parent_conn, child_conn = context.Pipe(duplex=True)
             process = context.Process(
                 target=_worker_loop,
-                args=(child_conn, worker.model, worker.shard),
+                args=(child_conn, worker.model, worker.shard, worker.use_engine),
                 daemon=True,
             )
             process.start()

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..data.dataset import ForecastDataset, InstanceBatch
+from ..nn import engine
 from ..nn import functional as F
 from ..nn.module import Module
 from ..nn.optim import Adam, clip_grad_norm
@@ -43,6 +44,12 @@ class TrainConfig:
     patience: int = 20
     min_epochs: int = 10
     verbose: bool = False
+    #: Route training steps through the planned execution engine
+    #: (:mod:`repro.nn.engine`): trace each train batch once, then
+    #: replay the cached plan with reused gradient buffers.  Falls back
+    #: to eager execution automatically for dynamic graphs (dropout)
+    #: or when the engine mode is ``"eager"``.
+    use_engine: bool = True
 
 
 @dataclass
@@ -79,6 +86,9 @@ class Trainer:
             weight_decay=self.config.weight_decay,
         )
         self.history = TrainHistory()
+        # One compiled loss per train batch: the batch's arrays/masks are
+        # the plan's constants, so keying by batch keeps replay static.
+        self._compiled: Dict[int, engine.CompiledLoss] = {}
 
     # ------------------------------------------------------------------
     def _loss(self, batch: InstanceBatch, role: str) -> Tensor:
@@ -96,6 +106,26 @@ class Trainer:
         self.model.train()
         return loss.item()
 
+    def _train_step_loss(self, batch_index: int, batch: InstanceBatch) -> float:
+        """One forward/backward on a train batch; returns the loss.
+
+        With ``use_engine`` the step runs through a per-batch
+        :class:`~repro.nn.engine.CompiledLoss`: identical gradients
+        (bit-for-bit — the planned executor replays the same kernels in
+        the same order), minus the per-step graph construction.
+        """
+        if self.config.use_engine and engine.fused_enabled():
+            compiled = self._compiled.get(batch_index)
+            if compiled is None:
+                compiled = engine.CompiledLoss(
+                    lambda b=batch: self._loss(b, "train")
+                )
+                self._compiled[batch_index] = compiled
+            return compiled.run()
+        loss = self._loss(batch, "train")
+        loss.backward()
+        return loss.item()
+
     # ------------------------------------------------------------------
     def fit(self) -> TrainHistory:
         """Train until convergence or the epoch budget; restore best weights."""
@@ -107,13 +137,12 @@ class Trainer:
         self.model.train()
         for epoch in range(cfg.epochs):
             epoch_losses = []
-            for batch in self.dataset.train:
+            for batch_index, batch in enumerate(self.dataset.train):
                 self.optimizer.zero_grad()
-                loss = self._loss(batch, "train")
-                loss.backward()
+                loss_value = self._train_step_loss(batch_index, batch)
                 clip_grad_norm(self.optimizer.parameters, cfg.clip_norm)
                 self.optimizer.step()
-                epoch_losses.append(loss.item())
+                epoch_losses.append(loss_value)
             train_loss = float(np.mean(epoch_losses))
             val_loss = self._val_loss()
             self.history.train_loss.append(train_loss)

@@ -1,0 +1,414 @@
+"""Gradient correctness and equivalence tests for the execution engine.
+
+Three layers of guarantees, strongest first:
+
+* every fused kernel's VJP matches central differences across random
+  shapes (``forall`` harness; ``-m engine`` selects this suite);
+* fused kernels match the eager reference kernels' gradients;
+* compiled-plan replay is **bit-for-bit** identical to the fused eager
+  graph walk, and the full engine tracks the pre-engine eager path to
+  <= 1e-12 over whole training trajectories (Trainer and
+  ParallelTrainer).
+"""
+
+import numpy as np
+import pytest
+
+from helpers import check_gradients, forall, numerical_gradient
+
+from repro.core import Gaia, GaiaConfig
+from repro.data import MarketplaceConfig, build_dataset, build_marketplace
+from repro.nn import engine
+from repro.nn import functional as F
+from repro.nn.layers import Conv1d, Linear
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+from repro.training import TrainConfig, Trainer
+from repro.training.parallel import ParallelTrainer
+
+pytestmark = pytest.mark.engine
+
+
+@pytest.fixture(autouse=True)
+def _restore_mode():
+    previous = engine.engine_mode()
+    yield
+    engine.set_engine_mode(previous)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    market = build_marketplace(MarketplaceConfig(num_shops=36, seed=11))
+    return build_dataset(market, train_fraction=0.6, val_fraction=0.2)
+
+
+def small_gaia(dataset, seed=0, **overrides):
+    config = GaiaConfig(
+        input_window=dataset.input_window,
+        horizon=dataset.horizon,
+        temporal_dim=dataset.temporal_dim,
+        static_dim=dataset.static_dim,
+        channels=8,
+        num_scales=2,
+        num_layers=1,
+        **overrides,
+    )
+    return Gaia(config, seed=seed)
+
+
+def leaf(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+# ----------------------------------------------------------------------
+# fused kernels vs central differences
+# ----------------------------------------------------------------------
+class TestFusedKernelGradients:
+    """Central-difference checks for every fused kernel, random shapes."""
+
+    def test_linear_fusion_gradcheck(self):
+        def prop(case):
+            b, t, c_in, c_out = case
+            rng = np.random.default_rng(b * 100 + t)
+            x = leaf(rng, b, t, c_in)
+            w = leaf(rng, c_in, c_out)
+            bias = leaf(rng, c_out)
+            loss = ((x @ w + bias) * (x @ w + bias)).mean()
+            assert loss._op is not None
+            check_gradients(
+                lambda ts: (ts[0] @ ts[1] + ts[2]).sum(), [x, w, bias]
+            )
+
+        forall(
+            lambda rng: (int(rng.integers(1, 4)), int(rng.integers(1, 5)),
+                         int(rng.integers(1, 5)), int(rng.integers(1, 5))),
+            prop, trials=12, name="linear fusion gradients",
+        )
+
+    @pytest.mark.parametrize("act", [F.relu, F.tanh, F.sigmoid])
+    def test_linear_activation_fusion_gradcheck(self, act):
+        rng = np.random.default_rng(3)
+        x = leaf(rng, 5, 4)
+        w = leaf(rng, 4, 3)
+        bias = leaf(rng, 3)
+        fused = act(x @ w + bias)
+        assert fused._op.startswith("linear_")
+        check_gradients(lambda ts: act(ts[0] @ ts[1] + ts[2]).sum(),
+                        [x, w, bias])
+
+    def test_mul_sum_fusion_gradcheck(self):
+        def prop(case):
+            shape, axis = case
+            rng = np.random.default_rng(sum(shape))
+            a = leaf(rng, *shape)
+            b = leaf(rng, *shape)
+            fused = (a * b).sum(axis=axis)
+            assert fused._op == "mul_sum"
+            check_gradients(lambda ts: (ts[0] * ts[1]).sum(), [a, b])
+
+        forall(
+            lambda rng: (tuple(int(s) for s in rng.integers(1, 5, size=2)),
+                         None),
+            prop, trials=10, name="mul_sum gradients",
+        )
+
+    def test_conv_bank_gradcheck(self):
+        rng = np.random.default_rng(7)
+        x = leaf(rng, 2, 6, 3)
+        ws = [leaf(rng, w, 3, 2) for w in (1, 2, 4)]
+        bs = [leaf(rng, 2) for _ in range(3)]
+
+        def build(ts):
+            xs, w1, w2, w3, b1, b2, b3 = ts
+            outs = F.conv_bank(xs, [w1, w2, w3], [b1, b2, b3])
+            return sum((o * o).sum() for o in outs)
+
+        check_gradients(build, [x, *ws, *bs], atol=1e-4)
+
+    def test_concat_of_convs_fuses_to_bank(self):
+        rng = np.random.default_rng(9)
+        x = leaf(rng, 2, 5, 3)
+        convs = [Conv1d(3, 2, width=w, rng=rng, padding="causal")
+                 for w in (2, 4)]
+        out = F.concat([conv(x) for conv in convs], axis=-1)
+        assert out._op == "multi_conv1d"
+
+        def build(ts):
+            xs, w1, b1, w2, b2 = ts
+            return F.concat(
+                [F.conv1d(xs, w1, b1), F.conv1d(xs, w2, b2)], axis=-1
+            ).sum()
+
+        check_gradients(
+            build,
+            [x, convs[0].weight, convs[0].bias, convs[1].weight, convs[1].bias],
+            atol=1e-4,
+        )
+
+    def test_scaled_masked_softmax_fusion_gradcheck(self):
+        rng = np.random.default_rng(5)
+        mask = F.causal_mask(4)
+        scores = leaf(rng, 3, 4, 4)
+        fused = F.masked_softmax(scores * Tensor(0.5), mask)
+        assert fused._op == "scaled_masked_softmax"
+        check_gradients(
+            lambda ts: (F.masked_softmax(ts[0] * Tensor(0.5), mask) ** 2.0).sum(),
+            [scores], atol=1e-4,
+        )
+
+    def test_conv1d_fused_kernel_gradcheck(self):
+        def prop(case):
+            width, padding = case
+            rng = np.random.default_rng(width * 17)
+            x = leaf(rng, 2, 6, 3)
+            w = leaf(rng, width, 3, 2)
+            b = leaf(rng, 2)
+            check_gradients(
+                lambda ts: (F.conv1d(ts[0], ts[1], ts[2], padding=padding)
+                            ** 2.0).sum(),
+                [x, w, b], atol=1e-4,
+            )
+
+        forall(
+            lambda rng: (int(rng.integers(1, 5)),
+                         str(rng.choice(["causal", "same", "valid"]))),
+            prop, trials=8, name="fused conv1d gradients",
+        )
+
+    def test_graph_primitive_fused_vjps(self):
+        rng = np.random.default_rng(13)
+        index = rng.integers(0, 5, size=11)
+        h = leaf(rng, 5, 3)
+        check_gradients(
+            lambda ts: (F.segment_sum(F.gather_rows(ts[0], index), index, 5)
+                        ** 2.0).sum(),
+            [h],
+        )
+
+    def test_segment_softmax_gradcheck(self):
+        rng = np.random.default_rng(21)
+        ids = np.sort(rng.integers(0, 4, size=9))
+        scores = leaf(rng, 9)
+        check_gradients(
+            lambda ts: (F.segment_softmax(ts[0], ids, 4) ** 2.0).sum(),
+            [scores],
+        )
+
+
+# ----------------------------------------------------------------------
+# fused vs reference kernels
+# ----------------------------------------------------------------------
+class TestFusedMatchesReference:
+    def _grads(self, build):
+        loss, leaves = build()
+        loss.backward()
+        return loss.item(), [leaf.grad.copy() for leaf in leaves]
+
+    @pytest.mark.parametrize("width", [1, 3, 6])
+    def test_conv1d_modes_agree(self, width):
+        def build():
+            rng = np.random.default_rng(width)
+            x = leaf(rng, 3, 7, 4)
+            w = leaf(rng, width, 4, 2)
+            b = leaf(rng, 2)
+            return (F.conv1d(x, w, b) ** 2.0).sum(), [x, w, b]
+
+        engine.set_engine_mode("fused")
+        fused_loss, fused_grads = self._grads(build)
+        engine.set_engine_mode("eager")
+        ref_loss, ref_grads = self._grads(build)
+        assert fused_loss == pytest.approx(ref_loss, rel=1e-12)
+        for fg, rg in zip(fused_grads, ref_grads):
+            np.testing.assert_allclose(fg, rg, rtol=1e-10, atol=1e-12)
+
+    def test_scatter_add_bit_identical_to_add_at(self):
+        def prop(case):
+            rng = np.random.default_rng(case)
+            rows = int(rng.integers(1, 8))
+            index = rng.integers(0, rows, size=int(rng.integers(0, 30)))
+            values = rng.normal(size=(index.size, 3, 2))
+            reference = np.zeros((rows, 3, 2))
+            np.add.at(reference, index, values)
+            fast = engine._scatter_rows(index.astype(np.int64), values,
+                                        rows, {})
+            assert np.array_equal(reference, fast), "scatter mismatch"
+
+        forall(lambda rng: int(rng.integers(0, 10000)), prop, trials=50,
+               name="bincount scatter == add.at")
+
+
+# ----------------------------------------------------------------------
+# compiled plans
+# ----------------------------------------------------------------------
+class TestCompiledLoss:
+    def _quadratic(self, rng):
+        x = Tensor(rng.normal(size=(6, 4)))
+        w = Parameter(rng.normal(size=(4, 3)), name="net.weight")
+        b = Parameter(np.zeros(3), name="net.bias")
+        target = rng.normal(size=(6, 3))
+
+        def loss_fn():
+            diff = x @ w + b - Tensor(target)
+            return (diff * diff).mean()
+
+        return loss_fn, [w, b]
+
+    def test_replay_matches_eager_backward_bitwise(self):
+        rng = np.random.default_rng(0)
+        loss_fn, params = self._quadratic(rng)
+        compiled = engine.CompiledLoss(loss_fn)
+        for step in range(4):
+            for p in params:
+                p.zero_grad()
+            compiled_loss = compiled.run()
+            compiled_grads = [p.grad.copy() for p in params]
+            for p in params:
+                p.zero_grad()
+            eager = loss_fn()
+            eager.backward()
+            assert compiled_loss == eager.item()
+            for cg, p in zip(compiled_grads, params):
+                assert np.array_equal(cg, p.grad), f"step {step} grads differ"
+            # Move the parameters so every replay sees fresh values.
+            for p in params:
+                p.data = p.data - 0.05 * p.grad
+
+    def test_plan_reads_reloaded_parameter_arrays(self):
+        rng = np.random.default_rng(1)
+        loss_fn, params = self._quadratic(rng)
+        compiled = engine.CompiledLoss(loss_fn)
+        first = compiled.run()
+        # Replace the underlying arrays (load_state_dict semantics).
+        params[0].data = params[0].data * 0.0
+        params[1].data = params[1].data * 0.0
+        for p in params:
+            p.zero_grad()
+        replay = compiled.run()
+        assert replay != first
+        eager = loss_fn()
+        assert replay == eager.item()
+
+    def test_dynamic_graph_falls_back(self):
+        rng = np.random.default_rng(2)
+        w = Parameter(rng.normal(size=(4, 2)), name="net.weight")
+        x = rng.normal(size=(5, 4))
+        gen = np.random.default_rng(3)
+
+        def loss_fn():
+            h = F.dropout(Tensor(x) @ w, rate=0.5, rng=gen)
+            return (h * h).mean()
+
+        compiled = engine.CompiledLoss(loss_fn)
+        values = {compiled.run() for _ in range(4)}
+        assert compiled.fallback_reason.startswith("dynamic trace")
+        assert len(values) > 1  # fresh dropout masks each step, not replays
+
+    def test_rebind_on_shape_change(self):
+        holder = {"x": np.ones((3, 2))}
+        w = Parameter(np.ones((2, 1)), name="net.weight")
+
+        def loss_fn():
+            out = Tensor(holder["x"]) @ w
+            return (out * out).mean()
+
+        compiled = engine.CompiledLoss(loss_fn)
+        first = compiled.run()
+        assert first == pytest.approx(4.0)
+        holder["x"] = np.ones((5, 2))
+        w.zero_grad()
+        assert compiled.run() == pytest.approx(4.0)
+
+    def test_structure_cache_shared_across_same_architecture(self):
+        before = engine.structure_cache_info()["structures"]
+        rng = np.random.default_rng(4)
+        for _ in range(3):
+            loss_fn, params = self._quadratic(rng)
+            engine.CompiledLoss(loss_fn).run()
+        after = engine.structure_cache_info()["structures"]
+        assert after - before <= 1  # identical architectures share one plan
+
+
+# ----------------------------------------------------------------------
+# end-to-end trajectory equivalence (the PR-2 property: planned == eager)
+# ----------------------------------------------------------------------
+class TestTrainerEquivalence:
+    EPOCHS = 6
+
+    def _fit(self, dataset, mode, use_engine, parallel=False):
+        engine.set_engine_mode(mode)
+        model = small_gaia(dataset)
+        config = TrainConfig(epochs=self.EPOCHS, min_epochs=self.EPOCHS,
+                             patience=self.EPOCHS, use_engine=use_engine)
+        if parallel:
+            trainer = ParallelTrainer(model, dataset, config, n_shards=2,
+                                      mode="sim")
+        else:
+            trainer = Trainer(model, dataset, config)
+        history = trainer.fit()
+        engine.set_engine_mode("fused")
+        return history, model.state_dict()
+
+    def test_planned_trainer_is_bitwise_eager_fused(self, dataset):
+        planned, planned_state = self._fit(dataset, "fused", use_engine=True)
+        unplanned, unplanned_state = self._fit(dataset, "fused",
+                                               use_engine=False)
+        assert planned.train_loss == unplanned.train_loss
+        assert planned.val_loss == unplanned.val_loss
+        for name, value in planned_state.items():
+            assert np.array_equal(value, unplanned_state[name]), name
+
+    def test_engine_matches_eager_path_to_1e12(self, dataset):
+        planned, planned_state = self._fit(dataset, "fused", use_engine=True)
+        eager, eager_state = self._fit(dataset, "eager", use_engine=False)
+        drift = max(
+            abs(a - b) for a, b in zip(planned.train_loss, eager.train_loss)
+        )
+        assert drift <= 1e-12, f"loss trajectory drift {drift}"
+        for name, value in planned_state.items():
+            np.testing.assert_allclose(
+                value, eager_state[name], atol=1e-10,
+                err_msg=f"parameter {name} drifted",
+            )
+
+    def test_parallel_trainer_matches_eager_path_to_1e12(self, dataset):
+        planned, _ = self._fit(dataset, "fused", use_engine=True,
+                               parallel=True)
+        eager, _ = self._fit(dataset, "eager", use_engine=False,
+                             parallel=True)
+        drift = max(
+            abs(a - b) for a, b in zip(planned.train_loss, eager.train_loss)
+        )
+        assert drift <= 1e-12, f"parallel loss trajectory drift {drift}"
+
+    def test_dropout_model_still_trains_via_fallback(self, dataset):
+        engine.set_engine_mode("fused")
+        model = small_gaia(dataset, dropout=0.3)
+        config = TrainConfig(epochs=2, min_epochs=2, patience=2,
+                             use_engine=True)
+        history = Trainer(model, dataset, config).fit()
+        assert len(history.train_loss) == 2
+        assert np.isfinite(history.train_loss).all()
+
+
+class TestFusedRegressions:
+    """Crash repros from review: fused kernels must cover every input
+    pattern the seed autograd supported."""
+
+    def test_mul_backward_with_doubly_broadcast_operands(self):
+        # (3,1) x (4,): both operands broadcast; the folded row-dot
+        # shortcut must not fire when the partner is itself broadcast.
+        a = Tensor(np.ones((3, 1)), requires_grad=True)
+        b = Tensor(np.arange(4.0), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, b.data.sum())
+        assert np.allclose(b.grad, 3.0)
+
+    def test_getitem_negative_integer_indices(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        x[np.array([-1, 2, -1])].sum().backward()
+        assert np.allclose(x.grad, [0.0, 0.0, 1.0, 0.0, 2.0])
+
+    def test_gather_rows_negative_indices(self):
+        h = Tensor(np.arange(6.0).reshape(3, 2), requires_grad=True)
+        F.gather_rows(h, np.array([-1, 0])).sum().backward()
+        assert np.allclose(h.grad, [[1.0, 1.0], [0.0, 0.0], [1.0, 1.0]])

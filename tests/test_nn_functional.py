@@ -301,3 +301,45 @@ def test_property_segment_sum_total_preserved(segments, per):
     seg = np.repeat(np.arange(segments), per)
     out = F.segment_sum(Tensor(x), seg, segments).data
     assert np.allclose(out.sum(axis=0), x.sum(axis=0))
+
+
+class TestNumericalSafety:
+    """Regression tests for the numerics bugfix sweep (log clamp,
+    softmax max-subtraction / non-finite guards)."""
+
+    def test_log_guards_zero_and_negative_inputs(self):
+        x = Tensor(np.array([0.0, -1.0, 1.0]), requires_grad=True)
+        y = F.log(x)
+        assert np.all(np.isfinite(y.data)), "log must not emit nan/-inf"
+        assert y.data[2] == pytest.approx(0.0)
+        assert y.data[0] == pytest.approx(np.log(1e-12))
+        y.sum().backward()
+        assert np.all(np.isfinite(x.grad)), "log gradient must stay finite"
+
+    def test_log_exact_on_positive_inputs(self):
+        x = np.abs(rng.normal(size=(8,))) + 0.1
+        assert np.array_equal(F.log(Tensor(x)).data, np.log(x))
+
+    def test_softmax_handles_huge_logits(self):
+        x = Tensor(np.array([[1e6, 1e6 + 1.0], [0.0, 1000.0]]))
+        y = F.softmax(x).data
+        assert np.all(np.isfinite(y))
+        assert np.allclose(y.sum(axis=-1), 1.0)
+
+    def test_softmax_all_minus_inf_row_is_finite(self):
+        x = Tensor(np.array([[-np.inf, -np.inf], [0.0, 1.0]]))
+        y = F.softmax(x).data
+        assert np.all(np.isfinite(y[1]))
+        assert not np.any(np.isnan(y[0])), "fully-masked row must not be nan"
+
+    def test_masked_softmax_large_logits_from_scaled_path(self):
+        mask = F.causal_mask(3)
+        scores = Tensor(rng.normal(size=(2, 3, 3)) * 1e5, requires_grad=True)
+        y = F.masked_softmax(scores * Tensor(1.0 / np.sqrt(8.0)), mask)
+        assert np.all(np.isfinite(y.data))
+        # Masked (future) positions must receive exactly zero probability.
+        future = ~np.isfinite(mask)
+        assert np.all(y.data[:, future] == 0.0)
+        assert np.allclose(y.data.sum(axis=-1), 1.0)
+        (y ** 2.0).sum().backward()
+        assert np.all(np.isfinite(scores.grad))

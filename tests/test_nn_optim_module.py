@@ -42,7 +42,28 @@ class TestSGD:
         assert run(0.9) < run(0.0)
 
     def test_weight_decay_shrinks(self):
-        p = Parameter(np.ones(1) * 10.0)
+        p = Parameter(np.ones((2, 2)) * 10.0, name="net.weight")
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert np.all(p.data < 10.0)
+
+    def test_weight_decay_skips_bias_and_norm_params(self):
+        weight = Parameter(np.ones((2, 2)) * 10.0, name="net.weight")
+        bias = Parameter(np.ones(2) * 10.0, name="net.bias")
+        gain = Parameter(np.ones(2) * 10.0, name="norm.gain")
+        opt = SGD([weight, bias, gain], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        ((weight * 0.0).sum() + (bias * 0.0).sum() + (gain * 0.0).sum()).backward()
+        opt.step()
+        assert np.all(weight.data < 10.0)
+        assert np.all(bias.data == 10.0)
+        assert np.all(gain.data == 10.0)
+
+    def test_decay_exempt_override(self):
+        # ndim-1 params are exempt by default but can be forced to decay.
+        p = Parameter(np.ones(1) * 10.0, decay_exempt=False)
         opt = SGD([p], lr=0.1, weight_decay=1.0)
         opt.zero_grad()
         (p * 0.0).sum().backward()
@@ -88,13 +109,37 @@ class TestAdam:
         assert p.data[0] == pytest.approx(-0.1, rel=1e-3)
 
     def test_weight_decay_decoupled(self):
-        p = Parameter(np.ones(1) * 4.0)
+        p = Parameter(np.ones((1, 1)) * 4.0, name="net.weight")
         opt = Adam([p], lr=0.1, weight_decay=0.5)
         opt.zero_grad()
         (p * 0.0).sum().backward()
         opt.step()
         # Pure decay: p -= lr * wd * p.
-        assert p.data[0] == pytest.approx(4.0 - 0.1 * 0.5 * 4.0)
+        assert p.data[0, 0] == pytest.approx(4.0 - 0.1 * 0.5 * 4.0)
+
+    def test_weight_decay_skips_exempt(self):
+        bias = Parameter(np.ones(1) * 4.0, name="net.bias")
+        opt = Adam([bias], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (bias * 0.0).sum().backward()
+        opt.step()
+        assert bias.data[0] == pytest.approx(4.0)
+
+    def test_bias_correction_per_parameter(self):
+        # b joins two steps late; its first update must still be ~lr,
+        # i.e. its bias correction uses its own step count, not the
+        # optimizer's global one.
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        opt = Adam([a, b], lr=0.1)
+        for _ in range(2):
+            opt.zero_grad()
+            (a * 5.0).sum().backward()
+            opt.step()
+        opt.zero_grad()
+        (b * 5.0).sum().backward()
+        opt.step()
+        assert b.data[0] == pytest.approx(-0.1, rel=1e-3)
 
 
 class TestClipGradNorm:

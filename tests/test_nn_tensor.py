@@ -242,3 +242,77 @@ def test_property_matmul_identity(n):
     assert np.allclose(y.data, x.data)
     y.sum().backward()
     assert np.allclose(x.grad, 1.0)
+
+
+# ----------------------------------------------------------------------
+# unbroadcast: exhaustive broadcast-pair properties (forall harness)
+# ----------------------------------------------------------------------
+def _random_broadcast_pair(rng_):
+    """Draw (operand_shape, out_shape) where operand broadcasts to out,
+    biased toward size-1 axes and rank drops — the adversarial corners."""
+    out_rank = int(rng_.integers(0, 4))
+    out_shape = tuple(int(s) for s in rng_.integers(1, 4, size=out_rank))
+    keep = int(rng_.integers(0, out_rank + 1))
+    operand = list(out_shape[out_rank - keep:]) if keep else []
+    for i in range(len(operand)):
+        if rng_.random() < 0.5:
+            operand[i] = 1
+    return tuple(operand), out_shape
+
+
+def test_unbroadcast_matches_bruteforce_reduction():
+    from helpers import forall
+
+    def prop(case):
+        operand_shape, out_shape = case
+        grad = np.arange(1.0, 1.0 + int(np.prod(out_shape, dtype=int))) \
+            .reshape(out_shape)
+        reduced = unbroadcast(grad, operand_shape)
+        assert reduced.shape == operand_shape
+        # Brute force: each operand cell receives the sum of every output
+        # cell it was broadcast into.
+        expected = np.zeros(operand_shape)
+        operand_index = np.broadcast_to(
+            np.arange(int(np.prod(operand_shape, dtype=int))).reshape(
+                operand_shape
+            ),
+            out_shape,
+        )
+        np.add.at(expected.reshape(-1), operand_index.reshape(-1).astype(int),
+                  grad.reshape(-1))
+        assert np.allclose(reduced, expected), (
+            f"unbroadcast({out_shape} -> {operand_shape}) wrong"
+        )
+
+    forall(_random_broadcast_pair, prop, trials=300,
+           name="unbroadcast reduces like broadcast transpose")
+
+
+def test_unbroadcast_reduced_gradient_with_size1_axes():
+    # The regression from the issue: operand (1,) against an
+    # already-reduced scalar gradient must not mis-index.
+    assert unbroadcast(np.array(3.0), (1,)).tolist() == [3.0]
+    assert unbroadcast(np.array(2.5), (1, 1)).tolist() == [[2.5]]
+    out = unbroadcast(np.ones((3,)), (1, 3))
+    assert out.shape == (1, 3)
+
+
+def test_unbroadcast_size1_operand_gradients_through_ops():
+    from helpers import forall
+
+    def prop(case):
+        operand_shape, out_shape = case
+        if np.prod(out_shape, dtype=int) == 0:
+            return
+        a = Tensor(np.ones(operand_shape), requires_grad=True)
+        b = Tensor(np.ones(out_shape), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == operand_shape
+        # Every operand cell saw prod(out)/prod(operand) unit products.
+        fan = np.prod(out_shape, dtype=int) / max(
+            np.prod(operand_shape, dtype=int), 1
+        )
+        assert np.allclose(a.grad, fan)
+
+    forall(_random_broadcast_pair, prop, trials=200,
+           name="broadcast-pair gradients via ops")
