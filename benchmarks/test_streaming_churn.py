@@ -1,0 +1,285 @@
+"""Benchmark: streaming ingestion, delta-aware cache retention, churn p95.
+
+Three claims of the streaming subsystem, measured on one synthetic
+marketplace and appended to ``BENCH_streaming.json`` (override with
+``REPRO_BENCH_STREAMING_ARTIFACT``):
+
+1. **Ingestion** — replaying the simulator's full event stream through
+   the :class:`DynamicGraph` overlay plus the feature store sustains at
+   least ``MIN_EVENTS_PER_SECOND`` events/sec (no per-event CSR
+   rebuilds).
+2. **Retention** — under a mutation-heavy serving load, delta-aware
+   invalidation retains at least ``MIN_RETENTION_RATIO``x more cache
+   entries across mutation rounds than the wholesale-flush baseline
+   (``GatewayConfig(delta_invalidation=False)``), with a visibly higher
+   post-warmup hit rate.
+3. **Latency** — serving p95 with churn interleaved (delta overlay +
+   delta invalidation) stays within ``MAX_P95_RATIO``x of the
+   static-graph p95 on the same request stream.
+
+Scale knobs: ``REPRO_BENCH_STREAMING_SHOPS`` (default 400) and
+``REPRO_BENCH_STREAMING_REQUESTS`` (default 600).  Weights are
+untrained — none of the three claims depends on fit quality.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import Gaia, GaiaConfig
+from repro.data import MarketplaceConfig
+from repro.deploy import ModelRegistry
+from repro.serving import GatewayConfig, LoadGenerator, ServingGateway
+from repro.streaming import DynamicGraph, MarketplaceSimulator
+
+from conftest import bench_dataset, run_once
+
+pytestmark = pytest.mark.slow
+
+STREAM_SHOPS = int(os.environ.get("REPRO_BENCH_STREAMING_SHOPS", "400"))
+STREAM_REQUESTS = int(os.environ.get("REPRO_BENCH_STREAMING_REQUESTS", "600"))
+ARTIFACT_PATH = Path(os.environ.get(
+    "REPRO_BENCH_STREAMING_ARTIFACT",
+    Path(__file__).resolve().parent / "BENCH_streaming.json",
+))
+MIN_EVENTS_PER_SECOND = 1000.0
+MIN_RETENTION_RATIO = 5.0
+MAX_P95_RATIO = 1.2
+MUTATION_ROUNDS = 10
+MUTATIONS_PER_ROUND = 6
+
+
+def _append_artifact(record: dict) -> None:
+    history = []
+    if ARTIFACT_PATH.exists():
+        try:
+            history = json.loads(ARTIFACT_PATH.read_text())
+        except (ValueError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    ARTIFACT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _world():
+    market, dataset = bench_dataset(STREAM_SHOPS, seed=13,
+                                    config_factory=MarketplaceConfig)
+    config = GaiaConfig(
+        input_window=dataset.input_window,
+        horizon=dataset.horizon,
+        temporal_dim=dataset.temporal_dim,
+        static_dim=dataset.static_dim,
+        channels=8,
+        num_scales=2,
+        num_layers=1,
+    )
+
+    def factory():
+        return Gaia(config, seed=0)
+
+    registry = ModelRegistry()
+    registry.publish(factory(), trained_at_month=market.config.num_months - 3)
+    simulator = MarketplaceSimulator(
+        market, start_month=market.config.num_months - 8,
+        edge_churn_per_month=4, seed=3,
+    )
+    return market, dataset, factory, registry, simulator
+
+
+def _measure_ingestion(simulator) -> dict:
+    dyn = simulator.initial_dynamic_graph()
+    store = simulator.initial_store()
+    log = simulator.event_log()
+    started = time.perf_counter()
+    for event in log:
+        dyn.apply(event)
+        store.apply(event)
+    elapsed = max(time.perf_counter() - started, 1e-12)
+    # Each event hits both consumers; count log entries, not applications.
+    return {
+        "events": len(log),
+        "event_counts": log.counts(),
+        "elapsed_seconds": elapsed,
+        "events_per_second": len(log) / elapsed,
+        "compactions": dyn.compactions,
+    }
+
+
+def _mutation_rounds(rng, dyn, working_set, rounds, per_round):
+    """Yield per-round synthetic churn inside the served neighbourhood."""
+    added = []
+    for _ in range(rounds):
+        mutations = []
+        for _ in range(per_round):
+            if added and rng.random() < 0.4:
+                mutations.append(("retire", added.pop(0)))
+            else:
+                pair = (int(rng.choice(working_set)),
+                        int(rng.choice(working_set)))
+                added.append(pair)
+                mutations.append(("add", pair))
+        yield mutations
+
+
+def _apply_mutations(dyn, mutations):
+    for kind, (src, dst) in mutations:
+        if kind == "add":
+            dyn.add_edge(src, dst, 0)
+        else:
+            dyn.retire_edge(src, dst, 0)
+
+
+def _measure_retention(factory, dataset, registry, simulator) -> dict:
+    """Same shared stream + mutations against delta vs full-flush caches."""
+    results = {}
+    for mode, delta in (("delta", True), ("flush", False)):
+        dyn = simulator.initial_dynamic_graph()
+        gateway = ServingGateway(
+            factory, dataset, registry,
+            GatewayConfig(max_batch_size=32, delta_invalidation=delta),
+        )
+        gateway.attach_stream(dyn)
+        generator = LoadGenerator(num_shops=dataset.test.num_shops, seed=7)
+        working = generator.generate(
+            "repeating", num_requests=STREAM_REQUESTS,
+            working_set=max(STREAM_SHOPS // 3, 1),
+        )
+        working_set = np.unique(working)
+        rng = np.random.default_rng(11)
+        chunks = np.array_split(working, MUTATION_ROUNDS)
+        retained = 0
+        for chunk, mutations in zip(
+            chunks,
+            _mutation_rounds(rng, dyn, working_set,
+                             MUTATION_ROUNDS, MUTATIONS_PER_ROUND),
+        ):
+            gateway.predict_many(chunk)
+            _apply_mutations(dyn, mutations)
+            retained += len(gateway.subgraph_cache) + len(gateway.result_cache)
+        report = gateway.metrics_report()
+        results[mode] = {
+            "retained_entries": retained,
+            "result_hits": report["counters"].get("cache_hits", 0.0),
+            "result_misses": report["counters"].get("cache_misses", 0.0),
+            "subgraph_hits": report["counters"].get("subgraph_cache_hits", 0.0),
+            "cache_hit_rate": report["cache_hit_rate"],
+        }
+        gateway.close()
+    results["retention_ratio"] = (
+        results["delta"]["retained_entries"]
+        / max(results["flush"]["retained_entries"], 1)
+    )
+    return results
+
+
+def _percentiles(latencies) -> dict:
+    p50, p95, p99 = np.percentile(np.asarray(latencies), [50, 95, 99])
+    return {"p50_ms": p50 * 1e3, "p95_ms": p95 * 1e3, "p99_ms": p99 * 1e3}
+
+
+def _measure_churn_p95(factory, dataset, registry) -> dict:
+    """Compute-path p95: tiny caches force extraction + forward on every
+    request, so the comparison isolates the dynamic-overlay overhead.
+    Both gateways serve the same full topology — the churn side wraps it
+    in a ``DynamicGraph`` and mutates it between request chunks."""
+    generator = LoadGenerator(num_shops=dataset.test.num_shops, seed=19)
+    stream = generator.generate("uniform", num_requests=STREAM_REQUESTS)
+    chunks = np.array_split(stream, MUTATION_ROUNDS)
+    config = dict(max_batch_size=32, subgraph_cache_size=1,
+                  result_cache_size=1)
+
+    static_gateway = ServingGateway(factory, dataset, registry,
+                                    GatewayConfig(**config))
+    static_latencies = [
+        r.latency_seconds
+        for chunk in chunks for r in static_gateway.predict_many(chunk)
+    ]
+    static_gateway.close()
+
+    dyn = DynamicGraph(dataset.graph)
+    churn_gateway = ServingGateway(factory, dataset, registry,
+                                   GatewayConfig(**config))
+    churn_gateway.attach_stream(dyn)
+    rng = np.random.default_rng(29)
+    working_set = np.arange(dataset.test.num_shops)
+    churn_latencies = []
+    for chunk, mutations in zip(
+        chunks,
+        _mutation_rounds(rng, dyn, working_set,
+                         MUTATION_ROUNDS, MUTATIONS_PER_ROUND),
+    ):
+        _apply_mutations(dyn, mutations)
+        churn_latencies.extend(
+            r.latency_seconds for r in churn_gateway.predict_many(chunk)
+        )
+    churn_gateway.close()
+
+    static = _percentiles(static_latencies)
+    churn = _percentiles(churn_latencies)
+    return {
+        "static": static,
+        "churn": churn,
+        "p95_ratio": churn["p95_ms"] / max(static["p95_ms"], 1e-9),
+    }
+
+
+def test_streaming_marketplace(benchmark):
+    market, dataset, factory, registry, simulator = _world()
+
+    def run():
+        ingestion = _measure_ingestion(simulator)
+        retention = _measure_retention(factory, dataset, registry, simulator)
+        latency = _measure_churn_p95(factory, dataset, registry)
+        return ingestion, retention, latency
+
+    ingestion, retention, latency = run_once(benchmark, run)
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "shops": STREAM_SHOPS,
+        "requests": STREAM_REQUESTS,
+        "mutation_rounds": MUTATION_ROUNDS,
+        "mutations_per_round": MUTATIONS_PER_ROUND,
+        "ingestion": ingestion,
+        "retention": retention,
+        "latency": latency,
+    }
+    _append_artifact(record)
+
+    print()
+    print(f"ingestion  {ingestion['events_per_second']:10.0f} events/s "
+          f"({ingestion['events']} events, "
+          f"{ingestion['compactions']} compactions)")
+    print(f"retention  delta {retention['delta']['retained_entries']} vs "
+          f"flush {retention['flush']['retained_entries']} entries "
+          f"({retention['retention_ratio']:.1f}x), hit rate "
+          f"{retention['delta']['cache_hit_rate']:.2%} vs "
+          f"{retention['flush']['cache_hit_rate']:.2%}")
+    print(f"p95        churn {latency['churn']['p95_ms']:.2f} ms vs "
+          f"static {latency['static']['p95_ms']:.2f} ms "
+          f"({latency['p95_ratio']:.2f}x)")
+
+    assert ingestion["events_per_second"] >= MIN_EVENTS_PER_SECOND, (
+        f"ingestion only {ingestion['events_per_second']:.0f} events/s; "
+        f"need >= {MIN_EVENTS_PER_SECOND:.0f}"
+    )
+    assert retention["retention_ratio"] >= MIN_RETENTION_RATIO, (
+        f"delta invalidation retained only "
+        f"{retention['retention_ratio']:.1f}x the full-flush baseline; "
+        f"need >= {MIN_RETENTION_RATIO}x"
+    )
+    assert retention["delta"]["cache_hit_rate"] >= \
+        retention["flush"]["cache_hit_rate"], (
+            "delta invalidation should not lower the end-to-end hit rate"
+        )
+    assert latency["p95_ratio"] <= MAX_P95_RATIO, (
+        f"serving p95 under churn is {latency['p95_ratio']:.2f}x the "
+        f"static-graph p95; budget is {MAX_P95_RATIO}x"
+    )

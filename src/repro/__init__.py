@@ -40,6 +40,12 @@ Subpackages
     Serving at scale: the high-throughput gateway — micro-batched
     node-disjoint ego-subgraph scoring, LRU subgraph/result caches,
     replica routing with hot model swaps, metrics, load generation.
+``repro.streaming``
+    Streaming marketplace: replayable event log, delta-overlay
+    :class:`~repro.streaming.DynamicGraph` with compaction equal to a
+    cold rebuild, event-fed feature store, churn simulator; feeds
+    delta-aware cache invalidation in ``repro.serving`` and online
+    drift adaptation in ``repro.training``.
 ``repro.analysis`` / ``repro.experiments``
     Figure analytics and per-table/figure experiment drivers.
 
@@ -68,9 +74,22 @@ from .data import (
 )
 from .partition import GraphPartition, partition_graph
 from .serving import GatewayConfig, LoadGenerator, ServingGateway
-from .training import ParallelTrainer, TrainConfig, Trainer, evaluate_forecast
+from .streaming import (
+    DynamicGraph,
+    EventLog,
+    MarketplaceSimulator,
+    StreamingFeatureStore,
+)
+from .training import (
+    OnlineAdapter,
+    OnlineAdapterConfig,
+    ParallelTrainer,
+    TrainConfig,
+    Trainer,
+    evaluate_forecast,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -97,4 +116,10 @@ __all__ = [
     "ServingGateway",
     "GatewayConfig",
     "LoadGenerator",
+    "DynamicGraph",
+    "EventLog",
+    "MarketplaceSimulator",
+    "StreamingFeatureStore",
+    "OnlineAdapter",
+    "OnlineAdapterConfig",
 ]

@@ -2,7 +2,13 @@
 scaling and dataset assembly (the paper's Fig 5 offline pipeline)."""
 
 from .database import MarketplaceDatabase
-from .dataset import ForecastDataset, InstanceBatch, build_dataset, month_name
+from .dataset import (
+    ForecastDataset,
+    InstanceBatch,
+    build_dataset,
+    make_instance_batch,
+    month_name,
+)
 from .extractors import (
     ESellerGraphBuilder,
     GMVSeriesExtractor,
@@ -39,5 +45,6 @@ __all__ = [
     "ForecastDataset",
     "InstanceBatch",
     "build_dataset",
+    "make_instance_batch",
     "month_name",
 ]

@@ -29,7 +29,13 @@ from .extractors import ESellerGraphBuilder, NodeFeatureExtractor
 from .scaling import ShopLevelScaler, StandardScaler
 from .synthetic import SyntheticMarketplace, TIMELINE_START_CALENDAR_MONTH
 
-__all__ = ["InstanceBatch", "ForecastDataset", "build_dataset", "month_name"]
+__all__ = [
+    "InstanceBatch",
+    "ForecastDataset",
+    "build_dataset",
+    "make_instance_batch",
+    "month_name",
+]
 
 _MONTH_NAMES = (
     "Jan", "Feb", "Mar", "Apr", "May", "Jun",
@@ -166,6 +172,10 @@ class ForecastDataset:
     train_nodes: Optional[np.ndarray] = None
     val_nodes: Optional[np.ndarray] = None
     test_nodes: Optional[np.ndarray] = None
+    #: The fitted auxiliary-feature scaler.  Kept so streaming consumers
+    #: (:class:`repro.streaming.features.StreamingFeatureStore`) can
+    #: assemble later windows with the deployment-time scaling.
+    temporal_scaler: Optional[StandardScaler] = None
 
     def node_mask(self, role: str) -> np.ndarray:
         """Boolean shop selector for ``"train"`` / ``"val"`` / ``"test"``."""
@@ -212,7 +222,7 @@ def _window(
     return window, valid
 
 
-def _make_batch(
+def make_instance_batch(
     gmv: np.ndarray,
     observed: np.ndarray,
     temporal: np.ndarray,
@@ -223,6 +233,14 @@ def _make_batch(
     scaler: ShopLevelScaler,
     temporal_scaler: StandardScaler,
 ) -> InstanceBatch:
+    """Assemble one :class:`InstanceBatch` from raw feature tables.
+
+    The single window-assembly path shared by the offline dataset
+    builder and the streaming feature store
+    (:class:`~repro.streaming.features.StreamingFeatureStore`) — both
+    must slice, mask and scale identically for the streaming
+    equivalence guarantee to hold.
+    """
     series, valid = _window(gmv, cutoff, input_window)
     observed_window, _ = _window(observed.astype(np.float64), cutoff, input_window)
     mask = valid & (observed_window > 0.5)
@@ -317,7 +335,7 @@ def build_dataset(
     temporal_scaler = StandardScaler().fit(features.temporal[:, :fit_cutoff])
 
     def make(cutoff: int) -> InstanceBatch:
-        return _make_batch(
+        return make_instance_batch(
             features.gmv,
             features.observed,
             features.temporal,
@@ -342,6 +360,7 @@ def build_dataset(
             input_window=input_window,
             horizon=horizon,
             split="time",
+            temporal_scaler=temporal_scaler,
         )
 
     if not 0.0 < train_fraction < 1.0 or not 0.0 < val_fraction < 1.0:
@@ -373,4 +392,5 @@ def build_dataset(
         train_nodes=train_nodes,
         val_nodes=val_nodes,
         test_nodes=test_nodes,
+        temporal_scaler=temporal_scaler,
     )

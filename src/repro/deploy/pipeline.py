@@ -20,8 +20,11 @@ requests by partition owner
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
+
+import numpy as np
 
 from ..data.dataset import ForecastDataset, build_dataset
 from ..data.synthetic import SyntheticMarketplace
@@ -54,7 +57,18 @@ class MonthlyPipeline:
         The marketplace whose database feeds the extractors.
     model_factory:
         Builds a fresh model for a dataset (``factory(dataset) ->
-        Module``); called once per scheduled month.
+        Module``); called once per scheduled month.  A factory that
+        accepts a ``seed`` keyword is called as ``factory(dataset,
+        seed=month_seed)`` with the month's derived seed, so its
+        initialisation cannot leak shared RNG state between runs.
+    seed:
+        Base seed for the per-month derivation: every scheduled month
+        gets ``SeedSequence([seed, month])``, used for the dataset's
+        role split and (when accepted) model initialisation.  Each
+        month's result therefore depends only on ``(market, month,
+        seed)`` — never on which other months ran before it, so
+        reordering or pruning a schedule cannot change any surviving
+        month's model.
     train_config:
         Trainer settings for each run.
     n_shards:
@@ -82,11 +96,21 @@ class MonthlyPipeline:
         shard_mode: str = "sim",
         partition_method: str = "bfs",
         halo_hops: Optional[int] = None,
+        seed: int = 101,
     ) -> None:
         if n_shards <= 0:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
         self.market = market
         self.model_factory = model_factory
+        self.seed = int(seed)
+        try:
+            parameters = inspect.signature(model_factory).parameters
+            self._factory_takes_seed = "seed" in parameters or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in parameters.values()
+            )
+        except (TypeError, ValueError):
+            self._factory_takes_seed = False
         self.train_config = train_config or TrainConfig()
         self.input_window = input_window
         self.horizon = horizon
@@ -97,21 +121,37 @@ class MonthlyPipeline:
         self.registry = ModelRegistry()
         self.runs: List[PipelineRun] = []
 
+    def month_seed(self, month: int) -> int:
+        """Schedule-independent RNG seed for one scheduled month."""
+        return int(np.random.SeedSequence([self.seed, int(month)])
+                   .generate_state(1)[0])
+
     def run_month(self, month: int) -> PipelineRun:
-        """Execute one scheduled run with test cutoff at ``month``."""
+        """Execute one scheduled run with test cutoff at ``month``.
+
+        Fully determined by ``(market, month, seed)``: the dataset's
+        role split and (for seed-aware factories) the model's
+        initialisation derive from :meth:`month_seed`, never from
+        shared state left behind by earlier runs.
+        """
         total = self.market.config.num_months
         if not self.horizon + 4 <= month <= total - self.horizon:
             raise ValueError(
                 f"month {month} outside the runnable range "
                 f"[{self.horizon + 4}, {total - self.horizon}]"
             )
+        month_seed = self.month_seed(month)
         dataset = build_dataset(
             self.market,
             input_window=self.input_window,
             horizon=self.horizon,
             test_cutoff=month,
+            split_seed=month_seed,
         )
-        model = self.model_factory(dataset)
+        if self._factory_takes_seed:
+            model = self.model_factory(dataset, seed=month_seed)
+        else:
+            model = self.model_factory(dataset)
         partition: Optional[GraphPartition] = None
         if self.n_shards > 1:
             trainer = ParallelTrainer(
@@ -144,7 +184,13 @@ class MonthlyPipeline:
         return run
 
     def run_schedule(self, months: List[int]) -> List[PipelineRun]:
-        """Execute several scheduled months in order."""
+        """Execute several scheduled months in chronological order.
+
+        Because each run's RNG derives from :meth:`month_seed`, a
+        month's published model is identical whether it runs alone, in
+        a different schedule, or after other months — only the
+        registry's version numbering reflects execution order.
+        """
         return [self.run_month(m) for m in sorted(months)]
 
     def latest_partition(self) -> Optional[GraphPartition]:

@@ -99,6 +99,37 @@ class ESellerGraph:
         self._csr: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._csr_in: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
+    @classmethod
+    def from_edit_history(
+        cls,
+        num_nodes: int,
+        src: Sequence[int],
+        dst: Sequence[int],
+        edge_types: Sequence[int],
+        alive: Sequence[bool],
+        node_ids: Optional[Sequence[str]] = None,
+    ) -> "ESellerGraph":
+        """Build a graph from a full edge history plus a liveness mask.
+
+        ``src``/``dst``/``edge_types`` list every edge ever added, in
+        addition order; ``alive`` marks the ones that were never retired
+        (tombstoned).  Surviving edges keep their addition order, which
+        makes the result *canonical*: replaying an event log through
+        :class:`~repro.streaming.dynamic_graph.DynamicGraph` and
+        compacting produces the same graph — same edge order, hence
+        bit-identical message passing — as building from the final
+        history in one shot.
+        """
+        alive = np.asarray(alive, dtype=bool)
+        src = np.asarray(src, dtype=np.int64)
+        if alive.shape != src.shape:
+            raise ValueError("alive mask must align with the edge history")
+        dst = np.asarray(dst, dtype=np.int64)
+        edge_types = np.asarray(edge_types, dtype=np.int64)
+        return cls(
+            num_nodes, src[alive], dst[alive], edge_types[alive], node_ids
+        )
+
     # ------------------------------------------------------------------
     # basic properties
     # ------------------------------------------------------------------
@@ -122,6 +153,20 @@ class ESellerGraph:
     # ------------------------------------------------------------------
     # CSR views
     # ------------------------------------------------------------------
+    def invalidate_csr(self) -> None:
+        """Drop the lazily built CSR indexes.
+
+        Callers that replace ``src``/``dst``/``edge_types`` in place
+        (bulk loaders reusing one graph object across snapshots) must
+        invalidate here so the next neighbor query rebuilds against the
+        new edge list instead of serving a stale index.  Incremental
+        mutation should go through
+        :class:`~repro.streaming.dynamic_graph.DynamicGraph` instead,
+        which keeps this graph frozen and overlays the deltas.
+        """
+        self._csr = None
+        self._csr_in = None
+
     def _build_csr(self, by_src: bool) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         key = self.src if by_src else self.dst
         order = np.argsort(key, kind="stable")

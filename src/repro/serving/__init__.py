@@ -13,8 +13,12 @@ heavy traffic:
   to the sequential path.
 * :class:`~repro.serving.cache.SubgraphCache` /
   :class:`~repro.serving.cache.ResultCache` — LRU planes for extracted
-  ego-subgraphs (per graph epoch) and finished forecasts (per model
-  version), invalidated on registry publishes and graph mutations.
+  ego-subgraphs and finished forecasts (per model version), invalidated
+  on registry publishes and graph mutations — wholesale for opaque
+  changes, or delta-aware under streaming: attach a
+  :class:`~repro.streaming.dynamic_graph.DynamicGraph` via
+  :meth:`~repro.serving.gateway.ServingGateway.attach_stream` and each
+  mutation evicts only the entries whose node sets it touched.
 * :class:`~repro.serving.router.ReplicaRouter` — rendezvous-hash or
   least-loaded sharding over N replicas with hot model swaps that never
   drop requests.

@@ -34,10 +34,21 @@ class PendingRequest:
     enqueued_at: float
     response: Optional[object] = None
     done: bool = False
+    error: Optional[BaseException] = None
 
     def resolve(self, response: object) -> None:
         """Attach the finished response."""
         self.response = response
+        self.done = True
+
+    def fail(self, error: BaseException) -> None:
+        """Mark the request as failed; :meth:`result` re-raises ``error``.
+
+        Per-request failure containment: one unservable request (e.g. a
+        streamed-in shop whose neighborhood has no feature rows yet)
+        must not poison the co-batched requests sharing its flush.
+        """
+        self.error = error
         self.done = True
 
     def result(self):
@@ -47,6 +58,8 @@ class PendingRequest:
                 f"request for shop {self.shop_index} not served yet; "
                 "flush the gateway first"
             )
+        if self.error is not None:
+            raise self.error
         return self.response
 
 

@@ -3,14 +3,25 @@
 Two cache planes sit in front of the model replicas:
 
 * :class:`SubgraphCache` — extracted ego-subgraphs keyed on
-  ``(shop_index, hops)`` within a *graph epoch*; the whole plane is
-  dropped when the gateway learns the e-seller graph mutated.
+  ``(shop_index, hops)``.  Invalidated either wholesale (graph epoch
+  bump, the conservative fallback) or **delta-aware**: given the node
+  frontier a mutation touched, only entries whose memoised node sets
+  intersect it are evicted — sound because a k-hop ball can only change
+  when an edge event touches a node already inside it.
 * :class:`ResultCache` — finished raw-unit forecasts keyed on
-  ``(shop_index, hops, model_version)``; entries for superseded model
-  versions are purged when the :class:`~repro.deploy.model_server.ModelRegistry`
-  publishes, so a hot model swap can never serve stale numbers.
+  ``(shop_index, hops, model_version)``.  Entries for superseded model
+  versions are purged when the
+  :class:`~repro.deploy.model_server.ModelRegistry` publishes (so a hot
+  swap can never serve stale numbers); each entry also records its
+  forecast's subgraph node set, enabling the same delta-aware eviction
+  under graph churn.
 
-Both are thin policies over one generic :class:`LRUCache`.
+Both planes are thin policies over one generic :class:`LRUCache`, whose
+hit/miss statistics are *flush-scoped*: ``clear`` and any
+``invalidate_*`` call that actually evicted something fold the counters
+into lifetime totals and restart the current window, so post-churn hit
+rates are never polluted by pre-flush traffic (while no-op delta probes
+leave the window intact).
 """
 
 from __future__ import annotations
@@ -30,8 +41,17 @@ class LRUCache:
     """Bounded mapping with least-recently-used eviction.
 
     ``get`` refreshes recency; ``put`` evicts the stalest entry once
-    ``capacity`` is exceeded.  Hit/miss counts are kept locally so cache
-    planes can be inspected without a metrics registry.
+    ``capacity`` is exceeded.  Statistics are kept locally so cache
+    planes can be inspected without a metrics registry:
+
+    * :attr:`hits` / :attr:`misses` count the *current window* — they
+      restart at every ``clear`` and every ``invalidate_*`` that
+      evicted at least one entry, so :meth:`hit_rate` reflects
+      behaviour since the cache contents last changed underneath it;
+    * :meth:`lifetime_hit_rate` aggregates across flushes;
+    * :attr:`evictions` counts capacity evictions only (never resets —
+      it is the cache-pressure signal, and explicit invalidations are
+      not pressure).
     """
 
     def __init__(self, capacity: int) -> None:
@@ -42,6 +62,8 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._flushed_hits = 0
+        self._flushed_misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -68,31 +90,87 @@ class LRUCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def _roll_stats(self) -> None:
+        """Fold the current hit/miss window into the lifetime totals."""
+        self._flushed_hits += self.hits
+        self._flushed_misses += self.misses
+        self.hits = 0
+        self.misses = 0
+
     def invalidate_if(self, predicate: Callable[[Hashable], bool]) -> int:
-        """Drop every entry whose key satisfies ``predicate``."""
-        doomed = [key for key in self._entries if predicate(key)]
+        """Drop every entry whose *key* satisfies ``predicate``.
+
+        Starts a fresh hit-rate window when anything was evicted (see
+        class docstring).
+        """
+        return self.invalidate_items(lambda key, _value: predicate(key))
+
+    def invalidate_items(
+        self, predicate: Callable[[Hashable, object], bool]
+    ) -> int:
+        """Drop every entry whose ``(key, value)`` satisfies ``predicate``.
+
+        The value-aware form delta invalidation needs: cached ego
+        node sets live in the values, not the keys.  Starts a fresh
+        hit-rate window when anything was evicted.
+        """
+        doomed = [key for key, value in self._entries.items()
+                  if predicate(key, value)]
         for key in doomed:
             del self._entries[key]
+        if doomed:
+            # A no-op invalidation (nothing matched) leaves the window
+            # alone — under per-event streaming churn, rolling on every
+            # probe would shrink the window to near-zero samples.
+            self._roll_stats()
         return len(doomed)
 
     def clear(self) -> int:
-        """Drop all entries, returning how many were held."""
+        """Drop all entries, returning how many were held.
+
+        Starts a fresh hit-rate window.
+        """
         dropped = len(self._entries)
         self._entries.clear()
+        self._roll_stats()
         return dropped
 
     def hit_rate(self) -> float:
-        """Lifetime hit fraction (0 when never queried)."""
+        """Hit fraction since the last flush (0 when never queried)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def lifetime_hit_rate(self) -> float:
+        """Hit fraction across all flush windows."""
+        hits = self._flushed_hits + self.hits
+        total = hits + self._flushed_misses + self.misses
+        return hits / total if total else 0.0
+
+
+def _intersects(nodes: Optional[np.ndarray], touched: np.ndarray) -> bool:
+    """Whether a memoised (sorted) node set meets the touched frontier.
+
+    ``None`` node sets (legacy entries with no recorded provenance)
+    conservatively count as intersecting.
+    """
+    if nodes is None:
+        return True
+    return bool(np.isin(touched, nodes, assume_unique=False).any())
+
 
 class SubgraphCache:
-    """LRU cache of extracted ego-subgraphs for one graph epoch.
+    """LRU cache of extracted ego-subgraphs.
 
-    The gateway bumps :attr:`epoch` (dropping everything) whenever the
-    underlying e-seller graph mutates — new shops, new supply-chain
-    edges — because every memoised node set may then be stale.
+    Two invalidation granularities:
+
+    * :meth:`invalidate_graph` — epoch bump, drop everything.  The
+      fallback when the mutation's blast radius is unknown (e.g. the
+      whole dataset was swapped).
+    * :meth:`invalidate_nodes` — delta-aware: given the node frontier a
+      mutation touched (edge endpoints / added shops), evict only
+      entries whose ego node sets intersect it.  Sound because a k-hop
+      ball changes only if the mutation touches a node at distance
+      ``< k`` — which is itself inside the cached node set.
     """
 
     def __init__(self, capacity: int = 1024) -> None:
@@ -108,9 +186,22 @@ class SubgraphCache:
         self._lru.put((shop_index, hops), ego)
 
     def invalidate_graph(self) -> int:
-        """Graph mutated: advance the epoch and drop every entry."""
+        """Graph mutated opaquely: advance the epoch, drop every entry."""
         self.epoch += 1
         return self._lru.clear()
+
+    def invalidate_nodes(self, touched: np.ndarray) -> int:
+        """Delta-aware eviction: drop entries intersecting ``touched``.
+
+        Returns how many entries were evicted; everything else — the
+        point of the exercise — survives the mutation.
+        """
+        touched = np.asarray(touched, dtype=np.int64)
+        if touched.size == 0:
+            return 0
+        return self._lru.invalidate_items(
+            lambda _key, ego: _intersects(ego.nodes, touched)
+        )
 
     @property
     def stats(self) -> LRUCache:
@@ -123,10 +214,16 @@ class SubgraphCache:
 
 @dataclass(frozen=True)
 class CachedResult:
-    """One memoised finished forecast."""
+    """One memoised finished forecast.
+
+    ``nodes`` records the ego-subgraph node set the forecast was
+    computed from, so graph-delta invalidation can decide whether a
+    mutation could have changed it.
+    """
 
     forecast: np.ndarray
     subgraph_nodes: int
+    nodes: Optional[np.ndarray] = None
 
 
 class ResultCache:
@@ -134,7 +231,10 @@ class ResultCache:
 
     Keys are ``(shop_index, hops, model_version)``; because the version
     participates in the key, a swapped-in model can never read a
-    predecessor's numbers even before the purge runs.
+    predecessor's numbers even before the purge runs.  Graph churn is
+    handled like the subgraph plane: wholesale :meth:`clear` or
+    delta-aware :meth:`invalidate_nodes` against each entry's recorded
+    node set.
     """
 
     def __init__(self, capacity: int = 4096) -> None:
@@ -146,18 +246,33 @@ class ResultCache:
         return self._lru.get((shop_index, hops, model_version))
 
     def put(self, shop_index: int, hops: int, model_version: int,
-            forecast: np.ndarray, subgraph_nodes: int) -> None:
+            forecast: np.ndarray, subgraph_nodes: int,
+            nodes: Optional[np.ndarray] = None) -> None:
         """Memoise one finished forecast (stored as an immutable copy)."""
         value = np.asarray(forecast).copy()
         value.setflags(write=False)
         self._lru.put(
             (shop_index, hops, model_version),
-            CachedResult(forecast=value, subgraph_nodes=int(subgraph_nodes)),
+            CachedResult(
+                forecast=value,
+                subgraph_nodes=int(subgraph_nodes),
+                nodes=None if nodes is None
+                else np.asarray(nodes, dtype=np.int64),
+            ),
         )
 
     def invalidate_versions_other_than(self, model_version: int) -> int:
         """Purge entries for every version except the one now serving."""
         return self._lru.invalidate_if(lambda key: key[2] != model_version)
+
+    def invalidate_nodes(self, touched: np.ndarray) -> int:
+        """Delta-aware eviction: drop results whose subgraphs were touched."""
+        touched = np.asarray(touched, dtype=np.int64)
+        if touched.size == 0:
+            return 0
+        return self._lru.invalidate_items(
+            lambda _key, result: _intersects(result.nodes, touched)
+        )
 
     def clear(self) -> int:
         """Drop all entries."""

@@ -17,8 +17,18 @@ GMV forecasts (paper §VI, Fig 5, scaled up).  One request travels:
 The gateway subscribes to the :class:`~repro.deploy.model_server.ModelRegistry`:
 a publish triggers a hot weight swap on every replica and purges result
 cache entries from superseded versions.  ``notify_graph_changed`` does
-the same for graph mutations (new shops / edges).  All traffic is
-accounted in a :class:`~repro.serving.metrics.MetricsRegistry`.
+the same for opaque graph mutations (new shops / edges with unknown
+blast radius).
+
+Streaming: :meth:`ServingGateway.attach_stream` plugs the gateway into
+a live :class:`~repro.streaming.dynamic_graph.DynamicGraph` — requests
+are then served from the delta overlay (no CSR rebuilds), and every
+mutation's touched frontier flows into
+:meth:`ServingGateway.notify_graph_delta`, which evicts **only** the
+cached subgraphs/results whose node sets intersect it instead of
+flushing both planes.  Under churn this keeps hit rates high: entries
+far from the mutation keep serving.  All traffic is accounted in a
+:class:`~repro.serving.metrics.MetricsRegistry`.
 """
 
 from __future__ import annotations
@@ -56,6 +66,11 @@ class GatewayConfig:
     num_replicas: int = 1
     routing: str = "hash"  # "hash" | "load" | "partition" (needs partition_map)
     metrics_window: int = 4096
+    #: With an attached stream, invalidate caches delta-aware (evict
+    #: only entries intersecting each mutation's touched frontier).
+    #: ``False`` falls back to wholesale flushes per mutation — the
+    #: pre-streaming behaviour, kept as the benchmark baseline.
+    delta_invalidation: bool = True
 
     def validate(self) -> None:
         """Reject inconsistent settings early."""
@@ -137,21 +152,39 @@ class ServingGateway:
         self.result_cache = ResultCache(self.config.result_cache_size)
         self.metrics = MetricsRegistry(window=self.config.metrics_window,
                                        clock=clock)
+        self._stream_graph = None
+        self._stream_callback = None
         self._subscribed = registry is not None
         if registry is not None:
             registry.subscribe(self._on_publish)
 
+    @property
+    def graph(self):
+        """The graph requests are served from.
+
+        The dataset's static snapshot by default; a live
+        :class:`~repro.streaming.dynamic_graph.DynamicGraph` once
+        :meth:`attach_stream` ran.
+        """
+        if self._stream_graph is not None:
+            return self._stream_graph
+        return self.dataset.graph
+
     def close(self) -> None:
-        """Detach from the registry and drain parked requests.
+        """Detach from the registry/stream and drain parked requests.
 
         A discarded gateway would otherwise stay referenced by the
-        registry's subscriber list and keep hot-swapping its replicas on
-        every later publish.  Idempotent.
+        registry's (and dynamic graph's) subscriber lists and keep
+        reacting to every later publish or mutation.  Idempotent.
         """
         self.flush()
         if self._subscribed and self.registry is not None:
             self.registry.unsubscribe(self._on_publish)
             self._subscribed = False
+        if self._stream_graph is not None:
+            self._stream_graph.unsubscribe(self._stream_callback)
+            self._stream_graph = None
+            self._stream_callback = None
 
     # ------------------------------------------------------------------
     # invalidation hooks
@@ -163,10 +196,64 @@ class ServingGateway:
         self.metrics.inc("model_swaps")
 
     def notify_graph_changed(self) -> None:
-        """Graph mutated: drop every memoised subgraph and result."""
+        """Opaque graph mutation: drop every memoised subgraph and result.
+
+        The conservative path for mutations with unknown blast radius
+        (e.g. the whole dataset snapshot was replaced).  Event-sourced
+        mutations should flow through :meth:`notify_graph_delta`.
+        """
         self.subgraph_cache.invalidate_graph()
         self.result_cache.clear()
         self.metrics.inc("graph_invalidations")
+
+    def notify_graph_delta(self, touched) -> None:
+        """Delta-aware invalidation for an event-sourced graph mutation.
+
+        ``touched`` is the mutation's node frontier (edge endpoints /
+        arrived shops).  Only cached entries whose memoised node sets
+        intersect it can have changed — a k-hop ball grows or shrinks
+        only through a node it already contains — so everything else
+        survives, keeping hit rates high under churn.
+        """
+        touched = np.asarray(touched, dtype=np.int64)
+        if touched.size == 0:
+            return
+        evicted_subgraphs = self.subgraph_cache.invalidate_nodes(touched)
+        evicted_results = self.result_cache.invalidate_nodes(touched)
+        self.metrics.inc("graph_delta_invalidations")
+        self.metrics.inc("delta_evicted_subgraphs", evicted_subgraphs)
+        self.metrics.inc("delta_evicted_results", evicted_results)
+
+    def attach_stream(self, dynamic_graph) -> None:
+        """Serve from a live :class:`~repro.streaming.dynamic_graph.DynamicGraph`.
+
+        Subgraph extraction switches to the delta overlay (updates are
+        visible immediately, no CSR rebuilds) and every mutation's
+        touched frontier flows into :meth:`notify_graph_delta` (or, with
+        ``config.delta_invalidation`` off, into the wholesale
+        :meth:`notify_graph_changed` — the full-flush baseline).  The
+        caches are flushed once at attach time — entries memoised from
+        the static snapshot have unknown provenance relative to the
+        stream — and survive mutations selectively from then on.
+
+        Scoring needs a feature row per subgraph node, so shops grown
+        *beyond* the serving snapshot (``dynamic_graph.add_shop`` past
+        ``source_batch.num_shops``) cannot be served — nor linked into
+        served neighborhoods — until ``source_batch`` is refreshed.
+        Pre-allocated arrival slots (the simulator's reveal model) are
+        fully supported.
+        """
+        if self._stream_graph is not None:
+            self._stream_graph.unsubscribe(self._stream_callback)
+        if self.config.delta_invalidation:
+            callback = self.notify_graph_delta
+        else:
+            def callback(touched, _self=self):
+                _self.notify_graph_changed()
+        self._stream_graph = dynamic_graph
+        self._stream_callback = callback
+        dynamic_graph.subscribe(callback)
+        self.notify_graph_changed()
 
     # ------------------------------------------------------------------
     # request intake
@@ -174,10 +261,20 @@ class ServingGateway:
     def submit(self, shop_index: int) -> PendingRequest:
         """Enqueue one request; flushes when the batch fills or is due."""
         shop_index = int(shop_index)
-        if not 0 <= shop_index < self.dataset.graph.num_nodes:
+        if not 0 <= shop_index < self.graph.num_nodes:
             raise IndexError(
                 f"shop {shop_index} out of range for "
-                f"{self.dataset.graph.num_nodes} shops"
+                f"{self.graph.num_nodes} shops"
+            )
+        if shop_index >= self.source_batch.num_shops:
+            # A streamed-in shop can outgrow the serving snapshot: the
+            # graph knows it, but no feature row exists to score it.
+            # Reject here so one such request cannot poison the whole
+            # micro-batch at flush time.
+            raise IndexError(
+                f"shop {shop_index} has no feature row in the serving "
+                f"snapshot ({self.source_batch.num_shops} shops); "
+                "refresh source_batch before serving shops added beyond it"
             )
         if self.batcher.due():
             self.flush()
@@ -232,7 +329,15 @@ class ServingGateway:
                 egos[shop] = cached
                 self.metrics.inc("subgraph_cache_hits")
         if missing:
-            for ego in ego_subgraphs(self.dataset.graph, missing, hops):
+            graph = self.graph
+            # A DynamicGraph brings its own overlay-aware extractor;
+            # static graphs use the module-level CSR path.
+            extract = getattr(graph, "ego_subgraphs", None)
+            if callable(extract):
+                extracted = extract(missing, hops)
+            else:
+                extracted = ego_subgraphs(graph, missing, hops)
+            for ego in extracted:
                 self.subgraph_cache.put(ego.center, hops, ego)
                 egos[ego.center] = ego
         return egos
@@ -283,15 +388,44 @@ class ServingGateway:
         for replica_id, by_shop in groups.items():
             self._forward_group(replicas[replica_id], by_shop, len(requests))
 
+    def _fail_unservable(self, by_shop, egos) -> List[int]:
+        """Fail requests whose egos reach beyond the feature snapshot.
+
+        A streamed-in shop linked into a served neighborhood has graph
+        presence but no feature row; scoring any ego containing it would
+        crash the whole stitched forward.  Those requests fail
+        individually (:meth:`PendingRequest.result` re-raises) and the
+        rest of the group proceeds.  Returns the servable shops.
+        """
+        limit = self.source_batch.num_shops
+        servable: List[int] = []
+        for shop, requests in by_shop.items():
+            nodes = egos[shop].nodes
+            if nodes.size and int(nodes.max()) >= limit:
+                error = IndexError(
+                    f"ego-subgraph of shop {shop} reaches node "
+                    f"{int(nodes.max())}, beyond the serving snapshot's "
+                    f"{limit} feature rows; refresh source_batch before "
+                    "linking streamed-in shops into served neighborhoods"
+                )
+                for request in requests:
+                    request.fail(error)
+                self.metrics.inc("requests_failed", float(len(requests)))
+            else:
+                servable.append(shop)
+        return servable
+
     def _forward_group(self, replica: ModelReplica,
                        by_shop: "OrderedDict[int, List[PendingRequest]]",
                        batch_size: int) -> None:
         """One node-disjoint forward for a replica's share of a batch."""
-        shops = list(by_shop)
         num_requests = sum(len(reqs) for reqs in by_shop.values())
         # The slots were claimed at routing time in _serve.
         try:
-            egos = self._extract_egos(shops)
+            egos = self._extract_egos(list(by_shop))
+            shops = self._fail_unservable(by_shop, egos)
+            if not shops:
+                return
             union = build_disjoint_batch(
                 [egos[s] for s in shops], self.source_batch
             )
@@ -305,16 +439,17 @@ class ServingGateway:
             raw = union.batch.inverse_scale(scaled.data)
         finally:
             replica.inflight -= num_requests
-        replica.served_requests += num_requests
+        served = sum(len(by_shop[s]) for s in shops)
+        replica.served_requests += served
         replica.served_batches += 1
         self.metrics.inc("batches_total")
-        self.metrics.observe("batch_size", float(num_requests))
+        self.metrics.observe("batch_size", float(served))
         for row, shop in zip(union.center_rows, shops):
             forecast = raw[int(row)].copy()
             forecast.setflags(write=False)
             nodes = int(egos[shop].num_nodes)
             self.result_cache.put(shop, self.config.hops, replica.version,
-                                  forecast, nodes)
+                                  forecast, nodes, nodes=egos[shop].nodes)
             for request in by_shop[shop]:
                 self._resolve(request, forecast, nodes, cached=False,
                               replica=replica, batch_size=batch_size)
@@ -338,12 +473,17 @@ class ServingGateway:
         report["subgraph_cache"] = {
             "size": len(self.subgraph_cache),
             "hit_rate": self.subgraph_cache.stats.hit_rate(),
+            "lifetime_hit_rate": self.subgraph_cache.stats.lifetime_hit_rate(),
+            "evictions": self.subgraph_cache.stats.evictions,
             "epoch": self.subgraph_cache.epoch,
         }
         report["result_cache"] = {
             "size": len(self.result_cache),
             "hit_rate": self.result_cache.stats.hit_rate(),
+            "lifetime_hit_rate": self.result_cache.stats.lifetime_hit_rate(),
+            "evictions": self.result_cache.stats.evictions,
         }
+        report["streaming"] = self._stream_graph is not None
         report["engine"] = {
             "mode": engine.engine_mode(),
             **engine.stats_snapshot(),

@@ -66,9 +66,13 @@ class MetricsRegistry:
 
     Canonical series written by :class:`~repro.serving.gateway.ServingGateway`:
 
-    * counters — ``requests_total``, ``batches_total``, ``cache_hits``,
+    * counters — ``requests_total``, ``requests_failed`` (unservable,
+      failed individually), ``batches_total``, ``cache_hits``,
       ``cache_misses``, ``subgraph_cache_hits``, ``subgraph_cache_misses``,
-      ``model_swaps``, ``graph_invalidations``
+      ``model_swaps``, ``graph_invalidations`` (wholesale flushes),
+      ``graph_delta_invalidations`` / ``delta_evicted_subgraphs`` /
+      ``delta_evicted_results`` (delta-aware eviction under streaming
+      churn)
     * distributions — ``latency_seconds`` (per request, queue wait
       included), ``batch_size`` (requests per model forward)
     """

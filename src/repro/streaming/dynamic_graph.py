@@ -1,0 +1,460 @@
+"""Incrementally mutable view over :class:`~repro.graph.graph.ESellerGraph`.
+
+The static graph is append-only numpy arrays plus a lazily built CSR
+index; any mutation would force a full rebuild and (worse) a wholesale
+flush of every serving cache keyed on node sets.  :class:`DynamicGraph`
+makes mutation cheap instead:
+
+* a frozen **base** graph keeps its CSR index across arbitrarily many
+  events;
+* additions land in a small **overlay** (edge arrays plus per-node
+  adjacency lists);
+* retirements **tombstone** edges (a liveness mask over base + overlay)
+  without moving anything.
+
+Neighbor queries (:meth:`k_hop_nodes`, :meth:`ego_subgraph`, degrees)
+merge the three planes on the fly, so they see every update immediately
+at O(overlay) extra cost — no per-event CSR rebuilds.  When the overlay
+plus tombstones outgrow ``compact_threshold`` of the live edge count,
+:meth:`compact` folds everything into a fresh base.
+
+**Equivalence guarantee.**  After ``compact()``, the base graph is
+*identical* — same ``num_nodes``, same edge arrays in the same order —
+to ``ESellerGraph.from_edit_history`` applied to the full event history
+in one shot: surviving edges keep addition order, tombstoned edges
+vanish, and intermediate compactions are invisible because they
+preserve the relative order of survivors.  Since edge order fixes the
+float accumulation order of message passing, forecasts computed through
+a dynamic graph match a cold rebuild bit-for-bit (and stay within the
+subsystem's 1e-12 budget end to end).  ``tests/test_streaming.py``
+asserts this property over random event sequences.
+
+Mutation listeners: consumers (the serving gateway's delta-aware cache
+invalidation) subscribe with :meth:`subscribe` and receive the *touched
+frontier* — the endpoints of each mutation — after every applied event,
+which is exactly the set against which cached ego node sets must be
+intersected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.graph import ESellerGraph
+from ..graph.sampling import EgoSubgraph, _gather_segments
+from .events import (
+    EdgeAdded,
+    EdgeRetired,
+    SalesTick,
+    ShopAdded,
+    ShopEvent,
+    live_edge_stacks,
+)
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph:
+    """Delta overlay (additions + tombstones) over a frozen base graph.
+
+    Parameters
+    ----------
+    base:
+        The deployed snapshot.  Never mutated; its CSR index keeps
+        serving queries fast while events accumulate in the overlay.
+    compact_threshold:
+        Auto-compact when ``(overlay + tombstones) > threshold * live``
+        (and the overhead exceeds ``min_compact_edges``).  ``None``
+        disables auto-compaction (manual :meth:`compact` only).
+    min_compact_edges:
+        Floor below which auto-compaction never triggers, so tiny graphs
+        don't compact on every other event.
+    """
+
+    def __init__(
+        self,
+        base: ESellerGraph,
+        compact_threshold: Optional[float] = 0.5,
+        min_compact_edges: int = 256,
+    ) -> None:
+        if compact_threshold is not None and compact_threshold <= 0:
+            raise ValueError(
+                f"compact_threshold must be positive, got {compact_threshold}"
+            )
+        self.compact_threshold = compact_threshold
+        self.min_compact_edges = int(min_compact_edges)
+        self.compactions = 0
+        self.events_applied = 0
+        self._listeners: List[Callable[[np.ndarray], None]] = []
+        self._suppress_notify = False
+        self._reset_from(base)
+
+    # ------------------------------------------------------------------
+    # internal state management
+    # ------------------------------------------------------------------
+    def _reset_from(self, base: ESellerGraph) -> None:
+        """Point at a fresh base graph with an empty overlay."""
+        self._base = base
+        self.num_nodes = base.num_nodes
+        self._base_alive = np.ones(base.num_edges, dtype=bool)
+        self._dead = 0
+        self._ov_src: List[int] = []
+        self._ov_dst: List[int] = []
+        self._ov_type: List[int] = []
+        self._ov_alive: List[bool] = []
+        self._ov_out: Dict[int, List[int]] = {}
+        self._ov_in: Dict[int, List[int]] = {}
+        self._ov_live = 0
+        # LIFO stacks of global edge positions (base: 0..B-1, overlay:
+        # B..) per (src, dst, type) key — the retirement rule shared
+        # with the cold fold via events.live_edge_stacks.
+        self._live: Dict[Tuple[int, int, int], List[int]] = \
+            live_edge_stacks(base)
+        self._out_deg = base.out_degrees()
+        self._in_deg = base.in_degrees()
+
+    @property
+    def base(self) -> ESellerGraph:
+        """The current frozen base graph (changes only on compaction)."""
+        return self._base
+
+    @property
+    def num_edges(self) -> int:
+        """Number of live edges (base survivors + live overlay)."""
+        return self._base.num_edges - self._dead + self._ov_live
+
+    @property
+    def overlay_size(self) -> int:
+        """Edges currently held outside the base (alive or tombstoned)."""
+        return len(self._ov_src)
+
+    @property
+    def tombstones(self) -> int:
+        """Retired edges not yet reclaimed by compaction."""
+        return self._dead + len(self._ov_alive) - self._ov_live
+
+    def __repr__(self) -> str:
+        return (f"DynamicGraph(num_nodes={self.num_nodes}, "
+                f"num_edges={self.num_edges}, overlay={self.overlay_size}, "
+                f"tombstones={self.tombstones})")
+
+    # ------------------------------------------------------------------
+    # mutation listeners
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[np.ndarray], None]) -> None:
+        """Register a callback receiving each mutation's touched frontier."""
+        self._listeners.append(callback)
+
+    def unsubscribe(self, callback: Callable[[np.ndarray], None]) -> None:
+        """Remove a previously registered mutation callback."""
+        self._listeners.remove(callback)
+
+    def _notify(self, touched: np.ndarray) -> None:
+        if touched.size == 0 or self._suppress_notify:
+            return
+        for callback in list(self._listeners):
+            callback(touched)
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def add_shop(self, shop_index: Optional[int] = None) -> int:
+        """Register a shop node; returns its index.
+
+        ``None`` appends a brand-new node.  An explicit index at or
+        beyond ``num_nodes`` grows the node space to cover it; an
+        existing index is a presence marker (arrival of a shop whose
+        slot was pre-allocated) and leaves the graph unchanged — either
+        way listeners see the shop as the touched frontier.
+        """
+        if shop_index is None:
+            shop_index = self.num_nodes
+        shop_index = int(shop_index)
+        if shop_index < 0:
+            raise IndexError(f"shop index must be non-negative, got {shop_index}")
+        if shop_index >= self.num_nodes:
+            grow = shop_index + 1 - self.num_nodes
+            self.num_nodes = shop_index + 1
+            self._out_deg = np.concatenate(
+                [self._out_deg, np.zeros(grow, dtype=np.int64)]
+            )
+            self._in_deg = np.concatenate(
+                [self._in_deg, np.zeros(grow, dtype=np.int64)]
+            )
+        self._notify(np.array([shop_index], dtype=np.int64))
+        return shop_index
+
+    def add_edge(self, src: int, dst: int, edge_type: int = 0) -> None:
+        """Append one live edge to the overlay."""
+        src, dst, edge_type = int(src), int(dst), int(edge_type)
+        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+            raise IndexError(
+                f"edge ({src}, {dst}) out of range for {self.num_nodes} shops"
+            )
+        pos = self._base.num_edges + len(self._ov_src)
+        self._ov_src.append(src)
+        self._ov_dst.append(dst)
+        self._ov_type.append(edge_type)
+        self._ov_alive.append(True)
+        self._ov_live += 1
+        self._ov_out.setdefault(src, []).append(len(self._ov_src) - 1)
+        self._ov_in.setdefault(dst, []).append(len(self._ov_src) - 1)
+        self._live.setdefault((src, dst, edge_type), []).append(pos)
+        self._out_deg[src] += 1
+        self._in_deg[dst] += 1
+        self._maybe_compact()
+        self._notify(np.unique(np.array([src, dst], dtype=np.int64)))
+
+    def retire_edge(self, src: int, dst: int, edge_type: int = 0) -> None:
+        """Tombstone the most recently added live ``(src, dst, type)`` edge.
+
+        Raises ``LookupError`` when no live match exists (same rule as
+        :func:`~repro.streaming.events.edge_history`).
+        """
+        key = (int(src), int(dst), int(edge_type))
+        stack = self._live.get(key)
+        if not stack:
+            raise LookupError(f"no live edge {key} to retire")
+        pos = stack.pop()
+        if pos < self._base.num_edges:
+            self._base_alive[pos] = False
+            self._dead += 1
+        else:
+            self._ov_alive[pos - self._base.num_edges] = False
+            self._ov_live -= 1
+        self._out_deg[key[0]] -= 1
+        self._in_deg[key[1]] -= 1
+        self._maybe_compact()
+        self._notify(np.unique(np.array(key[:2], dtype=np.int64)))
+
+    def apply(self, event: ShopEvent) -> np.ndarray:
+        """Apply one log event; returns the touched node frontier.
+
+        :class:`SalesTick` is a graph no-op (feature planes consume it)
+        and touches nothing.
+        """
+        self.events_applied += 1
+        if isinstance(event, ShopAdded):
+            return np.array([self.add_shop(event.shop_index)], dtype=np.int64)
+        if isinstance(event, EdgeAdded):
+            self.add_edge(event.src, event.dst, event.edge_type)
+            return np.unique(np.array([event.src, event.dst], dtype=np.int64))
+        if isinstance(event, EdgeRetired):
+            self.retire_edge(event.src, event.dst, event.edge_type)
+            return np.unique(np.array([event.src, event.dst], dtype=np.int64))
+        if isinstance(event, SalesTick):
+            return np.zeros(0, dtype=np.int64)
+        raise TypeError(f"unknown event {event!r}")
+
+    def apply_events(self, events: Sequence[ShopEvent]) -> np.ndarray:
+        """Apply a batch of events; returns the union touched frontier.
+
+        Listeners are notified **once** with the union frontier instead
+        of per event — no query can interleave inside the batch, so one
+        coalesced eviction pass over the caches is equivalent to (and a
+        batch-factor cheaper than) per-event scans.  Use :meth:`apply`
+        when queries genuinely interleave with single events.
+        """
+        touched: List[np.ndarray] = [np.zeros(0, dtype=np.int64)]
+        self._suppress_notify = True
+        try:
+            for event in events:
+                touched.append(self.apply(event))
+        finally:
+            # Notify even when an event raised mid-batch: whatever was
+            # already applied mutated the graph, and subscribed caches
+            # must not keep serving its pre-mutation state.
+            self._suppress_notify = False
+            union = np.unique(np.concatenate(touched))
+            self._notify(union)
+        return union
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def _overhead(self) -> int:
+        return self.overlay_size + self._dead
+
+    def _maybe_compact(self) -> None:
+        if self.compact_threshold is None:
+            return
+        overhead = self._overhead()
+        if overhead < self.min_compact_edges:
+            return
+        if overhead > self.compact_threshold * max(self.num_edges, 1):
+            self.compact()
+
+    def compact(self) -> ESellerGraph:
+        """Fold overlay + tombstones into a fresh base graph.
+
+        The result equals ``ESellerGraph.from_edit_history`` over the
+        full event history (see the module docstring); queries before
+        and after compaction are indistinguishable, so no cache
+        invalidation is needed and listeners are not notified.
+        """
+        src = np.concatenate([
+            self._base.src, np.asarray(self._ov_src, dtype=np.int64)
+        ])
+        dst = np.concatenate([
+            self._base.dst, np.asarray(self._ov_dst, dtype=np.int64)
+        ])
+        types = np.concatenate([
+            self._base.edge_types, np.asarray(self._ov_type, dtype=np.int64)
+        ])
+        alive = np.concatenate([
+            self._base_alive, np.asarray(self._ov_alive, dtype=bool)
+        ])
+        base = ESellerGraph.from_edit_history(
+            self.num_nodes, src, dst, types, alive
+        )
+        self._reset_from(base)
+        self.compactions += 1
+        return base
+
+    def as_graph(self) -> ESellerGraph:
+        """Current live graph as a static :class:`ESellerGraph`.
+
+        Compacts when any delta is pending, so repeated calls on a quiet
+        graph are free.
+        """
+        if self.overlay_size or self._dead or self._base.num_nodes != self.num_nodes:
+            return self.compact()
+        return self._base
+
+    # ------------------------------------------------------------------
+    # queries (base CSR + overlay merge)
+    # ------------------------------------------------------------------
+    def out_degrees(self) -> np.ndarray:
+        """Live out-degree of every node."""
+        return self._out_deg.copy()
+
+    def in_degrees(self) -> np.ndarray:
+        """Live in-degree of every node."""
+        return self._in_deg.copy()
+
+    def _base_neighbors(self, frontier: np.ndarray) -> List[np.ndarray]:
+        """Undirected base-plane neighbors of ``frontier`` (live edges only)."""
+        base = self._base
+        hits: List[np.ndarray] = []
+        in_base = frontier[frontier < base.num_nodes]
+        if in_base.size == 0 or base.num_edges == 0:
+            return hits
+        out_indptr, out_order = base.out_csr()
+        in_indptr, in_order = base.in_csr()
+        eid_out = _gather_segments(out_indptr, out_order, in_base)
+        eid_in = _gather_segments(in_indptr, in_order, in_base)
+        if self._dead:
+            eid_out = eid_out[self._base_alive[eid_out]]
+            eid_in = eid_in[self._base_alive[eid_in]]
+        hits.append(base.dst[eid_out])
+        hits.append(base.src[eid_in])
+        return hits
+
+    def _overlay_neighbors(self, frontier: np.ndarray) -> List[int]:
+        """Undirected overlay-plane neighbors of ``frontier`` (live only)."""
+        found: List[int] = []
+        for node in frontier.tolist():
+            for pos in self._ov_out.get(node, ()):
+                if self._ov_alive[pos]:
+                    found.append(self._ov_dst[pos])
+            for pos in self._ov_in.get(node, ()):
+                if self._ov_alive[pos]:
+                    found.append(self._ov_src[pos])
+        return found
+
+    def k_hop_nodes(self, seeds: Sequence[int], hops: int) -> np.ndarray:
+        """Nodes within ``hops`` undirected hops of ``seeds``.
+
+        Matches :func:`repro.graph.sampling.k_hop_nodes` on the
+        equivalent static graph exactly; the frontier expands over the
+        base CSR (tombstones filtered) merged with the overlay adjacency.
+        """
+        if hops < 0:
+            raise ValueError(f"hops must be non-negative, got {hops}")
+        seeds = np.asarray(seeds, dtype=np.int64)
+        if seeds.size and (seeds.min() < 0 or seeds.max() >= self.num_nodes):
+            raise IndexError(
+                f"seeds out of range for {self.num_nodes} nodes"
+            )
+        visited = np.zeros(self.num_nodes, dtype=bool)
+        visited[seeds] = True
+        frontier = np.unique(seeds)
+        for _ in range(hops):
+            if frontier.size == 0:
+                break
+            hits = self._base_neighbors(frontier)
+            overlay = self._overlay_neighbors(frontier)
+            if overlay:
+                hits.append(np.asarray(overlay, dtype=np.int64))
+            if not hits:
+                break
+            nxt = np.unique(np.concatenate(hits))
+            nxt = nxt[~visited[nxt]]
+            visited[nxt] = True
+            frontier = nxt
+        return np.flatnonzero(visited)
+
+    def induced_subgraph(
+        self, nodes: Sequence[int]
+    ) -> Tuple[ESellerGraph, np.ndarray]:
+        """Induced live subgraph on ``nodes`` (canonical edge order).
+
+        Base survivors come first in base order, then live overlay edges
+        in addition order — the same order
+        ``self.as_graph().subgraph(nodes)`` would produce, which keeps
+        downstream message-passing numerics identical.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size != np.unique(nodes).size:
+            raise ValueError("subgraph nodes must be unique")
+        lookup = np.full(self.num_nodes, -1, dtype=np.int64)
+        lookup[nodes] = np.arange(nodes.size)
+        base = self._base
+        keep = (lookup[base.src] >= 0) & (lookup[base.dst] >= 0)
+        if self._dead:
+            keep &= self._base_alive
+        parts_src = [lookup[base.src[keep]]]
+        parts_dst = [lookup[base.dst[keep]]]
+        parts_type = [base.edge_types[keep]]
+        if self._ov_src:
+            ov_src = np.asarray(self._ov_src, dtype=np.int64)
+            ov_dst = np.asarray(self._ov_dst, dtype=np.int64)
+            ov_type = np.asarray(self._ov_type, dtype=np.int64)
+            ov_keep = (
+                np.asarray(self._ov_alive, dtype=bool)
+                & (lookup[ov_src] >= 0)
+                & (lookup[ov_dst] >= 0)
+            )
+            parts_src.append(lookup[ov_src[ov_keep]])
+            parts_dst.append(lookup[ov_dst[ov_keep]])
+            parts_type.append(ov_type[ov_keep])
+        sub = ESellerGraph(
+            nodes.size,
+            np.concatenate(parts_src),
+            np.concatenate(parts_dst),
+            np.concatenate(parts_type),
+        )
+        return sub, nodes
+
+    def ego_subgraph(self, center: int, hops: int = 2) -> EgoSubgraph:
+        """Extract the live ``hops``-hop ego-subgraph around ``center``."""
+        if not 0 <= center < self.num_nodes:
+            raise IndexError(
+                f"center {center} out of range for {self.num_nodes} nodes"
+            )
+        nodes = self.k_hop_nodes([center], hops)
+        sub, originals = self.induced_subgraph(nodes)
+        return EgoSubgraph(
+            center=int(center),
+            subgraph=sub,
+            nodes=originals,
+            center_local=int(np.searchsorted(originals, center)),
+        )
+
+    def ego_subgraphs(
+        self, centers: Sequence[int], hops: int = 2
+    ) -> List[EgoSubgraph]:
+        """Batched ego extraction (the gateway's multi-seed entry point)."""
+        return [self.ego_subgraph(int(c), hops) for c in np.asarray(centers)]

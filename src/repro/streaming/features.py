@@ -1,0 +1,251 @@
+"""Streaming feature planes: event-fed GMV / activity / static tables.
+
+The offline pipeline reads its feature blocks from the marketplace
+database through the Fig 5 extractors.  In the streaming world the same
+tables are maintained *incrementally*: :class:`StreamingFeatureStore`
+is a fold of the event log into exactly the arrays
+:class:`~repro.data.extractors.NodeFeatureExtractor` would emit — same
+GMV table, same observed mask, same temporal features (cyclical month +
+``log1p`` counts), same static one-hots — so a window assembled from the
+store (:meth:`StreamingFeatureStore.instance_batch`) is *identical* to
+one built from a cold database rebuild of the same event history.  That
+equivalence is what lets the online adapter fine-tune on fresh windows
+without ever re-running the batch extract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..data.dataset import InstanceBatch, make_instance_batch
+from ..data.scaling import ShopLevelScaler, StandardScaler
+from ..data.schema import INDUSTRIES, REGIONS
+from ..data.synthetic import TIMELINE_START_CALENDAR_MONTH
+from .events import SalesTick, ShopAdded, ShopEvent
+
+__all__ = ["StreamingFeatureStore", "grow_rows"]
+
+
+def grow_rows(array: np.ndarray, num_rows: int, fill=0) -> np.ndarray:
+    """Return ``array`` extended to ``num_rows`` leading rows.
+
+    New rows are filled with ``fill``; the input is returned unchanged
+    when it is already large enough.  The one grow-on-arrival policy
+    shared by every streaming consumer that keys state by shop index
+    (feature tables, drift EWMAs, ring buffers).
+    """
+    grow = num_rows - array.shape[0]
+    if grow <= 0:
+        return array
+    pad = np.full((grow,) + array.shape[1:], fill, dtype=array.dtype)
+    return np.concatenate([array, pad])
+
+
+class StreamingFeatureStore:
+    """Incrementally maintained node-feature tables over a fixed timeline.
+
+    Parameters
+    ----------
+    num_shops:
+        Initial shop capacity; :class:`ShopAdded` events beyond it grow
+        the tables.
+    num_months:
+        Timeline length (columns of every monthly table).
+
+    Notes
+    -----
+    * :class:`SalesTick` rows *accumulate* into the month cell, matching
+      the database's scatter-add merge, so duplicate partial ticks for
+      one shop-month behave like duplicate database rows.
+    * A shop that has not been added yet is fully masked: its observed
+      row is all-``False`` and its static row is zero apart from the
+      neutral opening-age feature, so it is inert in any assembled
+      window (the cold-start arrival path).
+    """
+
+    def __init__(self, num_shops: int, num_months: int) -> None:
+        if num_shops < 0:
+            raise ValueError(f"num_shops must be non-negative, got {num_shops}")
+        if num_months <= 0:
+            raise ValueError(f"num_months must be positive, got {num_months}")
+        self.num_months = int(num_months)
+        self.num_shops = int(num_shops)
+        self.gmv = np.zeros((num_shops, num_months), dtype=np.float64)
+        self.orders = np.zeros((num_shops, num_months), dtype=np.int64)
+        self.customers = np.zeros((num_shops, num_months), dtype=np.int64)
+        #: Opening month per shop; ``num_months`` = not (yet) added.
+        self.opened_month = np.full(num_shops, num_months, dtype=np.int64)
+        self._industries: List[str] = [""] * num_shops
+        self._regions: List[str] = [""] * num_shops
+        self.events_applied = 0
+        # Derived-block caches: window assembly happens every month-close
+        # while most months change only a few cells, so the O(S*M)
+        # temporal block and the Python-loop static block are rebuilt
+        # only when their inputs actually moved.
+        self._tick_version = 0
+        self._shop_version = 0
+        self._temporal_cache: Optional[tuple] = None
+        self._static_cache: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def _ensure_capacity(self, shop_index: int) -> None:
+        if shop_index < 0:
+            raise IndexError(
+                f"shop index must be non-negative, got {shop_index}"
+            )
+        if shop_index < self.num_shops:
+            return
+        grow = shop_index + 1 - self.num_shops
+        self.gmv = grow_rows(self.gmv, shop_index + 1)
+        self.orders = grow_rows(self.orders, shop_index + 1)
+        self.customers = grow_rows(self.customers, shop_index + 1)
+        self.opened_month = grow_rows(self.opened_month, shop_index + 1,
+                                      fill=self.num_months)
+        self._industries.extend([""] * grow)
+        self._regions.extend([""] * grow)
+        self.num_shops = shop_index + 1
+        self._tick_version += 1
+        self._shop_version += 1
+
+    def register_shop(self, shop_index: int, opened_month: int,
+                      industry: str = "", region: str = "") -> None:
+        """Mark a shop as present from ``opened_month`` on.
+
+        Idempotent under duplicates (the earliest opening month wins);
+        used both by :class:`ShopAdded` folding and snapshot preloads.
+        """
+        shop_index = int(shop_index)
+        self._ensure_capacity(shop_index)
+        self.opened_month[shop_index] = min(
+            int(self.opened_month[shop_index]), int(opened_month)
+        )
+        if industry:
+            self._industries[shop_index] = industry
+        if region:
+            self._regions[shop_index] = region
+        self._shop_version += 1
+
+    def apply(self, event: ShopEvent) -> None:
+        """Fold one event into the feature planes.
+
+        Edge events are graph-plane only and are ignored here, so one
+        log can be replayed through graph and features independently.
+        """
+        self.events_applied += 1
+        if isinstance(event, ShopAdded):
+            self.register_shop(event.shop_index, event.month,
+                               event.industry, event.region)
+        elif isinstance(event, SalesTick):
+            if not 0 <= event.month < self.num_months:
+                raise IndexError(
+                    f"tick month {event.month} outside timeline "
+                    f"[0, {self.num_months})"
+                )
+            self._ensure_capacity(event.shop_index)
+            self.gmv[event.shop_index, event.month] += float(event.gmv)
+            self.orders[event.shop_index, event.month] += int(event.orders)
+            self.customers[event.shop_index, event.month] += int(event.customers)
+            self._tick_version += 1
+
+    def apply_events(self, events: Iterable[ShopEvent]) -> None:
+        """Fold a batch of events in order."""
+        for event in events:
+            self.apply(event)
+
+    # ------------------------------------------------------------------
+    # extractor-equivalent views
+    # ------------------------------------------------------------------
+    def observed(self) -> np.ndarray:
+        """Boolean ``(S, M)`` mask, true from each shop's opening month on."""
+        months = np.arange(self.num_months)
+        return months[None, :] >= self.opened_month[:, None]
+
+    def temporal_features(self) -> np.ndarray:
+        """``(S, M, 4)`` block matching the temporal extractor's formula.
+
+        Cached until the next sales tick (or capacity growth); treat the
+        returned array as read-only.
+        """
+        if self._temporal_cache is not None \
+                and self._temporal_cache[0] == self._tick_version:
+            return self._temporal_cache[1]
+        months = np.arange(self.num_months)
+        calendar = (TIMELINE_START_CALENDAR_MONTH + months) % 12
+        angle = 2.0 * np.pi * calendar / 12.0
+        features = np.zeros((self.num_shops, self.num_months, 4), dtype=np.float64)
+        features[:, :, 0] = np.sin(angle)[None, :]
+        features[:, :, 1] = np.cos(angle)[None, :]
+        features[:, :, 2] = np.log1p(self.orders)
+        features[:, :, 3] = np.log1p(self.customers)
+        self._temporal_cache = (self._tick_version, features)
+        return features
+
+    def static_features(self) -> np.ndarray:
+        """``(S, DS)`` block matching the static extractor's layout.
+
+        Cached until the next shop registration (or capacity growth);
+        treat the returned array as read-only.
+        """
+        if self._static_cache is not None \
+                and self._static_cache[0] == self._shop_version:
+            return self._static_cache[1]
+        dim = len(INDUSTRIES) + len(REGIONS) + 1
+        features = np.zeros((self.num_shops, dim), dtype=np.float64)
+        for i in range(self.num_shops):
+            if self._industries[i]:
+                features[i, INDUSTRIES.index(self._industries[i])] = 1.0
+            if self._regions[i]:
+                features[i, len(INDUSTRIES) + REGIONS.index(self._regions[i])] = 1.0
+            features[i, -1] = self.opened_month[i] / self.num_months
+        self._static_cache = (self._shop_version, features)
+        return features
+
+    def history_lengths(self, cutoff: int) -> np.ndarray:
+        """Observed history per shop at ``cutoff`` (0 for unseen shops)."""
+        return np.clip(cutoff - self.opened_month, 0, None)
+
+    def new_shop_mask(self, cutoff: int, threshold: int = 10) -> np.ndarray:
+        """Paper's "New Shop Group" from live state: history < threshold."""
+        return self.history_lengths(cutoff) < threshold
+
+    # ------------------------------------------------------------------
+    # window assembly
+    # ------------------------------------------------------------------
+    def instance_batch(
+        self,
+        cutoff: int,
+        input_window: int,
+        horizon: int,
+        scaler: ShopLevelScaler,
+        temporal_scaler: StandardScaler,
+        static: Optional[np.ndarray] = None,
+    ) -> InstanceBatch:
+        """Assemble the window batch at ``cutoff`` from live tables.
+
+        Identical to the offline
+        :func:`~repro.data.dataset.make_instance_batch` on a cold
+        rebuild of the same event history (the ``scaler`` pair is the
+        deployed snapshot's — frozen at publish time, exactly like the
+        production system's feature scalers).  ``static`` overrides the
+        event-derived static block for deployments whose static features
+        come from the batch snapshot instead of the stream.
+        """
+        if cutoff < 1:
+            raise ValueError(f"cutoff {cutoff} leaves no input history")
+        if cutoff + horizon > self.num_months:
+            raise ValueError("cutoff + horizon exceeds the timeline")
+        return make_instance_batch(
+            self.gmv,
+            self.observed(),
+            self.temporal_features(),
+            static if static is not None else self.static_features(),
+            cutoff,
+            input_window,
+            horizon,
+            scaler,
+            temporal_scaler,
+        )

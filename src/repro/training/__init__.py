@@ -1,7 +1,14 @@
-"""Training infrastructure: metrics, trainer, data-parallel trainer, grid search."""
+"""Training infrastructure: metrics, trainer, data-parallel trainer,
+online drift adaptation, grid search."""
 
 from .grid_search import GridSearchResult, grid_search
 from .metrics import evaluate_forecast, mae, mape, rmse
+from .online import (
+    AdaptationReport,
+    OnlineAdapter,
+    OnlineAdapterConfig,
+    ShopRingWindows,
+)
 from .parallel import ParallelTrainer, ShardedDataset, ShardView
 from .trainer import TrainConfig, Trainer, TrainHistory
 
@@ -16,6 +23,10 @@ __all__ = [
     "ParallelTrainer",
     "ShardedDataset",
     "ShardView",
+    "OnlineAdapter",
+    "OnlineAdapterConfig",
+    "AdaptationReport",
+    "ShopRingWindows",
     "grid_search",
     "GridSearchResult",
 ]

@@ -1,0 +1,47 @@
+"""Headless smoke test for every ``examples/*.py`` demo.
+
+Each example is executed as a real subprocess (``PYTHONPATH=src``, no
+display, no arguments) and must exit 0 — so the demos shown in the
+README-level docs can never silently rot as the APIs they exercise
+evolve.  The examples train real models, so the whole suite is opt-in
+via ``-m slow`` like the benchmark harness.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+TIMEOUT_SECONDS = int(os.environ.get("REPRO_EXAMPLE_TIMEOUT", "1200"))
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs_headless(example):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.setdefault("MPLBACKEND", "Agg")
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT_SECONDS,
+    )
+    assert result.returncode == 0, (
+        f"{example.name} exited {result.returncode}\n"
+        f"--- stdout ---\n{result.stdout[-4000:]}\n"
+        f"--- stderr ---\n{result.stderr[-4000:]}"
+    )
+    assert result.stdout.strip(), f"{example.name} produced no output"

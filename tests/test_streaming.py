@@ -1,0 +1,768 @@
+"""Tests for the streaming subsystem (``repro.streaming``).
+
+The load-bearing guarantee is *equivalence*: replaying any event log
+through the delta overlay (:class:`DynamicGraph`) and the feature store
+must be indistinguishable — graph queries, compacted arrays, assembled
+windows, gateway forecasts — from a cold rebuild of the final state.
+The property-based suite throws random event sequences (with
+interleaved compactions) at that claim via the ``tests.helpers.forall``
+harness; the integration tests drive the full simulator → dynamic
+graph → delta-aware gateway → online adapter chain.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import Gaia, GaiaConfig
+from repro.data import MarketplaceConfig, build_dataset, build_marketplace
+from repro.data.dataset import make_instance_batch
+from repro.deploy import ModelRegistry
+from repro.graph import ESellerGraph, ego_subgraph, k_hop_nodes
+from repro.serving import GatewayConfig, LRUCache, ServingGateway
+from repro.streaming import (
+    DynamicGraph,
+    EdgeAdded,
+    EdgeRetired,
+    EventLog,
+    MarketplaceSimulator,
+    SalesTick,
+    ShopAdded,
+    StreamingFeatureStore,
+    edge_history,
+)
+from repro.training import OnlineAdapter, OnlineAdapterConfig, ShopRingWindows
+
+from helpers import forall, random_eseller_graph
+
+pytestmark = pytest.mark.streaming
+
+TRIALS = 40
+
+
+# ----------------------------------------------------------------------
+# shared fixtures: one streaming marketplace world
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def market():
+    return build_marketplace(MarketplaceConfig(num_shops=50, seed=23))
+
+
+@pytest.fixture(scope="module")
+def dataset(market):
+    return build_dataset(market, train_fraction=0.6, val_fraction=0.2)
+
+
+@pytest.fixture(scope="module")
+def gaia_config(dataset):
+    return GaiaConfig(
+        input_window=dataset.input_window,
+        horizon=dataset.horizon,
+        temporal_dim=dataset.temporal_dim,
+        static_dim=dataset.static_dim,
+        channels=8,
+        num_scales=2,
+        num_layers=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def factory(gaia_config):
+    return lambda: Gaia(gaia_config, seed=0)
+
+
+@pytest.fixture(scope="module")
+def registry(factory):
+    registry = ModelRegistry()
+    registry.publish(factory(), trained_at_month=28)
+    return registry
+
+
+@pytest.fixture(scope="module")
+def simulator(market):
+    return MarketplaceSimulator(market, start_month=22,
+                                edge_churn_per_month=2, seed=5)
+
+
+# ----------------------------------------------------------------------
+# event log
+# ----------------------------------------------------------------------
+class TestEventLog:
+    def test_append_iterate_slice(self):
+        log = EventLog()
+        log.append(ShopAdded(month=3, shop_index=0))
+        log.extend([
+            EdgeAdded(month=3, src=0, dst=0),
+            SalesTick(month=4, shop_index=0, gmv=10.0, orders=1, customers=1),
+        ])
+        assert len(log) == 3 and log.high_water == 3
+        assert [type(e).__name__ for e in log.month_slice(3)] == [
+            "ShopAdded", "EdgeAdded"
+        ]
+        assert log.since(1) == list(log)[1:]
+        assert log.counts() == {"ShopAdded": 1, "EdgeAdded": 1, "SalesTick": 1}
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            EventLog().append("not an event")
+
+    def test_edge_history_retires_lifo_and_validates(self):
+        events = [
+            EdgeAdded(month=0, src=0, dst=1),
+            EdgeAdded(month=0, src=0, dst=1),
+            EdgeRetired(month=1, src=0, dst=1),
+        ]
+        history = edge_history(events, num_nodes=2)
+        # LIFO: the second copy is tombstoned, the first survives.
+        assert history.alive.tolist() == [True, False]
+        with pytest.raises(LookupError):
+            edge_history(events + [EdgeRetired(month=2, src=1, dst=0)],
+                         num_nodes=2)
+        with pytest.raises(IndexError):
+            edge_history([EdgeAdded(month=0, src=5, dst=0)], num_nodes=2)
+
+
+# ----------------------------------------------------------------------
+# dynamic graph: unit behaviour
+# ----------------------------------------------------------------------
+class TestDynamicGraph:
+    def test_add_and_retire_edges(self):
+        base = ESellerGraph(3, [0, 1], [1, 2], [0, 0])
+        dyn = DynamicGraph(base, compact_threshold=None)
+        dyn.add_edge(2, 0, 1)
+        assert dyn.num_edges == 3
+        assert dyn.out_degrees().tolist() == [1, 1, 1]
+        dyn.retire_edge(0, 1, 0)          # tombstone a *base* edge
+        assert dyn.num_edges == 2
+        assert dyn.tombstones == 1
+        assert np.array_equal(dyn.k_hop_nodes([0], 1), [0, 2])
+        with pytest.raises(LookupError):
+            dyn.retire_edge(0, 1, 0)      # already gone
+
+    def test_add_shop_grows_node_space(self):
+        dyn = DynamicGraph(ESellerGraph(2, [0], [1], [0]),
+                           compact_threshold=None)
+        assert dyn.add_shop() == 2
+        dyn.add_edge(2, 0)
+        assert dyn.num_nodes == 3
+        assert np.array_equal(dyn.k_hop_nodes([1], 2), [0, 1, 2])
+        compacted = dyn.compact()
+        assert compacted.num_nodes == 3 and compacted.num_edges == 2
+
+    def test_out_of_range_edge_rejected(self):
+        dyn = DynamicGraph(ESellerGraph(2, [], [], []))
+        with pytest.raises(IndexError):
+            dyn.add_edge(0, 5)
+
+    def test_auto_compaction_triggers(self):
+        dyn = DynamicGraph(ESellerGraph(4, [0], [1], [0]),
+                           compact_threshold=0.5, min_compact_edges=4)
+        for _ in range(8):
+            dyn.add_edge(2, 3, 0)
+        assert dyn.compactions >= 1
+        assert dyn.num_edges == 9
+
+    def test_listeners_get_touched_frontier(self):
+        dyn = DynamicGraph(ESellerGraph(3, [0], [1], [0]),
+                           compact_threshold=None)
+        seen = []
+        dyn.subscribe(lambda touched: seen.append(touched.tolist()))
+        dyn.add_edge(1, 2)
+        dyn.retire_edge(1, 2)
+        dyn.add_shop()
+        dyn.unsubscribe(dyn._listeners[0])
+        assert seen == [[1, 2], [1, 2], [3]]
+
+    def test_apply_events_notifies_once_with_union(self):
+        """Batch application coalesces listener traffic: one eviction
+        pass over the caches per batch, not one per event."""
+        dyn = DynamicGraph(ESellerGraph(4, [0], [1], [0]),
+                           compact_threshold=None)
+        calls = []
+        dyn.subscribe(lambda touched: calls.append(touched.tolist()))
+        touched = dyn.apply_events([
+            EdgeAdded(month=0, src=1, dst=2),
+            EdgeAdded(month=0, src=2, dst=3),
+            SalesTick(month=0, shop_index=0, gmv=1.0, orders=1, customers=1),
+        ])
+        assert calls == [[1, 2, 3]]
+        assert touched.tolist() == [1, 2, 3]
+
+    def test_apply_events_notifies_applied_prefix_on_error(self):
+        """A mid-batch failure must still surface the frontier of the
+        events that DID apply — subscribed caches would otherwise keep
+        serving pre-mutation state."""
+        dyn = DynamicGraph(ESellerGraph(4, [0], [1], [0]),
+                           compact_threshold=None)
+        calls = []
+        dyn.subscribe(lambda touched: calls.append(touched.tolist()))
+        with pytest.raises(LookupError):
+            dyn.apply_events([
+                EdgeAdded(month=0, src=1, dst=2),
+                EdgeRetired(month=0, src=3, dst=3),   # no live match
+            ])
+        assert dyn.num_edges == 2                      # first edge applied
+        assert calls == [[1, 2]]
+
+
+# ----------------------------------------------------------------------
+# dynamic graph: the equivalence property
+# ----------------------------------------------------------------------
+def random_event_sequence(rng, base):
+    """Draw a random mutation sequence that is valid against ``base``."""
+    live = [
+        (int(base.src[e]), int(base.dst[e]), int(base.edge_types[e]))
+        for e in range(base.num_edges)
+    ]
+    num_nodes = base.num_nodes
+    events = []
+    for _ in range(int(rng.integers(0, 40))):
+        kind = rng.random()
+        if kind < 0.15:
+            num_nodes += 1
+            events.append(ShopAdded(month=0, shop_index=num_nodes - 1))
+        elif kind < 0.45 and live:
+            key = live.pop(int(rng.integers(0, len(live))))
+            events.append(EdgeRetired(month=0, src=key[0], dst=key[1],
+                                      edge_type=key[2]))
+        else:
+            key = (int(rng.integers(0, num_nodes)),
+                   int(rng.integers(0, num_nodes)),
+                   int(rng.integers(0, 3)))
+            live.append(key)
+            events.append(EdgeAdded(month=0, src=key[0], dst=key[1],
+                                    edge_type=key[2]))
+    return events
+
+
+def shrink_events(case):
+    """Shrinking-lite: halve / drop single events (base kept intact)."""
+    base, events, threshold = case
+    if len(events) > 1:
+        yield base, events[: len(events) // 2], threshold
+    for drop in range(min(len(events), 6)):
+        candidate = events[:drop] + events[drop + 1:]
+        yield base, candidate, threshold
+
+
+def check_replay_equals_cold_rebuild(case):
+    base, events, threshold = case
+    dyn = DynamicGraph(base, compact_threshold=threshold,
+                       min_compact_edges=8)
+    for event in events:
+        try:
+            dyn.apply(event)
+        except LookupError:
+            # A shrink candidate dropped the add a retire depended on;
+            # the case is simply invalid, not a property violation.
+            return
+    history = edge_history(events, base=base)
+    cold = ESellerGraph.from_edit_history(
+        history.num_nodes, history.src, history.dst,
+        history.edge_types, history.alive,
+    )
+    assert dyn.num_nodes == cold.num_nodes
+    assert dyn.num_edges == cold.num_edges
+    assert np.array_equal(dyn.in_degrees(), cold.in_degrees())
+    assert np.array_equal(dyn.out_degrees(), cold.out_degrees())
+    # Overlay-served queries equal the cold rebuild *before* compaction.
+    seeds = range(0, cold.num_nodes, max(cold.num_nodes // 5, 1))
+    for seed in seeds:
+        for hops in (1, 2):
+            assert np.array_equal(dyn.k_hop_nodes([seed], hops),
+                                  k_hop_nodes(cold, [seed], hops))
+        ego = dyn.ego_subgraph(seed, 2)
+        sub, nodes, center_local = ego_subgraph(cold, seed, 2)
+        assert np.array_equal(ego.nodes, nodes)
+        assert ego.center_local == center_local
+        assert np.array_equal(ego.subgraph.src, sub.src)
+        assert np.array_equal(ego.subgraph.dst, sub.dst)
+        assert np.array_equal(ego.subgraph.edge_types, sub.edge_types)
+    # Compaction is exact: same arrays, same order.
+    compacted = dyn.compact()
+    assert np.array_equal(compacted.src, cold.src)
+    assert np.array_equal(compacted.dst, cold.dst)
+    assert np.array_equal(compacted.edge_types, cold.edge_types)
+
+
+class TestReplayEquivalenceProperty:
+    def test_compacted_equals_cold_rebuild(self):
+        def gen(rng):
+            base = random_eseller_graph(rng, max_nodes=12, max_edges=25)
+            threshold = None if rng.random() < 0.5 else 0.3
+            return base, random_event_sequence(rng, base), threshold
+
+        forall(gen, check_replay_equals_cold_rebuild, trials=TRIALS,
+               seed=7, shrink=shrink_events,
+               name="DynamicGraph replay+compact == cold rebuild")
+
+
+# ----------------------------------------------------------------------
+# simulator
+# ----------------------------------------------------------------------
+class TestSimulator:
+    def test_stream_is_deterministic(self, market):
+        a = MarketplaceSimulator(market, start_month=22,
+                                 edge_churn_per_month=2, seed=5)
+        b = MarketplaceSimulator(market, start_month=22,
+                                 edge_churn_per_month=2, seed=5)
+        assert list(a.event_log()) == list(b.event_log())
+
+    def test_edges_reveal_after_both_endpoints(self, simulator, market):
+        opened = np.asarray(market.opened_month)
+        for event in simulator.event_log():
+            if isinstance(event, EdgeAdded):
+                assert opened[event.src] <= event.month
+                assert opened[event.dst] <= event.month
+
+    def test_full_replay_reconciles_with_marketplace(self, simulator, market):
+        dyn = simulator.initial_dynamic_graph()
+        store = simulator.initial_store()
+        for event in simulator.event_log():
+            dyn.apply(event)
+            store.apply(event)
+        final = dyn.as_graph()
+        lived = sorted(zip(final.src.tolist(), final.dst.tolist(),
+                           final.edge_types.tolist()))
+        expected = sorted(zip(simulator.final_graph.src.tolist(),
+                              simulator.final_graph.dst.tolist(),
+                              simulator.final_graph.edge_types.tolist()))
+        assert lived == expected
+        assert np.array_equal(store.gmv, simulator.gmv_table)
+        assert np.array_equal(store.orders, simulator.orders_table)
+        assert np.array_equal(store.customers, simulator.customers_table)
+        assert np.array_equal(store.opened_month,
+                              np.asarray(market.opened_month))
+
+    def test_churn_exercises_tombstones(self, simulator):
+        counts = simulator.event_log().counts()
+        assert counts.get("EdgeRetired", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# streaming windows == cold rebuild; cold-start arrival masking
+# ----------------------------------------------------------------------
+class TestStreamingWindows:
+    def test_full_replay_windows_equal_cold_batch(self, simulator, market,
+                                                  dataset):
+        store = simulator.initial_store()
+        store.apply_events(simulator.event_log())
+        cutoff = market.config.num_months - dataset.horizon
+        streamed = store.instance_batch(
+            cutoff, dataset.input_window, dataset.horizon,
+            dataset.scaler, dataset.temporal_scaler,
+        )
+        observed = np.arange(market.config.num_months)[None, :] >= \
+            np.asarray(market.opened_month)[:, None]
+        cold = make_instance_batch(
+            simulator.gmv_table, observed, store.temporal_features(),
+            store.static_features(), cutoff, dataset.input_window,
+            dataset.horizon, dataset.scaler, dataset.temporal_scaler,
+        )
+        for name in ("series", "series_scaled", "mask", "temporal",
+                     "static", "labels", "labels_scaled", "levels"):
+            np.testing.assert_array_equal(
+                getattr(streamed, name), getattr(cold, name), err_msg=name
+            )
+
+    def test_streamed_batch_matches_dataset_pipeline(self, simulator, market,
+                                                     dataset):
+        """The streaming store reproduces the offline dataset's test batch
+        (same scalers, same cutoff) — the end-to-end window equivalence."""
+        store = simulator.initial_store()
+        store.apply_events(simulator.event_log())
+        cutoff = dataset.test.cutoff
+        streamed = store.instance_batch(
+            cutoff, dataset.input_window, dataset.horizon,
+            dataset.scaler, dataset.temporal_scaler,
+        )
+        np.testing.assert_allclose(streamed.series, dataset.test.series,
+                                   rtol=0, atol=0)
+        np.testing.assert_array_equal(streamed.mask, dataset.test.mask)
+        np.testing.assert_allclose(streamed.series_scaled,
+                                   dataset.test.series_scaled,
+                                   rtol=0, atol=1e-12)
+        np.testing.assert_allclose(streamed.temporal, dataset.test.temporal,
+                                   rtol=0, atol=1e-12)
+        np.testing.assert_allclose(streamed.static, dataset.test.static,
+                                   rtol=0, atol=1e-12)
+
+
+class TestColdStartArrival:
+    def test_mid_window_arrivals_are_masked(self, simulator, market, dataset):
+        """Shops arriving mid-input-window get exactly the months after
+        their arrival unmasked — the cold-start path fed from events."""
+        store = simulator.initial_store()
+        store.apply_events(simulator.event_log())
+        cutoff = market.config.num_months - dataset.horizon
+        batch = store.instance_batch(
+            cutoff, dataset.input_window, dataset.horizon,
+            dataset.scaler, dataset.temporal_scaler,
+        )
+        start = cutoff - dataset.input_window
+        window_months = np.arange(start, cutoff)
+        opened = np.asarray(market.opened_month)
+        arrivals = np.flatnonzero(
+            (opened >= simulator.start_month) & (opened < cutoff)
+        )
+        assert arrivals.size > 0, "simulator produced no mid-stream arrivals"
+        for shop in arrivals:
+            expected = window_months >= opened[shop]
+            observed_cols = store.gmv[shop, np.clip(window_months, 0, None)] > 0
+            np.testing.assert_array_equal(
+                batch.mask[shop], expected & observed_cols
+            )
+            # Masked months are exactly level in scaled space.
+            assert np.all(batch.series_scaled[shop][~batch.mask[shop]] == 0.0)
+
+    def test_new_shop_mask_agrees_with_stream(self, simulator, market,
+                                              dataset):
+        """`ForecastDataset.new_shop_mask` equals the mask derived live
+        from streamed arrival events."""
+        store = simulator.initial_store()
+        store.apply_events(simulator.event_log())
+        cutoff = dataset.test.cutoff
+        np.testing.assert_array_equal(
+            dataset.new_shop_mask(threshold=10),
+            store.new_shop_mask(cutoff, threshold=10),
+        )
+        # Threshold edge cases: 0 months -> only unseen shops; huge
+        # threshold -> everyone.
+        assert not store.new_shop_mask(cutoff, threshold=0).any() or \
+            (store.history_lengths(cutoff) == 0).any()
+        assert store.new_shop_mask(cutoff, threshold=10 ** 6).all()
+
+
+# ----------------------------------------------------------------------
+# LRU statistics epochs (satellite: hit_rate must survive flushes)
+# ----------------------------------------------------------------------
+class TestLRUStatsEpochs:
+    def test_clear_starts_fresh_hit_window(self):
+        cache = LRUCache(8)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")                 # window: 2 hits / 1 miss
+        cache.clear()
+        assert cache.hit_rate() == 0.0       # fresh window
+        cache.put("b", 2)
+        cache.get("b")
+        assert cache.hit_rate() == 1.0       # post-flush traffic only
+        assert cache.lifetime_hit_rate() == pytest.approx(3 / 4)
+
+    def test_invalidate_items_rolls_stats(self):
+        cache = LRUCache(8)
+        cache.put(("k", 1), "x")
+        cache.get(("k", 1))
+        dropped = cache.invalidate_items(lambda key, value: value == "x")
+        assert dropped == 1
+        assert cache.hit_rate() == 0.0
+        assert cache.lifetime_hit_rate() == 1.0
+
+    def test_evictions_survive_flushes(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)                    # capacity eviction
+        cache.clear()
+        assert cache.evictions == 1          # pressure signal persists
+
+    def test_no_op_invalidation_keeps_window(self):
+        """Per-event delta probes that evict nothing must not shrink the
+        hit-rate window to near-zero samples."""
+        cache = LRUCache(8)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.invalidate_items(lambda key, value: False)
+        assert cache.hit_rate() == 1.0
+        assert cache.hits == 2
+
+
+# ----------------------------------------------------------------------
+# delta-aware gateway invalidation
+# ----------------------------------------------------------------------
+def _live_gateway(factory, dataset, registry, simulator, **kwargs):
+    gateway = ServingGateway(
+        factory, dataset, registry,
+        GatewayConfig(max_batch_size=8, max_wait=10.0, **kwargs),
+    )
+    dyn = simulator.initial_dynamic_graph(compact_threshold=None)
+    gateway.attach_stream(dyn)
+    return gateway, dyn
+
+
+class TestDeltaInvalidation:
+    def test_only_touched_entries_evicted(self, factory, dataset, registry,
+                                          simulator):
+        gateway, dyn = _live_gateway(factory, dataset, registry, simulator)
+        hops = gateway.config.hops
+        shops = list(range(0, 24))
+        gateway.predict_many(shops)
+        assert len(gateway.subgraph_cache) == len(shops)
+        pre_nodes = {
+            shop: gateway.subgraph_cache.get(shop, hops).nodes.copy()
+            for shop in shops
+        }
+        # Craft a mutation inside shop 0's ego so at least one entry
+        # must go, touching nothing outside its frontier.
+        ego0 = pre_nodes[0]
+        touched = np.array([int(ego0[0]), int(ego0[-1])])
+        dyn.add_edge(touched[0], touched[1], 0)
+        evicted = {shop for shop in shops
+                   if gateway.subgraph_cache.get(shop, hops) is None}
+        # Exactly the entries whose memoised node sets met the frontier.
+        for shop in shops:
+            intersects = bool(np.isin(touched, pre_nodes[shop]).any())
+            assert (shop in evicted) == intersects, shop
+        assert 0 in evicted
+        assert len(evicted) < len(shops), "delta eviction flushed everything"
+        gateway.close()
+
+    def test_delta_path_matches_cold_gateway(self, factory, dataset, registry,
+                                             simulator):
+        """After churn, delta-invalidated serving equals a cold gateway
+        built directly on the final graph (the 1e-12 guarantee)."""
+        gateway, dyn = _live_gateway(factory, dataset, registry, simulator)
+        shops = list(range(0, 20))
+        gateway.predict_many(shops)                  # warm caches
+        for month in list(simulator.streaming_months)[:4]:
+            for event in simulator.events_for_month(month):
+                dyn.apply(event)
+            gateway.predict_many(shops)              # serve between churn
+        live_responses = gateway.predict_many(shops)
+
+        cold_dataset = dataclasses.replace(dataset, graph=dyn.as_graph())
+        cold = ServingGateway(
+            factory, cold_dataset, registry,
+            GatewayConfig(max_batch_size=8, max_wait=10.0),
+        )
+        cold_responses = cold.predict_many(shops)
+        live_forecasts = np.stack([r.forecast for r in live_responses])
+        cold_forecasts = np.stack([r.forecast for r in cold_responses])
+        np.testing.assert_allclose(live_forecasts, cold_forecasts,
+                                   rtol=0, atol=1e-12)
+        gateway.close()
+        cold.close()
+
+    def test_untouched_results_keep_serving_from_cache(self, factory, dataset,
+                                                       registry, simulator):
+        gateway, dyn = _live_gateway(factory, dataset, registry, simulator)
+        shops = list(range(0, 16))
+        gateway.predict_many(shops)
+        # A far-away mutation must leave most results cached.
+        event = next(e for e in simulator.event_log()
+                     if isinstance(e, EdgeAdded))
+        dyn.apply(event)
+        before_hits = gateway.result_cache.stats.hits
+        responses = gateway.predict_many(shops)
+        cached = sum(r.cached for r in responses)
+        assert cached > 0
+        assert gateway.result_cache.stats.hits > before_hits
+        # The wholesale path would have retained nothing:
+        gateway.notify_graph_changed()
+        assert len(gateway.result_cache) == 0
+        assert len(gateway.subgraph_cache) == 0
+        gateway.close()
+
+    def test_metrics_expose_delta_counters_and_evictions(self, factory,
+                                                         dataset, registry,
+                                                         simulator):
+        gateway, dyn = _live_gateway(factory, dataset, registry, simulator)
+        gateway.predict_many(list(range(8)))
+        event = next(e for e in simulator.event_log()
+                     if isinstance(e, EdgeAdded))
+        dyn.apply(event)
+        report = gateway.metrics_report()
+        assert report["streaming"] is True
+        assert report["counters"]["graph_delta_invalidations"] >= 1
+        assert "evictions" in report["subgraph_cache"]
+        assert "evictions" in report["result_cache"]
+        assert "lifetime_hit_rate" in report["result_cache"]
+        gateway.close()
+
+    def test_close_detaches_from_stream(self, factory, dataset, registry,
+                                        simulator):
+        gateway, dyn = _live_gateway(factory, dataset, registry, simulator)
+        gateway.close()
+        assert not dyn._listeners
+        # Later mutations must not touch the closed gateway.
+        event = next(e for e in simulator.event_log()
+                     if isinstance(e, EdgeAdded))
+        dyn.apply(event)
+
+    def test_shop_beyond_snapshot_rejected_at_submit(self, factory, dataset,
+                                                     registry, simulator):
+        """A streamed-in shop with no feature row must be rejected up
+        front — not poison a whole micro-batch at flush time."""
+        gateway, dyn = _live_gateway(factory, dataset, registry, simulator)
+        grown = dyn.add_shop()                  # beyond the snapshot
+        parked = gateway.submit(3)
+        with pytest.raises(IndexError, match="no feature row"):
+            gateway.submit(grown)
+        gateway.flush()                         # co-batched request survives
+        assert parked.done
+        gateway.close()
+
+    def test_linked_overflow_shop_fails_only_its_requests(self, factory,
+                                                          dataset, registry,
+                                                          simulator):
+        """A beyond-snapshot shop *linked into* a served neighborhood
+        fails exactly the requests whose egos reach it; co-batched
+        requests elsewhere in the graph are still served."""
+        gateway, dyn = _live_gateway(factory, dataset, registry, simulator)
+        grown = dyn.add_shop()
+        dyn.add_edge(grown, 0, 0)               # node 0's ego now reaches it
+        far = next(
+            shop for shop in range(1, dataset.test.num_shops)
+            if grown not in dyn.ego_subgraph(shop, gateway.config.hops).nodes
+        )
+        doomed = gateway.submit(0)
+        fine = gateway.submit(far)
+        gateway.flush()
+        assert fine.done and fine.result().forecast.shape == (3,)
+        with pytest.raises(IndexError, match="beyond the serving snapshot"):
+            doomed.result()
+        assert gateway.metrics.counter("requests_failed") == 1
+        gateway.close()
+
+
+class TestEventValidation:
+    def test_store_rejects_negative_shop_index(self):
+        store = StreamingFeatureStore(4, 10)
+        with pytest.raises(IndexError):
+            store.apply(SalesTick(month=1, shop_index=-1, gmv=5.0,
+                                  orders=1, customers=1))
+        with pytest.raises(IndexError):
+            store.register_shop(-2, 0)
+
+    def test_ring_rejects_negative_shop_index(self):
+        ring = ShopRingWindows(2, capacity=3)
+        with pytest.raises(IndexError):
+            ring.push(-1, 0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# online adaptation
+# ----------------------------------------------------------------------
+class TestShopRingWindows:
+    def test_ring_is_bounded_and_evicts_oldest(self):
+        ring = ShopRingWindows(2, capacity=3)
+        for month in range(5):
+            ring.push(0, month, float(month))
+        assert ring.counts[0] == 3
+        assert sorted(ring.months[0].tolist()) == [2, 3, 4]
+        assert ring.ticks_in_range(3, 4)[0] == 2
+        months, values = ring.recent_ticks(0)
+        assert months.tolist() == [2, 3, 4]
+        assert values.tolist() == [2.0, 3.0, 4.0]
+        assert ring.recent_ticks(1)[0].size == 0
+        ring.push(7, 1, 1.0)                  # grows on demand
+        assert ring.num_shops == 8
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ShopRingWindows(1, capacity=0)
+
+
+class TestOnlineAdapter:
+    def _world(self, factory, dataset, simulator):
+        registry = ModelRegistry()
+        registry.publish(factory(), trained_at_month=simulator.start_month)
+        store = simulator.initial_store()
+        dyn = simulator.initial_dynamic_graph()
+        return registry, store, dyn
+
+    def test_no_drift_no_publish(self, factory, dataset, simulator):
+        registry, store, dyn = self._world(factory, dataset, simulator)
+        adapter = OnlineAdapter(
+            factory(), registry, store, dyn, dataset,
+            OnlineAdapterConfig(drift_threshold=1e9, adapt_steps=2),
+        )
+        for month in simulator.streaming_months:
+            for event in simulator.events_for_month(month):
+                dyn.apply(event)
+                store.apply(event)
+                adapter.ingest(event)
+            adapter.observe_month(month)
+        assert registry.num_versions == 1
+        assert not adapter.adaptations
+        assert adapter.ticks_ingested > 0
+
+    def test_drift_triggers_finetune_and_hot_swap(self, factory, dataset,
+                                                  registry, simulator):
+        local_registry, store, dyn = self._world(factory, dataset, simulator)
+        gateway = ServingGateway(
+            factory, dataset, local_registry,
+            GatewayConfig(max_batch_size=8, max_wait=10.0),
+        )
+        gateway.attach_stream(dyn)
+        adapter = OnlineAdapter(
+            factory(), local_registry, store, dyn, dataset,
+            OnlineAdapterConfig(drift_threshold=0.25, min_drifted_shops=2,
+                                adapt_steps=3, cooldown_months=10 ** 6),
+        )
+        reports = []
+        for month in simulator.streaming_months:
+            for event in simulator.events_for_month(month):
+                dyn.apply(event)
+                store.apply(event)
+                adapter.ingest(event)
+            report = adapter.observe_month(month)
+            if report is not None:
+                reports.append(report)
+        assert reports, "low threshold must trigger at least one adaptation"
+        assert local_registry.num_versions == 1 + len(reports)
+        assert len(reports) == 1, "cooldown must hold further adaptations"
+        report = reports[0]
+        assert report.num_drifted >= 2
+        assert np.isfinite(report.pre_loss) and np.isfinite(report.post_loss)
+        # The gateway hot-swapped to the adapted version.
+        response = gateway.predict(0)
+        assert response.model_version == local_registry.latest().version
+        assert local_registry.latest().metadata["online_adaptation"] == 1.0
+        gateway.close()
+
+    def test_adaptation_reduces_fresh_window_loss(self, factory, dataset,
+                                                  simulator):
+        registry, store, dyn = self._world(factory, dataset, simulator)
+        adapter = OnlineAdapter(
+            factory(), registry, store, dyn, dataset,
+            OnlineAdapterConfig(drift_threshold=0.25, min_drifted_shops=1,
+                                adapt_steps=10, cooldown_months=1),
+        )
+        for month in simulator.streaming_months:
+            for event in simulator.events_for_month(month):
+                dyn.apply(event)
+                store.apply(event)
+                adapter.ingest(event)
+            adapter.observe_month(month)
+        assert adapter.adaptations
+        for report in adapter.adaptations:
+            assert report.post_loss <= report.pre_loss * 1.05
+
+    def test_post_loss_reflects_published_weights(self, factory, dataset,
+                                                  simulator):
+        """Even with a single fine-tune step, post_loss must be measured
+        after the step that produced the published weights."""
+        registry, store, dyn = self._world(factory, dataset, simulator)
+        adapter = OnlineAdapter(
+            factory(), registry, store, dyn, dataset,
+            OnlineAdapterConfig(drift_threshold=0.25, min_drifted_shops=1,
+                                adapt_steps=1, cooldown_months=10 ** 6),
+        )
+        for month in simulator.streaming_months:
+            for event in simulator.events_for_month(month):
+                dyn.apply(event)
+                store.apply(event)
+                adapter.ingest(event)
+            adapter.observe_month(month)
+        assert adapter.adaptations
+        report = adapter.adaptations[0]
+        assert report.post_loss != report.pre_loss
+
+    def test_requires_temporal_scaler(self, factory, dataset, simulator):
+        registry, store, dyn = self._world(factory, dataset, simulator)
+        stripped = dataclasses.replace(dataset, temporal_scaler=None)
+        with pytest.raises(ValueError):
+            OnlineAdapter(factory(), registry, store, dyn, stripped)
