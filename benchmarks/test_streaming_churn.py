@@ -1,6 +1,6 @@
-"""Benchmark: streaming ingestion, delta-aware cache retention, churn p95.
+"""Benchmark: streaming ingestion, cache retention, churn p95, event time.
 
-Three claims of the streaming subsystem, measured on one synthetic
+Five claims of the streaming subsystem, measured on one synthetic
 marketplace and appended to ``BENCH_streaming.json`` (override with
 ``REPRO_BENCH_STREAMING_ARTIFACT``):
 
@@ -16,10 +16,18 @@ marketplace and appended to ``BENCH_streaming.json`` (override with
 3. **Latency** — serving p95 with churn interleaved (delta overlay +
    delta invalidation) stays within ``MAX_P95_RATIO``x of the
    static-graph p95 on the same request stream.
+4. **Late arrival** — an out-of-order feed (25% of ticks delayed up to
+   ``late_tick_max_delay`` months) ingests at full speed, folds to the
+   *same* feature tables as the in-order feed when the watermark covers
+   the delays, and a tighter watermark drops stragglers (counted, never
+   folded).
+5. **Incremental compaction** — at high churn, ``compact()`` with CSR
+   patching (``incremental_csr=True``) beats the full-rebuild baseline
+   by at least ``MIN_COMPACT_SPEEDUP``x on compaction + re-index time.
 
 Scale knobs: ``REPRO_BENCH_STREAMING_SHOPS`` (default 400) and
 ``REPRO_BENCH_STREAMING_REQUESTS`` (default 600).  Weights are
-untrained — none of the three claims depends on fit quality.
+untrained — none of the five claims depends on fit quality.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ import pytest
 from repro import Gaia, GaiaConfig
 from repro.data import MarketplaceConfig
 from repro.deploy import ModelRegistry
+from repro.graph import ESellerGraph
 from repro.serving import GatewayConfig, LoadGenerator, ServingGateway
 from repro.streaming import DynamicGraph, MarketplaceSimulator
 
@@ -51,8 +60,15 @@ ARTIFACT_PATH = Path(os.environ.get(
 MIN_EVENTS_PER_SECOND = 1000.0
 MIN_RETENTION_RATIO = 5.0
 MAX_P95_RATIO = 1.2
+MIN_COMPACT_SPEEDUP = 1.2
 MUTATION_ROUNDS = 10
 MUTATIONS_PER_ROUND = 6
+# Incremental-compaction probe: a dense random graph churned hard so
+# the index-rebuild cost dominates the measurement.
+COMPACT_NODES = 4000
+COMPACT_EDGES = 60_000
+COMPACT_ROUNDS = 25
+COMPACT_MUTATIONS = 80
 
 
 def _append_artifact(record: dict) -> None:
@@ -179,6 +195,95 @@ def _measure_retention(factory, dataset, registry, simulator) -> dict:
     return results
 
 
+def _measure_late_arrival(market, start_month) -> dict:
+    """Out-of-order feed: full-speed ingestion, event-time fold equality."""
+    in_order = MarketplaceSimulator(market, start_month=start_month,
+                                    edge_churn_per_month=4, seed=3)
+    late = MarketplaceSimulator(market, start_month=start_month,
+                                edge_churn_per_month=4,
+                                late_tick_fraction=0.25,
+                                late_tick_max_delay=2, seed=3)
+    log = late.event_log()
+    # Watermark covering the max delay: nothing drops, fold is exact.
+    dyn = late.initial_dynamic_graph()
+    store = late.initial_store(watermark=2)
+    started = time.perf_counter()
+    for event in log:
+        dyn.apply(event)
+        store.apply(event)
+    elapsed = max(time.perf_counter() - started, 1e-12)
+    reference = in_order.initial_store()
+    reference.apply_events(in_order.event_log())
+    fold_matches = bool(
+        np.array_equal(store.gmv, reference.gmv)
+        and np.array_equal(store.orders, reference.orders)
+        and np.array_equal(store.customers, reference.customers)
+    )
+    # Tight watermark: stragglers drop (counted, never folded).
+    tight = late.initial_store(watermark=0)
+    tight.apply_events(log)
+    return {
+        "events": len(log),
+        "elapsed_seconds": elapsed,
+        "events_per_second": len(log) / elapsed,
+        "late_ticks_injected": late.late_ticks_injected,
+        "late_ticks_accepted": store.late_ticks_accepted,
+        "ticks_dropped_watermark_2": store.ticks_dropped,
+        "ticks_dropped_watermark_0": tight.ticks_dropped,
+        "fold_matches_in_order": fold_matches,
+    }
+
+
+def _measure_compaction() -> dict:
+    """Incremental CSR patching vs full rebuild at high churn.
+
+    Identical mutation schedules (same seed) run against both modes;
+    only ``compact()`` plus the follow-up re-index is timed, so the
+    comparison isolates exactly the cost the patch removes.
+    """
+    results = {}
+    for mode, incremental in (("incremental", True), ("full", False)):
+        rng = np.random.default_rng(41)
+        base = ESellerGraph(
+            COMPACT_NODES,
+            rng.integers(0, COMPACT_NODES, size=COMPACT_EDGES),
+            rng.integers(0, COMPACT_NODES, size=COMPACT_EDGES),
+            rng.integers(0, 3, size=COMPACT_EDGES),
+        )
+        dyn = DynamicGraph(base, compact_threshold=None,
+                           incremental_csr=incremental)
+        base.out_csr()
+        base.in_csr()
+        elapsed = 0.0
+        for _ in range(COMPACT_ROUNDS):
+            added = []
+            for _ in range(COMPACT_MUTATIONS):
+                pair = (int(rng.integers(0, COMPACT_NODES)),
+                        int(rng.integers(0, COMPACT_NODES)))
+                dyn.add_edge(pair[0], pair[1], 0)
+                added.append(pair)
+            for src, dst in added[::2]:
+                dyn.retire_edge(src, dst, 0)
+            started = time.perf_counter()
+            graph = dyn.compact()
+            graph.out_csr()
+            graph.in_csr()
+            elapsed += time.perf_counter() - started
+        results[mode] = {
+            "seconds": elapsed,
+            "seconds_per_compaction": elapsed / COMPACT_ROUNDS,
+        }
+    results["nodes"] = COMPACT_NODES
+    results["edges"] = COMPACT_EDGES
+    results["rounds"] = COMPACT_ROUNDS
+    results["mutations_per_round"] = COMPACT_MUTATIONS
+    results["speedup"] = (
+        results["full"]["seconds"]
+        / max(results["incremental"]["seconds"], 1e-12)
+    )
+    return results
+
+
 def _percentiles(latencies) -> dict:
     p50, p95, p99 = np.percentile(np.asarray(latencies), [50, 95, 99])
     return {"p50_ms": p50 * 1e3, "p95_ms": p95 * 1e3, "p99_ms": p99 * 1e3}
@@ -237,9 +342,11 @@ def test_streaming_marketplace(benchmark):
         ingestion = _measure_ingestion(simulator)
         retention = _measure_retention(factory, dataset, registry, simulator)
         latency = _measure_churn_p95(factory, dataset, registry)
-        return ingestion, retention, latency
+        late = _measure_late_arrival(market, simulator.start_month)
+        compaction = _measure_compaction()
+        return ingestion, retention, latency, late, compaction
 
-    ingestion, retention, latency = run_once(benchmark, run)
+    ingestion, retention, latency, late, compaction = run_once(benchmark, run)
 
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -250,6 +357,8 @@ def test_streaming_marketplace(benchmark):
         "ingestion": ingestion,
         "retention": retention,
         "latency": latency,
+        "late_arrival": late,
+        "compaction": compaction,
     }
     _append_artifact(record)
 
@@ -265,6 +374,14 @@ def test_streaming_marketplace(benchmark):
     print(f"p95        churn {latency['churn']['p95_ms']:.2f} ms vs "
           f"static {latency['static']['p95_ms']:.2f} ms "
           f"({latency['p95_ratio']:.2f}x)")
+    print(f"late       {late['events_per_second']:10.0f} events/s, "
+          f"{late['late_ticks_injected']} delayed ticks, fold match: "
+          f"{late['fold_matches_in_order']}, tight-watermark drops: "
+          f"{late['ticks_dropped_watermark_0']}")
+    print(f"compaction incremental "
+          f"{compaction['incremental']['seconds_per_compaction'] * 1e3:.2f} ms "
+          f"vs full {compaction['full']['seconds_per_compaction'] * 1e3:.2f} ms "
+          f"({compaction['speedup']:.2f}x, {COMPACT_EDGES} edges)")
 
     assert ingestion["events_per_second"] >= MIN_EVENTS_PER_SECOND, (
         f"ingestion only {ingestion['events_per_second']:.0f} events/s; "
@@ -282,4 +399,21 @@ def test_streaming_marketplace(benchmark):
     assert latency["p95_ratio"] <= MAX_P95_RATIO, (
         f"serving p95 under churn is {latency['p95_ratio']:.2f}x the "
         f"static-graph p95; budget is {MAX_P95_RATIO}x"
+    )
+    assert late["fold_matches_in_order"], (
+        "out-of-order feed must fold to the in-order tables when the "
+        "watermark covers the max delay"
+    )
+    assert late["late_ticks_injected"] > 0
+    assert late["ticks_dropped_watermark_2"] == 0
+    assert late["ticks_dropped_watermark_0"] > 0, (
+        "a zero watermark must drop delayed stragglers"
+    )
+    assert late["events_per_second"] >= MIN_EVENTS_PER_SECOND, (
+        f"late-arrival ingestion only {late['events_per_second']:.0f} "
+        f"events/s; need >= {MIN_EVENTS_PER_SECOND:.0f}"
+    )
+    assert compaction["speedup"] >= MIN_COMPACT_SPEEDUP, (
+        f"incremental compaction only {compaction['speedup']:.2f}x the "
+        f"full rebuild; need >= {MIN_COMPACT_SPEEDUP}x"
     )

@@ -6,11 +6,15 @@ The full streaming loop on one synthetic marketplace:
    deployment month (the static snapshot world).
 2. A ``MarketplaceSimulator`` streams everything that happens next —
    cold-start shop arrivals, supply-chain/ownership edges revealed and
-   churned, monthly sales ticks — as a deterministic event log.
-3. A ``ServingGateway`` attached to the ``DynamicGraph`` overlay serves
-   a hot request stream *through* the churn: every mutation evicts only
-   the cached subgraphs/results whose node sets it touched, so hit
-   rates survive.
+   churned, monthly sales ticks (a quarter of them arriving late, out
+   of order) — as a deterministic event log folded under an event-time
+   watermark.
+3. A ``ServingGateway`` attached to the ``DynamicGraph`` overlay *and*
+   the feature store serves a hot request stream through the churn:
+   every mutation evicts only the cached subgraphs/results whose node
+   sets it touched, and every month of fresh sales expires the result
+   cache on data freshness (``max_staleness_months``), so hit rates
+   survive without ever serving outdated numbers silently.
 4. An ``OnlineAdapter`` watches per-shop error EWMAs over the fresh
    event-fed windows; on drift it warm fine-tunes the deployed weights
    and hot-swaps them through the registry — the gateway picks the new
@@ -31,7 +35,7 @@ from repro import Gaia, GaiaConfig, TrainConfig, build_marketplace
 from repro.deploy import MonthlyPipeline
 from repro.experiments import benchmark_marketplace_config
 from repro.serving import GatewayConfig, LoadGenerator, ServingGateway
-from repro.streaming import MarketplaceSimulator, ShopAdded
+from repro.streaming import MarketplaceSimulator, SalesTick, ShopAdded
 from repro.training import OnlineAdapter, OnlineAdapterConfig
 
 
@@ -62,18 +66,20 @@ def main() -> None:
 
     # --- Streaming world -------------------------------------------------
     simulator = MarketplaceSimulator(
-        market, start_month=deploy_month, edge_churn_per_month=3, seed=7
+        market, start_month=deploy_month, edge_churn_per_month=3,
+        late_tick_fraction=0.25, late_tick_max_delay=2, seed=7,
     )
     dynamic_graph = simulator.initial_dynamic_graph()
-    store = simulator.initial_store()
+    store = simulator.initial_store(watermark=2)
 
     gateway = ServingGateway(
         model_factory=lambda: gaia_factory(dataset),
         dataset=dataset,
         registry=pipeline.registry,
-        config=GatewayConfig(max_batch_size=32, num_replicas=2),
+        config=GatewayConfig(max_batch_size=32, num_replicas=2,
+                             max_staleness_months=1),
     )
-    gateway.attach_stream(dynamic_graph)
+    gateway.attach_stream(dynamic_graph, store=store)
 
     adapter = OnlineAdapter(
         gaia_factory(dataset), pipeline.registry, store, dynamic_graph,
@@ -119,6 +125,16 @@ def main() -> None:
               f"{np.round(response.forecast, 0)}, "
               f"{response.subgraph_nodes} subgraph nodes")
 
+    # --- Freshness in action: a late partial tick lands for a cached shop
+    victim = int(stream[0])
+    cached = gateway.predict(victim)
+    store.apply(SalesTick(month=months - 1, shop_index=victim,
+                          gmv=1000.0, orders=3, customers=2))
+    tagged = gateway.predict(victim)
+    print(f"\nfreshness: shop {victim} cached={cached.cached}; after a late "
+          f"partial tick its next serve is tagged stale={tagged.stale} "
+          f"(event-time lag {tagged.staleness_months} months)")
+
     # --- Health + the equivalence guarantee ------------------------------
     metrics = gateway.metrics_report()
     print(f"\nstreamed {total_events} events, "
@@ -127,6 +143,13 @@ def main() -> None:
           f"{int(metrics['counters'].get('delta_evicted_subgraphs', 0))} "
           f"subgraphs), result-cache lifetime hit rate "
           f"{metrics['result_cache']['lifetime_hit_rate']:.2%}")
+    freshness = metrics["data_freshness"]
+    print(f"event time: frontier month {freshness['frontier']}, "
+          f"{simulator.late_ticks_injected} ticks arrived late "
+          f"({freshness['late_ticks_accepted']} merged in-window, "
+          f"{freshness['ticks_dropped']} dropped beyond watermark), "
+          f"{int(freshness['freshness_evictions'])} freshness evictions, "
+          f"{int(freshness['stale_results_served'])} stale-tagged serves")
     print(f"registry versions: {pipeline.registry.num_versions} "
           f"({len(adapter.adaptations)} online adaptations), "
           f"graph compactions: {dynamic_graph.compactions}")

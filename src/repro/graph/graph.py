@@ -167,6 +167,45 @@ class ESellerGraph:
         self._csr = None
         self._csr_in = None
 
+    def adopt_csr(
+        self,
+        out_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        in_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> None:
+        """Install prebuilt CSR index(es) instead of sorting from scratch.
+
+        Each view is ``(indptr, edge_order)`` exactly as :meth:`out_csr`
+        / :meth:`in_csr` return it, and must describe *this* graph's
+        edge arrays — the caller owns that invariant (the incremental
+        compaction path in
+        :class:`~repro.streaming.dynamic_graph.DynamicGraph` patches the
+        previous base's index and hands it over here, skipping the
+        O(E log E) rebuild).  Shapes and totals are validated; content
+        equivalence is the caller's contract, property-tested in
+        ``tests/test_streaming.py``.
+        """
+        for name, view, key in (("out_csr", out_csr, self.src),
+                                ("in_csr", in_csr, self.dst)):
+            if view is None:
+                continue
+            indptr, order = view
+            if indptr.shape != (self.num_nodes + 1,):
+                raise ValueError(
+                    f"{name} indptr must have {self.num_nodes + 1} entries, "
+                    f"got {indptr.shape}"
+                )
+            if order.size != self.num_edges or int(indptr[-1]) != self.num_edges:
+                raise ValueError(
+                    f"{name} must index all {self.num_edges} edges"
+                )
+            packed = (np.asarray(indptr, dtype=np.int64),
+                      np.asarray(order, dtype=np.int64),
+                      key[order])
+            if name == "out_csr":
+                self._csr = packed
+            else:
+                self._csr_in = packed
+
     def _build_csr(self, by_src: bool) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         key = self.src if by_src else self.dst
         order = np.argsort(key, kind="stable")

@@ -18,7 +18,11 @@ heavy traffic:
   changes, or delta-aware under streaming: attach a
   :class:`~repro.streaming.dynamic_graph.DynamicGraph` via
   :meth:`~repro.serving.gateway.ServingGateway.attach_stream` and each
-  mutation evicts only the entries whose node sets it touched.
+  mutation evicts only the entries whose node sets it touched.  Attach
+  the live :class:`~repro.streaming.features.StreamingFeatureStore` too
+  and results also expire on **data freshness**: forecasts whose egos
+  received fresher sales ticks are stale-tagged or evicted per
+  ``GatewayConfig(max_staleness_months=...)``.
 * :class:`~repro.serving.router.ReplicaRouter` — rendezvous-hash or
   least-loaded sharding over N replicas with hot model swaps that never
   drop requests.

@@ -14,7 +14,11 @@ Two cache planes sit in front of the model replicas:
   :class:`~repro.deploy.model_server.ModelRegistry` publishes (so a hot
   swap can never serve stale numbers); each entry also records its
   forecast's subgraph node set, enabling the same delta-aware eviction
-  under graph churn.
+  under graph churn, plus its **data provenance** (the feature store's
+  event-time frontier and tick sequence at compute time) so the gateway
+  can expire forecasts on data freshness — a stale-month entry is
+  evicted or served with a staleness tag, governed by
+  ``GatewayConfig(max_staleness_months=...)``.
 
 Both planes are thin policies over one generic :class:`LRUCache`, whose
 hit/miss statistics are *flush-scoped*: ``clear`` and any
@@ -52,6 +56,13 @@ class LRUCache:
     * :attr:`evictions` counts capacity evictions only (never resets —
       it is the cache-pressure signal, and explicit invalidations are
       not pressure).
+
+    >>> cache = LRUCache(2)
+    >>> cache.put("a", 1)
+    >>> cache.put("b", 2)
+    >>> cache.put("c", 3)                 # capacity 2: "a" evicted
+    >>> cache.get("a") is None, cache.get("c"), cache.evictions
+    (True, 3, 1)
     """
 
     def __init__(self, capacity: int) -> None:
@@ -124,6 +135,32 @@ class LRUCache:
             # probe would shrink the window to near-zero samples.
             self._roll_stats()
         return len(doomed)
+
+    def discard(self, key: Hashable) -> bool:
+        """Drop one entry if present; returns whether it existed.
+
+        Unlike the ``invalidate_*`` family this does **not** roll the
+        hit-rate window: it is the surgical form used when a single
+        entry is found expired at lookup time, which says nothing about
+        the validity of the traffic pattern around it.
+        """
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
+
+    def reclassify_hit_as_miss(self) -> None:
+        """Recount the latest hit as a miss (entry expired at lookup).
+
+        A ``get`` that finds an entry counts a hit before the caller can
+        inspect the value; when the caller then rejects it (freshness
+        expiry) and recomputes, the lookup was effectively a miss — this
+        keeps the flush-scoped window consistent with what was actually
+        served from cache.
+        """
+        if self.hits > 0:
+            self.hits -= 1
+            self.misses += 1
 
     def clear(self) -> int:
         """Drop all entries, returning how many were held.
@@ -218,12 +255,19 @@ class CachedResult:
 
     ``nodes`` records the ego-subgraph node set the forecast was
     computed from, so graph-delta invalidation can decide whether a
-    mutation could have changed it.
+    mutation could have changed it.  ``data_month`` / ``tick_seq``
+    record the attached feature store's event-time frontier and global
+    tick sequence at compute time (``-1`` when no store was attached):
+    the freshness check compares them against the store's current state
+    to decide whether fresher sales data has landed inside the entry's
+    ego since it was computed.
     """
 
     forecast: np.ndarray
     subgraph_nodes: int
     nodes: Optional[np.ndarray] = None
+    data_month: int = -1
+    tick_seq: int = -1
 
 
 class ResultCache:
@@ -247,7 +291,8 @@ class ResultCache:
 
     def put(self, shop_index: int, hops: int, model_version: int,
             forecast: np.ndarray, subgraph_nodes: int,
-            nodes: Optional[np.ndarray] = None) -> None:
+            nodes: Optional[np.ndarray] = None,
+            data_month: int = -1, tick_seq: int = -1) -> None:
         """Memoise one finished forecast (stored as an immutable copy)."""
         value = np.asarray(forecast).copy()
         value.setflags(write=False)
@@ -258,7 +303,34 @@ class ResultCache:
                 subgraph_nodes=int(subgraph_nodes),
                 nodes=None if nodes is None
                 else np.asarray(nodes, dtype=np.int64),
+                data_month=int(data_month),
+                tick_seq=int(tick_seq),
             ),
+        )
+
+    def evict(self, shop_index: int, hops: int, model_version: int) -> bool:
+        """Drop one entry found expired at lookup time.
+
+        The lookup that surfaced it already counted as a hit in the LRU
+        window; since nothing was served from cache, it is recounted as
+        a miss so ``stats.hit_rate()`` agrees with the gateway's own
+        hit/miss counters.
+        """
+        existed = self._lru.discard((shop_index, hops, model_version))
+        if existed:
+            self._lru.reclassify_hit_as_miss()
+        return existed
+
+    def expire_older_than(self, min_data_month: int) -> int:
+        """Freshness sweep: drop entries computed before ``min_data_month``.
+
+        Driven by the gateway's tick subscription when the event-time
+        frontier advances: any forecast whose ``data_month`` provenance
+        (including the unknown ``-1``) now trails the staleness budget
+        is expired wholesale.  Returns how many entries were evicted.
+        """
+        return self._lru.invalidate_items(
+            lambda _key, result: result.data_month < min_data_month
         )
 
     def invalidate_versions_other_than(self, model_version: int) -> int:

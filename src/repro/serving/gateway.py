@@ -27,7 +27,19 @@ mutation's touched frontier flows into
 :meth:`ServingGateway.notify_graph_delta`, which evicts **only** the
 cached subgraphs/results whose node sets intersect it instead of
 flushing both planes.  Under churn this keeps hit rates high: entries
-far from the mutation keep serving.  All traffic is accounted in a
+far from the mutation keep serving.
+
+Data freshness: pass the live
+:class:`~repro.streaming.features.StreamingFeatureStore` to
+:meth:`attach_stream` as well and the result cache expires on **sales
+data**, not only topology.  Every cached forecast is stamped with the
+store's event-time frontier and tick sequence at compute time; the
+gateway subscribes to the store's :class:`~repro.streaming.events.SalesTick`
+frontier and, governed by ``GatewayConfig(max_staleness_months=...)``,
+evicts forecasts whose data has fallen behind the frontier by more than
+the budget while serving younger-but-outdated entries with an explicit
+staleness tag (``GatewayResponse.stale`` /
+``GatewayResponse.staleness_months``).  All traffic is accounted in a
 :class:`~repro.serving.metrics.MetricsRegistry`.
 """
 
@@ -71,6 +83,16 @@ class GatewayConfig:
     #: ``False`` falls back to wholesale flushes per mutation — the
     #: pre-streaming behaviour, kept as the benchmark baseline.
     delta_invalidation: bool = True
+    #: Data-freshness budget for cached forecasts (needs a feature
+    #: store attached via ``attach_stream(dyn, store=...)``).  ``None``
+    #: disables freshness accounting (topology-only expiry, the
+    #: pre-event-time behaviour).  With a budget ``k``, a cached result
+    #: whose compute-time data frontier trails the store's by more than
+    #: ``k`` months is evicted; one merely *outdated* (fresher ticks
+    #: landed inside its ego, but within budget) is served with a
+    #: staleness tag.  ``0`` = evict the moment the frontier advances
+    #: past the entry's data month.
+    max_staleness_months: Optional[int] = None
 
     def validate(self) -> None:
         """Reject inconsistent settings early."""
@@ -84,16 +106,30 @@ class GatewayConfig:
             raise ValueError(
                 f"num_replicas must be positive, got {self.num_replicas}"
             )
+        if self.max_staleness_months is not None \
+                and self.max_staleness_months < 0:
+            raise ValueError(
+                f"max_staleness_months must be non-negative, "
+                f"got {self.max_staleness_months}"
+            )
 
 
 @dataclass
 class GatewayResponse(PredictionResponse):
-    """A :class:`PredictionResponse` plus gateway-side provenance."""
+    """A :class:`PredictionResponse` plus gateway-side provenance.
+
+    ``stale`` marks a cached forecast served after fresher sales data
+    landed inside its ego (allowed while within the
+    ``max_staleness_months`` budget); ``staleness_months`` is how many
+    event-time months its data frontier trails the store's.
+    """
 
     cached: bool = False
     replica_id: str = ""
     model_version: int = 0
     batch_size: int = 1
+    stale: bool = False
+    staleness_months: int = 0
 
 
 class ServingGateway:
@@ -154,6 +190,9 @@ class ServingGateway:
                                        clock=clock)
         self._stream_graph = None
         self._stream_callback = None
+        self._data_store = None
+        self._data_frontier = -1
+        self._ticks_seen = 0
         self._subscribed = registry is not None
         if registry is not None:
             registry.subscribe(self._on_publish)
@@ -185,6 +224,9 @@ class ServingGateway:
             self._stream_graph.unsubscribe(self._stream_callback)
             self._stream_graph = None
             self._stream_callback = None
+        if self._data_store is not None:
+            self._data_store.unsubscribe(self._on_ticks)
+            self._data_store = None
 
     # ------------------------------------------------------------------
     # invalidation hooks
@@ -224,7 +266,7 @@ class ServingGateway:
         self.metrics.inc("delta_evicted_subgraphs", evicted_subgraphs)
         self.metrics.inc("delta_evicted_results", evicted_results)
 
-    def attach_stream(self, dynamic_graph) -> None:
+    def attach_stream(self, dynamic_graph, store=None) -> None:
         """Serve from a live :class:`~repro.streaming.dynamic_graph.DynamicGraph`.
 
         Subgraph extraction switches to the delta overlay (updates are
@@ -236,6 +278,14 @@ class ServingGateway:
         the static snapshot have unknown provenance relative to the
         stream — and survive mutations selectively from then on.
 
+        ``store`` (a live
+        :class:`~repro.streaming.features.StreamingFeatureStore` fed by
+        the same event stream) additionally subscribes the gateway to
+        the :class:`~repro.streaming.events.SalesTick` frontier: cached
+        forecasts are stamped with the store's event-time provenance and
+        expire on data freshness per ``config.max_staleness_months``
+        (see :meth:`notify_data_delta`).
+
         Scoring needs a feature row per subgraph node, so shops grown
         *beyond* the serving snapshot (``dynamic_graph.add_shop`` past
         ``source_batch.num_shops``) cannot be served — nor linked into
@@ -245,6 +295,9 @@ class ServingGateway:
         """
         if self._stream_graph is not None:
             self._stream_graph.unsubscribe(self._stream_callback)
+        if self._data_store is not None:
+            self._data_store.unsubscribe(self._on_ticks)
+            self._data_store = None
         if self.config.delta_invalidation:
             callback = self.notify_graph_delta
         else:
@@ -253,7 +306,51 @@ class ServingGateway:
         self._stream_graph = dynamic_graph
         self._stream_callback = callback
         dynamic_graph.subscribe(callback)
+        if store is not None:
+            self._data_store = store
+            self._data_frontier = int(store.frontier)
+            self._ticks_seen = int(store.ticks_applied)
+            store.subscribe(self._on_ticks)
         self.notify_graph_changed()
+
+    def _on_ticks(self, shops: np.ndarray, frontier: int) -> None:
+        """Store tick subscription: track the frontier, sweep expired results."""
+        # Count accepted ticks off the store's monotone sequence — the
+        # notification's shop set is coalesced under batched ingestion,
+        # so its size undercounts multi-tick batches.
+        self.metrics.inc(
+            "data_ticks_observed",
+            float(self._data_store.ticks_applied - self._ticks_seen),
+        )
+        self._ticks_seen = int(self._data_store.ticks_applied)
+        self.notify_data_delta(shops, frontier)
+
+    def notify_data_delta(self, shops, frontier: int) -> None:
+        """Fresh sales data landed for ``shops``; frontier is the store's.
+
+        Advances the gateway's view of the event-time frontier and — with
+        a ``max_staleness_months`` budget configured — expires every
+        cached forecast whose compute-time data month now trails the
+        frontier beyond it.  The expiry sweep runs only when the
+        frontier actually advanced: in-window late ticks (the common
+        out-of-order case) cannot move the expiry cutoff, and entries
+        are stamped with the frontier at compute time, so a sweep
+        without an advance can never evict.  Entries inside the budget
+        stay put; the per-entry *outdatedness* check (fresher ticks
+        inside the ego) happens lazily at lookup time, where the
+        staleness tag is attached.
+        """
+        if frontier <= self._data_frontier:
+            return
+        self._data_frontier = int(frontier)
+        budget = self.config.max_staleness_months
+        if budget is None:
+            return
+        evicted = self.result_cache.expire_older_than(
+            self._data_frontier - budget
+        )
+        if evicted:
+            self.metrics.inc("freshness_evictions", float(evicted))
 
     # ------------------------------------------------------------------
     # request intake
@@ -344,7 +441,8 @@ class ServingGateway:
 
     def _resolve(self, request: PendingRequest, forecast: np.ndarray,
                  subgraph_nodes: int, cached: bool, replica: ModelReplica,
-                 batch_size: int) -> None:
+                 batch_size: int, stale: bool = False,
+                 staleness_months: int = 0) -> None:
         latency = self._clock() - request.enqueued_at
         self.metrics.observe("latency_seconds", latency)
         request.resolve(GatewayResponse(
@@ -356,7 +454,39 @@ class ServingGateway:
             replica_id=replica.replica_id,
             model_version=replica.version,
             batch_size=batch_size,
+            stale=stale,
+            staleness_months=int(staleness_months),
         ))
+
+    def _check_freshness(self, shop: int, hops: int, version: int, cached):
+        """Event-time verdict on a result-cache hit.
+
+        Returns ``None`` when the entry outlived the staleness budget
+        (it is evicted and the lookup falls through to a recompute), or
+        ``(stale, staleness_months)`` — ``stale`` marks an in-budget
+        entry whose ego received fresher ticks since compute time.
+        Without an attached store or budget everything is fresh.
+        """
+        store = self._data_store
+        budget = self.config.max_staleness_months
+        if store is None or budget is None or cached.tick_seq < 0:
+            return False, 0
+        age = max(int(store.frontier) - cached.data_month, 0)
+        if age > budget:
+            self.result_cache.evict(shop, hops, version)
+            self.metrics.inc("freshness_evictions")
+            return None
+        nodes = cached.nodes
+        if nodes is None:
+            outdated = True
+        else:
+            known = nodes[nodes < store.last_tick_seq.size]
+            outdated = known.size > 0 and \
+                int(store.last_tick_seq[known].max()) > cached.tick_seq
+        if outdated:
+            self.metrics.inc("stale_results_served")
+            return True, age
+        return False, 0
 
     def _serve(self, requests: List[PendingRequest]) -> None:
         """Score one drained micro-batch."""
@@ -373,10 +503,18 @@ class ServingGateway:
                 request.shop_index, hops, replica.version
             )
             if cached is not None:
+                verdict = self._check_freshness(
+                    request.shop_index, hops, replica.version, cached
+                )
+                if verdict is None:
+                    cached = None      # expired at lookup: recompute
+            if cached is not None:
+                stale, staleness = verdict
                 self.metrics.inc("cache_hits")
                 self._resolve(request, cached.forecast, cached.subgraph_nodes,
                               cached=True, replica=replica,
-                              batch_size=len(requests))
+                              batch_size=len(requests), stale=stale,
+                              staleness_months=staleness)
                 continue
             self.metrics.inc("cache_misses")
             # Claim the slot at assignment time so least-loaded routing
@@ -444,12 +582,16 @@ class ServingGateway:
         replica.served_batches += 1
         self.metrics.inc("batches_total")
         self.metrics.observe("batch_size", float(served))
+        store = self._data_store
+        data_month = int(store.frontier) if store is not None else -1
+        tick_seq = int(store.ticks_applied) if store is not None else -1
         for row, shop in zip(union.center_rows, shops):
             forecast = raw[int(row)].copy()
             forecast.setflags(write=False)
             nodes = int(egos[shop].num_nodes)
             self.result_cache.put(shop, self.config.hops, replica.version,
-                                  forecast, nodes, nodes=egos[shop].nodes)
+                                  forecast, nodes, nodes=egos[shop].nodes,
+                                  data_month=data_month, tick_seq=tick_seq)
             for request in by_shop[shop]:
                 self._resolve(request, forecast, nodes, cached=False,
                               replica=replica, batch_size=batch_size)
@@ -484,6 +626,15 @@ class ServingGateway:
             "evictions": self.result_cache.stats.evictions,
         }
         report["streaming"] = self._stream_graph is not None
+        if self._data_store is not None:
+            report["data_freshness"] = {
+                **self._data_store.freshness_report(),
+                "max_staleness_months": self.config.max_staleness_months,
+                "freshness_evictions":
+                    self.metrics.counter("freshness_evictions"),
+                "stale_results_served":
+                    self.metrics.counter("stale_results_served"),
+            }
         report["engine"] = {
             "mode": engine.engine_mode(),
             **engine.stats_snapshot(),

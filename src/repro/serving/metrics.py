@@ -21,6 +21,12 @@ class RollingWindow:
 
     Keeps the most recent ``capacity`` values; summary statistics are
     computed over whatever the ring currently holds.
+
+    >>> window = RollingWindow(capacity=3)
+    >>> for value in (1.0, 2.0, 3.0, 4.0):
+    ...     window.observe(value)
+    >>> sorted(window.values().tolist()), window.total_observations
+    ([2.0, 3.0, 4.0], 4)
     """
 
     def __init__(self, capacity: int = 2048) -> None:
@@ -72,7 +78,9 @@ class MetricsRegistry:
       ``model_swaps``, ``graph_invalidations`` (wholesale flushes),
       ``graph_delta_invalidations`` / ``delta_evicted_subgraphs`` /
       ``delta_evicted_results`` (delta-aware eviction under streaming
-      churn)
+      churn), ``data_ticks_observed`` / ``freshness_evictions`` /
+      ``stale_results_served`` (event-time freshness of the result
+      cache under ``GatewayConfig.max_staleness_months``)
     * distributions — ``latency_seconds`` (per request, queue wait
       included), ``batch_size`` (requests per model forward)
     """

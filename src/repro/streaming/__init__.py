@@ -6,7 +6,10 @@ marketplace that never stands still:
 
 * :mod:`~repro.streaming.events` — the event model: ``ShopAdded`` /
   ``EdgeAdded`` / ``EdgeRetired`` / ``SalesTick`` in an append-only,
-  deterministic, replayable :class:`~repro.streaming.events.EventLog`.
+  deterministic, replayable :class:`~repro.streaming.events.EventLog`
+  that distinguishes **event time** (the month a tick belongs to) from
+  **arrival time** (its log position) and tracks the event-time
+  frontier.
 * :class:`~repro.streaming.dynamic_graph.DynamicGraph` — a delta
   overlay (adjacency additions + tombstones) over the frozen
   :class:`~repro.graph.graph.ESellerGraph`, so k-hop / ego-subgraph /
@@ -18,6 +21,9 @@ marketplace that never stands still:
 * :class:`~repro.streaming.features.StreamingFeatureStore` — the event
   log folded into exactly the feature tables the Fig 5 extractors
   would emit, so fresh training windows equal a cold database rebuild.
+  Ticks fold by event time under a configurable **watermark**: in-window
+  late ticks merge into the correct month, beyond-watermark stragglers
+  are dropped once and counted.
 * :class:`~repro.streaming.simulator.MarketplaceSimulator` — drives
   churn against the synthetic generator: cold-start arrivals, edge
   reveals/retirements and sales ticks as one precomputed deterministic

@@ -18,6 +18,15 @@ at O(overlay) extra cost — no per-event CSR rebuilds.  When the overlay
 plus tombstones outgrow ``compact_threshold`` of the live edge count,
 :meth:`compact` folds everything into a fresh base.
 
+Compaction itself is **incremental**: the new base's CSR index is
+patched from the old one instead of re-sorted from scratch.  Only the
+nodes an event actually touched (overlay endpoints, tombstone
+endpoints — the *touched frontier*) get their adjacency rows rebuilt;
+every other row of the old index is bulk-remapped and reused, so the
+non-vectorised part of a compaction is proportional to the frontier,
+not the graph (``incremental_csr=False`` restores the full-rebuild
+baseline the benchmark compares against).
+
 **Equivalence guarantee.**  After ``compact()``, the base graph is
 *identical* — same ``num_nodes``, same edge arrays in the same order —
 to ``ESellerGraph.from_edit_history`` applied to the full event history
@@ -50,10 +59,26 @@ from .events import (
     SalesTick,
     ShopAdded,
     ShopEvent,
-    live_edge_stacks,
 )
 
 __all__ = ["DynamicGraph"]
+
+
+def _segment_scatter(indptr: np.ndarray, nodes: np.ndarray,
+                     counts: np.ndarray) -> np.ndarray:
+    """Flat destination positions of ``nodes``' CSR segments.
+
+    For each node ``v`` (with ``counts[v']`` entries to place) the
+    returned array lists ``indptr[v], indptr[v]+1, ...`` — the mirror of
+    :func:`~repro.graph.sampling._gather_segments`, used to scatter
+    remapped rows into a patched index in one vectorised write.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    seg_offsets = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(seg_offsets, counts)
+    return np.repeat(indptr[nodes], counts) + within
 
 
 class DynamicGraph:
@@ -71,6 +96,23 @@ class DynamicGraph:
     min_compact_edges:
         Floor below which auto-compaction never triggers, so tiny graphs
         don't compact on every other event.
+    incremental_csr:
+        Patch the base's CSR index at compaction (reuse untouched rows)
+        instead of letting the new base re-sort from scratch.  ``False``
+        is the full-rebuild baseline; the patched and rebuilt indexes
+        are array-identical either way.
+
+    >>> from repro.graph import ESellerGraph
+    >>> dyn = DynamicGraph(ESellerGraph(3, [0], [1], [0]),
+    ...                    compact_threshold=None)
+    >>> dyn.add_edge(1, 2)
+    >>> dyn.retire_edge(0, 1)
+    >>> dyn.num_edges, dyn.tombstones
+    (1, 1)
+    >>> dyn.k_hop_nodes([1], 1).tolist()
+    [1, 2]
+    >>> dyn.compact().num_edges        # overlay + tombstones folded away
+    1
     """
 
     def __init__(
@@ -78,6 +120,7 @@ class DynamicGraph:
         base: ESellerGraph,
         compact_threshold: Optional[float] = 0.5,
         min_compact_edges: int = 256,
+        incremental_csr: bool = True,
     ) -> None:
         if compact_threshold is not None and compact_threshold <= 0:
             raise ValueError(
@@ -85,6 +128,7 @@ class DynamicGraph:
             )
         self.compact_threshold = compact_threshold
         self.min_compact_edges = int(min_compact_edges)
+        self.incremental_csr = bool(incremental_csr)
         self.compactions = 0
         self.events_applied = 0
         self._listeners: List[Callable[[np.ndarray], None]] = []
@@ -109,9 +153,16 @@ class DynamicGraph:
         self._ov_live = 0
         # LIFO stacks of global edge positions (base: 0..B-1, overlay:
         # B..) per (src, dst, type) key — the retirement rule shared
-        # with the cold fold via events.live_edge_stacks.
-        self._live: Dict[Tuple[int, int, int], List[int]] = \
-            live_edge_stacks(base)
+        # with the cold fold (events.edge_history).  Materialised lazily
+        # *per key* on the first retirement that needs it, so neither
+        # construction nor compaction pays an O(E) Python pass for a
+        # structure only retirements read.
+        self._live: Dict[Tuple[int, int, int], List[int]] = {}
+        # Touched frontier since the last compaction, per CSR plane:
+        # nodes whose adjacency rows must be rebuilt when patching the
+        # index (everything else is remapped wholesale).
+        self._touched_out: set = set()
+        self._touched_in: set = set()
         self._out_deg = base.out_degrees()
         self._in_deg = base.in_degrees()
 
@@ -201,11 +252,40 @@ class DynamicGraph:
         self._ov_live += 1
         self._ov_out.setdefault(src, []).append(len(self._ov_src) - 1)
         self._ov_in.setdefault(dst, []).append(len(self._ov_src) - 1)
-        self._live.setdefault((src, dst, edge_type), []).append(pos)
+        stack = self._live.get((src, dst, edge_type))
+        if stack is not None:          # maintain only materialised stacks
+            stack.append(pos)
+        self._touched_out.add(src)
+        self._touched_in.add(dst)
         self._out_deg[src] += 1
         self._in_deg[dst] += 1
         self._maybe_compact()
         self._notify(np.unique(np.array([src, dst], dtype=np.int64)))
+
+    def _stack_for(self, key: Tuple[int, int, int]) -> List[int]:
+        """Materialise the LIFO retirement stack for one edge key.
+
+        Built from the current liveness state: alive base positions in
+        base order, then alive overlay positions in addition order —
+        exactly the survivors an eagerly maintained stack would hold,
+        since pops only ever remove elements without reordering the
+        rest.  Cached until the next compaction; :meth:`add_edge` keeps
+        materialised stacks current.
+        """
+        stack = self._live.get(key)
+        if stack is None:
+            base = self._base
+            match = (base.src == key[0]) & (base.dst == key[1]) \
+                & (base.edge_types == key[2]) & self._base_alive
+            stack = np.flatnonzero(match).tolist()
+            offset = base.num_edges
+            for pos, alive in enumerate(self._ov_alive):
+                if alive and self._ov_src[pos] == key[0] \
+                        and self._ov_dst[pos] == key[1] \
+                        and self._ov_type[pos] == key[2]:
+                    stack.append(offset + pos)
+            self._live[key] = stack
+        return stack
 
     def retire_edge(self, src: int, dst: int, edge_type: int = 0) -> None:
         """Tombstone the most recently added live ``(src, dst, type)`` edge.
@@ -214,7 +294,7 @@ class DynamicGraph:
         :func:`~repro.streaming.events.edge_history`).
         """
         key = (int(src), int(dst), int(edge_type))
-        stack = self._live.get(key)
+        stack = self._stack_for(key)
         if not stack:
             raise LookupError(f"no live edge {key} to retire")
         pos = stack.pop()
@@ -224,6 +304,8 @@ class DynamicGraph:
         else:
             self._ov_alive[pos - self._base.num_edges] = False
             self._ov_live -= 1
+        self._touched_out.add(key[0])
+        self._touched_in.add(key[1])
         self._out_deg[key[0]] -= 1
         self._in_deg[key[1]] -= 1
         self._maybe_compact()
@@ -286,14 +368,83 @@ class DynamicGraph:
         if overhead > self.compact_threshold * max(self.num_edges, 1):
             self.compact()
 
+    def _patched_csr(self, by_src: bool):
+        """Patch the old base's CSR index into the post-compaction one.
+
+        The compacted edge list is the old base's survivors (in base
+        order) followed by the overlay's survivors (in addition order) —
+        a stable argsort of it therefore differs from the old index only
+        at *touched* nodes.  Untouched rows are bulk-remapped through
+        the tombstone shift map and reused verbatim; touched rows are
+        rebuilt by merging their surviving base segment with their live
+        overlay adjacency (base positions always precede overlay ones,
+        so the merge is a concatenation).  Returns ``(indptr, order)``
+        for :meth:`~repro.graph.graph.ESellerGraph.adopt_csr`, or
+        ``None`` when the old base never built this plane (nothing to
+        reuse — let the new base sort lazily as before).
+        """
+        base = self._base
+        # Reaching into the base's lazily built index: None simply means
+        # no query ever needed this plane, so there is nothing to patch.
+        old = base._csr if by_src else base._csr_in
+        if old is None:
+            return None
+        old_indptr, old_order, _ = old
+        touched = self._touched_out if by_src else self._touched_in
+        adjacency = self._ov_out if by_src else self._ov_in
+        degrees = self._out_deg if by_src else self._in_deg
+        base_alive = self._base_alive
+        ov_alive = self._ov_alive
+        n_base_alive = base.num_edges - self._dead
+        # Position remaps: old base position -> compacted position
+        # (valid where alive); overlay slot -> compacted position.
+        new_pos_base = np.cumsum(base_alive) - 1
+        ov_rank = np.cumsum(np.asarray(ov_alive, dtype=np.int64)) - 1
+        new_indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(degrees, out=new_indptr[1:])
+        new_order = np.empty(int(new_indptr[-1]), dtype=np.int64)
+        # Untouched rows: same edge set, only shifted positions.
+        keep = np.ones(base.num_nodes, dtype=bool)
+        for node in touched:
+            if node < base.num_nodes:
+                keep[node] = False
+        untouched = np.flatnonzero(keep)
+        if untouched.size:
+            old_ids = _gather_segments(old_indptr, old_order, untouched)
+            counts = old_indptr[untouched + 1] - old_indptr[untouched]
+            dest = _segment_scatter(new_indptr, untouched, counts)
+            new_order[dest] = new_pos_base[old_ids]
+        # Touched rows: rebuild from surviving base + live overlay.
+        for node in touched:
+            cursor = int(new_indptr[node])
+            if node < base.num_nodes:
+                ids = old_order[old_indptr[node]:old_indptr[node + 1]]
+                if self._dead:
+                    ids = ids[base_alive[ids]]
+                new_order[cursor:cursor + ids.size] = new_pos_base[ids]
+                cursor += ids.size
+            for slot in adjacency.get(node, ()):
+                if ov_alive[slot]:
+                    new_order[cursor] = n_base_alive + ov_rank[slot]
+                    cursor += 1
+        return new_indptr, new_order
+
     def compact(self) -> ESellerGraph:
         """Fold overlay + tombstones into a fresh base graph.
 
         The result equals ``ESellerGraph.from_edit_history`` over the
         full event history (see the module docstring); queries before
         and after compaction are indistinguishable, so no cache
-        invalidation is needed and listeners are not notified.
+        invalidation is needed and listeners are not notified.  With
+        ``incremental_csr`` (the default), any CSR plane the old base
+        had built is patched and adopted by the new base — reusing the
+        untouched rows of the old index — instead of being re-sorted
+        from scratch on the next query.
         """
+        out_csr = in_csr = None
+        if self.incremental_csr:
+            out_csr = self._patched_csr(by_src=True)
+            in_csr = self._patched_csr(by_src=False)
         src = np.concatenate([
             self._base.src, np.asarray(self._ov_src, dtype=np.int64)
         ])
@@ -309,6 +460,8 @@ class DynamicGraph:
         base = ESellerGraph.from_edit_history(
             self.num_nodes, src, dst, types, alive
         )
+        if out_csr is not None or in_csr is not None:
+            base.adopt_csr(out_csr=out_csr, in_csr=in_csr)
         self._reset_from(base)
         self.compactions += 1
         return base

@@ -20,6 +20,21 @@ dynamic graph) retires the **most recently added live** edge matching
 ``(src, dst, edge_type)`` — multigraph duplicates pop in LIFO order —
 and raises when no live match exists, so a log can never silently
 diverge from the graph it describes.
+
+Event time vs arrival time: every event carries the timeline month it
+*belongs to* (``event.month``, event time), while its position in the
+log records when it *arrived* (arrival time).  A well-behaved feed
+appends in event-time order, but a real marketplace does not — partial
+sales for an old month land days after the month closed.  The log
+therefore tracks its **event-time frontier** (:attr:`EventLog.frontier`,
+the highest month any appended event belongs to) and counts
+:attr:`EventLog.late_arrivals` (events appended after the frontier had
+already passed their month).  Consumers that need a deterministic
+event-time view use :meth:`EventLog.by_event_time`, a stable sort that
+keeps same-month arrival order.  The admission policy for late events
+(how far behind the frontier a tick may trail before it is dropped) is
+a *consumer* concern — see
+:class:`~repro.streaming.features.StreamingFeatureStore`'s watermark.
 """
 
 from __future__ import annotations
@@ -46,10 +61,11 @@ def live_edge_stacks(graph) -> "Dict[Tuple[int, int, int], List[int]]":
     """LIFO stacks of edge positions per ``(src, dst, type)`` key.
 
     THE retirement-rule data structure: ``EdgeRetired`` pops the most
-    recently added live position for its key.  Both the cold fold
-    (:func:`edge_history`) and the online overlay
-    (:class:`~repro.streaming.dynamic_graph.DynamicGraph`) seed their
-    stacks here, so the rule cannot silently diverge between them.
+    recently added live position for its key.  The cold fold
+    (:func:`edge_history`) seeds its stacks here; the online overlay
+    (:class:`~repro.streaming.dynamic_graph.DynamicGraph`) materialises
+    the same stacks lazily per key, so the rule cannot silently diverge
+    between them.
     """
     stacks: Dict[Tuple[int, int, int], List[int]] = {}
     for pos in range(graph.num_edges):
@@ -122,10 +138,30 @@ class EventLog:
     identical state for identical prefixes.  Events are indexed by
     append position; :attr:`high_water` names the next position, so an
     incremental consumer can checkpoint where it stopped.
+
+    Append order is *arrival* order; each event's ``month`` is its
+    *event time*.  The log never reorders or drops anything — it records
+    the feed exactly as it came, including out-of-order ticks — and
+    keeps two cheap event-time statistics as it grows:
+
+    >>> log = EventLog()
+    >>> log.append(SalesTick(month=3, shop_index=0, gmv=10.0))
+    0
+    >>> log.append(SalesTick(month=2, shop_index=1, gmv=5.0))  # late
+    1
+    >>> log.frontier, log.late_arrivals
+    (3, 1)
+    >>> [e.month for e in log.by_event_time()]
+    [2, 3]
     """
 
     def __init__(self, events: Optional[Iterable[ShopEvent]] = None) -> None:
         self._events: List[ShopEvent] = []
+        #: Event-time frontier: highest month any appended event belongs
+        #: to (``-1`` while empty).
+        self.frontier = -1
+        #: Events that arrived after the frontier had passed their month.
+        self.late_arrivals = 0
         if events is not None:
             for event in events:
                 self.append(event)
@@ -134,6 +170,11 @@ class EventLog:
         """Add one event; returns its log position."""
         if not isinstance(event, ShopEvent):
             raise TypeError(f"not a ShopEvent: {event!r}")
+        month = int(event.month)
+        if month < self.frontier:
+            self.late_arrivals += 1
+        else:
+            self.frontier = month
         self._events.append(event)
         return len(self._events) - 1
 
@@ -165,6 +206,18 @@ class EventLog:
     def month_slice(self, month: int) -> List[ShopEvent]:
         """All events of one timeline month, in log order."""
         return [e for e in self._events if e.month == month]
+
+    def by_event_time(self) -> List[ShopEvent]:
+        """The log re-sequenced into event-time order.
+
+        A *stable* sort by ``month``: late arrivals move back to the
+        month they belong to while same-month events keep their arrival
+        order.  This is the canonical in-order replay a shuffled feed is
+        compared against — folding a log and folding
+        ``log.by_event_time()`` through an unbounded-watermark consumer
+        must reach identical state.
+        """
+        return sorted(self._events, key=lambda event: event.month)
 
     def counts(self) -> Dict[str, int]:
         """Events per kind (for reporting and benchmarks)."""

@@ -11,11 +11,24 @@ store (:meth:`StreamingFeatureStore.instance_batch`) is *identical* to
 one built from a cold database rebuild of the same event history.  That
 equivalence is what lets the online adapter fine-tune on fresh windows
 without ever re-running the batch extract.
+
+Event-time correctness: ticks fold into the month they *belong to*
+(``event.month``), not the month they arrive in, so an in-window late
+tick lands in the correct cell and the fold result equals the in-order
+replay.  A configurable **watermark** bounds how late is acceptable: a
+tick trailing the store's event-time frontier by more than
+``watermark`` months is dropped (never folded, never re-counted) and
+surfaced in :attr:`StreamingFeatureStore.ticks_dropped` /
+:meth:`StreamingFeatureStore.freshness_report`.  Consumers that care
+about data freshness (the serving gateway's result cache, the online
+adapter's drift windows) subscribe via
+:meth:`StreamingFeatureStore.subscribe` and key their staleness checks
+off the same frontier.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 import numpy as np
 
@@ -53,25 +66,46 @@ class StreamingFeatureStore:
         the tables.
     num_months:
         Timeline length (columns of every monthly table).
+    watermark:
+        Maximum event-time lateness, in months, a :class:`SalesTick` may
+        trail the store's frontier and still be folded in.  ``None``
+        (the default) accepts any in-timeline tick — the pre-watermark
+        behaviour.  ``0`` accepts only frontier-month ticks.
 
     Notes
     -----
     * :class:`SalesTick` rows *accumulate* into the month cell, matching
       the database's scatter-add merge, so duplicate partial ticks for
       one shop-month behave like duplicate database rows.
+    * Ticks fold by **event time**: an in-window late tick lands in the
+      correct (older) month's cell, so folding a shuffled feed equals
+      folding the in-order feed.  Beyond-watermark ticks are dropped
+      exactly once and counted in :attr:`ticks_dropped`; they never
+      touch the tables or the frontier.
     * A shop that has not been added yet is fully masked: its observed
       row is all-``False`` and its static row is zero apart from the
       neutral opening-age feature, so it is inert in any assembled
       window (the cold-start arrival path).
+
+    >>> store = StreamingFeatureStore(2, num_months=6, watermark=1)
+    >>> store.apply(SalesTick(month=3, shop_index=0, gmv=7.0))
+    >>> store.apply(SalesTick(month=2, shop_index=1, gmv=5.0))  # in window
+    >>> store.apply(SalesTick(month=0, shop_index=1, gmv=9.0))  # too late
+    >>> store.frontier, store.ticks_dropped, float(store.gmv[1, 2])
+    (3, 1, 5.0)
     """
 
-    def __init__(self, num_shops: int, num_months: int) -> None:
+    def __init__(self, num_shops: int, num_months: int,
+                 watermark: Optional[int] = None) -> None:
         if num_shops < 0:
             raise ValueError(f"num_shops must be non-negative, got {num_shops}")
         if num_months <= 0:
             raise ValueError(f"num_months must be positive, got {num_months}")
+        if watermark is not None and watermark < 0:
+            raise ValueError(f"watermark must be non-negative, got {watermark}")
         self.num_months = int(num_months)
         self.num_shops = int(num_shops)
+        self.watermark = None if watermark is None else int(watermark)
         self.gmv = np.zeros((num_shops, num_months), dtype=np.float64)
         self.orders = np.zeros((num_shops, num_months), dtype=np.int64)
         self.customers = np.zeros((num_shops, num_months), dtype=np.int64)
@@ -80,6 +114,23 @@ class StreamingFeatureStore:
         self._industries: List[str] = [""] * num_shops
         self._regions: List[str] = [""] * num_shops
         self.events_applied = 0
+        #: Event-time frontier: highest month an accepted tick belongs
+        #: to (``-1`` before the first tick).
+        self.frontier = -1
+        #: Accepted ticks (monotone; doubles as the freshness sequence).
+        self.ticks_applied = 0
+        #: Accepted ticks that arrived behind the frontier (in-window
+        #: late data merged into an older month's cell).
+        self.late_ticks_accepted = 0
+        #: Ticks dropped for trailing the frontier beyond ``watermark``.
+        self.ticks_dropped = 0
+        #: Per-shop sequence number (:attr:`ticks_applied` at the
+        #: shop's latest accepted tick; ``0`` = never ticked).  The
+        #: gateway's freshness checks compare cached-result stamps
+        #: against this.
+        self.last_tick_seq = np.zeros(num_shops, dtype=np.int64)
+        self._tick_listeners: List[Callable[[np.ndarray, int], None]] = []
+        self._suppress_notify = False
         # Derived-block caches: window assembly happens every month-close
         # while most months change only a few cells, so the O(S*M)
         # temporal block and the Python-loop static block are rebuilt
@@ -105,6 +156,7 @@ class StreamingFeatureStore:
         self.customers = grow_rows(self.customers, shop_index + 1)
         self.opened_month = grow_rows(self.opened_month, shop_index + 1,
                                       fill=self.num_months)
+        self.last_tick_seq = grow_rows(self.last_tick_seq, shop_index + 1)
         self._industries.extend([""] * grow)
         self._regions.extend([""] * grow)
         self.num_shops = shop_index + 1
@@ -129,11 +181,28 @@ class StreamingFeatureStore:
             self._regions[shop_index] = region
         self._shop_version += 1
 
+    def admits_tick(self, month: int) -> bool:
+        """Whether a tick for ``month`` is inside the watermark window.
+
+        True while the tick trails the event-time frontier by at most
+        ``watermark`` months (always true with an unbounded watermark or
+        before the first tick).  Consumers sharing the store's event-time
+        path (the online adapter's drift windows) gate their own
+        ingestion on this so one feed cannot split into divergent views
+        of what counts as live data.
+        """
+        if self.watermark is None or self.frontier < 0:
+            return True
+        return int(month) >= self.frontier - self.watermark
+
     def apply(self, event: ShopEvent) -> None:
         """Fold one event into the feature planes.
 
         Edge events are graph-plane only and are ignored here, so one
         log can be replayed through graph and features independently.
+        :class:`SalesTick` events fold by event time: in-window late
+        ticks merge into the month they belong to, beyond-watermark
+        ticks are dropped and counted in :attr:`ticks_dropped`.
         """
         self.events_applied += 1
         if isinstance(event, ShopAdded):
@@ -145,16 +214,81 @@ class StreamingFeatureStore:
                     f"tick month {event.month} outside timeline "
                     f"[0, {self.num_months})"
                 )
+            if not self.admits_tick(event.month):
+                self.ticks_dropped += 1
+                return
             self._ensure_capacity(event.shop_index)
             self.gmv[event.shop_index, event.month] += float(event.gmv)
             self.orders[event.shop_index, event.month] += int(event.orders)
             self.customers[event.shop_index, event.month] += int(event.customers)
             self._tick_version += 1
+            self.ticks_applied += 1
+            self.last_tick_seq[event.shop_index] = self.ticks_applied
+            if event.month < self.frontier:
+                self.late_ticks_accepted += 1
+            else:
+                self.frontier = int(event.month)
+            self._notify_ticks(
+                np.array([event.shop_index], dtype=np.int64), self.frontier
+            )
 
     def apply_events(self, events: Iterable[ShopEvent]) -> None:
-        """Fold a batch of events in order."""
-        for event in events:
-            self.apply(event)
+        """Fold a batch of events in order.
+
+        Tick listeners are notified **once** with the union of ticked
+        shops and the final frontier instead of per event — the same
+        coalescing contract as
+        :meth:`~repro.streaming.dynamic_graph.DynamicGraph.apply_events`.
+        """
+        before = self.ticks_applied
+        ticked: List[int] = []
+        self._suppress_notify = True
+        try:
+            for event in events:
+                self.apply(event)
+                if isinstance(event, SalesTick) and self.ticks_applied > before:
+                    before = self.ticks_applied
+                    ticked.append(int(event.shop_index))
+        finally:
+            self._suppress_notify = False
+            if ticked:
+                self._notify_ticks(
+                    np.unique(np.asarray(ticked, dtype=np.int64)),
+                    self.frontier,
+                )
+
+    # ------------------------------------------------------------------
+    # tick listeners (data-freshness subscribers)
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[np.ndarray, int], None]) -> None:
+        """Register ``callback(ticked_shops, frontier)`` for accepted ticks.
+
+        The serving gateway's freshness-aware result cache hangs off
+        this: every accepted tick (never a dropped one) reports which
+        shops received fresher data and where the event-time frontier
+        now stands.
+        """
+        self._tick_listeners.append(callback)
+
+    def unsubscribe(self, callback: Callable[[np.ndarray, int], None]) -> None:
+        """Remove a previously registered tick callback."""
+        self._tick_listeners.remove(callback)
+
+    def _notify_ticks(self, shops: np.ndarray, frontier: int) -> None:
+        if self._suppress_notify:
+            return
+        for callback in list(self._tick_listeners):
+            callback(shops, frontier)
+
+    def freshness_report(self) -> dict:
+        """Serialisable snapshot of the store's event-time state."""
+        return {
+            "frontier": int(self.frontier),
+            "watermark": self.watermark,
+            "ticks_applied": int(self.ticks_applied),
+            "late_ticks_accepted": int(self.late_ticks_accepted),
+            "ticks_dropped": int(self.ticks_dropped),
+        }
 
     # ------------------------------------------------------------------
     # extractor-equivalent views

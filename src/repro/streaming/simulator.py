@@ -10,6 +10,14 @@ online, monthly sales ticks drawn from the marketplace database, and
 (optionally) edge churn: revealed edges retired for a few months and
 then re-added, exercising tombstones and delta invalidation.
 
+Out-of-order arrival: with ``late_tick_fraction > 0`` a deterministic
+subset of sales ticks is *delayed* — each keeps its event month but
+arrives one to ``late_tick_max_delay`` months later, modelling the
+partial-settlement feeds a real marketplace ingests.  Event-time folds
+are unaffected (ticks land in the month they belong to), which is
+exactly what the watermark property tests pin down; consumers with a
+finite watermark will drop the stragglers that trail too far.
+
 Determinism: the entire stream is precomputed at construction from
 ``(market, start_month, seed)``, so replaying a simulator — or any
 prefix of its log — is exactly reproducible.  Churned edges are always
@@ -52,9 +60,16 @@ class MarketplaceSimulator:
         (re-added ``churn_rebound_months`` later; everything still
         retired at the end of the timeline is re-added in the final
         month so full replays reconcile with the marketplace graph).
+    late_tick_fraction:
+        Fraction of sales ticks whose *arrival* is delayed past their
+        event month (uniformly 1..``late_tick_max_delay`` months,
+        clamped to the timeline).  ``0`` keeps the fully in-order feed.
+    late_tick_max_delay:
+        Upper bound on the arrival delay of a late tick, in months.
     seed:
-        Drives churn-edge selection only; the organic arrival stream is
-        fully determined by the marketplace itself.
+        Drives churn-edge selection and late-tick delays only; the
+        organic arrival stream is fully determined by the marketplace
+        itself.
     """
 
     def __init__(
@@ -63,6 +78,8 @@ class MarketplaceSimulator:
         start_month: int,
         edge_churn_per_month: int = 0,
         churn_rebound_months: int = 2,
+        late_tick_fraction: float = 0.0,
+        late_tick_max_delay: int = 1,
         seed: int = 0,
     ) -> None:
         months = market.config.num_months
@@ -75,6 +92,12 @@ class MarketplaceSimulator:
             raise ValueError("edge_churn_per_month must be non-negative")
         if churn_rebound_months < 1:
             raise ValueError("churn_rebound_months must be >= 1")
+        if not 0.0 <= late_tick_fraction <= 1.0:
+            raise ValueError(
+                f"late_tick_fraction must be in [0, 1], got {late_tick_fraction}"
+            )
+        if late_tick_max_delay < 1:
+            raise ValueError("late_tick_max_delay must be >= 1")
         self.market = market
         self.start_month = int(start_month)
         self.num_months = months
@@ -94,8 +117,13 @@ class MarketplaceSimulator:
         self._events_by_month: Dict[int, List[ShopEvent]] = {
             m: [] for m in range(self.start_month, months)
         }
-        self._precompute(edge_churn_per_month, churn_rebound_months,
-                         np.random.default_rng(seed))
+        #: Sales ticks whose arrival was delayed past their event month.
+        self.late_ticks_injected = 0
+        rng = np.random.default_rng(seed)
+        self._precompute(edge_churn_per_month, churn_rebound_months, rng)
+        if late_tick_fraction > 0.0:
+            self._inject_late_arrivals(late_tick_fraction,
+                                       late_tick_max_delay, rng)
 
     # ------------------------------------------------------------------
     # stream construction (all at init time, fully deterministic)
@@ -167,6 +195,35 @@ class MarketplaceSimulator:
                     customers=int(self.customers_table[shop_index, month]),
                 ))
 
+    def _inject_late_arrivals(self, fraction: float, max_delay: int,
+                              rng: np.random.Generator) -> None:
+        """Delay a deterministic subset of ticks past their event month.
+
+        A picked tick keeps its event-time ``month`` but is moved to a
+        later month's arrival batch (appended after that month's organic
+        events), so the feed is out of order while the event-time fold
+        stays identical.  Delays clamp to the final month; the organic
+        feed emits at most one tick per shop-month cell, so delaying
+        cannot reorder same-cell partials.
+        """
+        last = self.num_months - 1
+        for month in range(self.start_month, last):
+            batch = self._events_by_month[month]
+            kept: List[ShopEvent] = []
+            for event in batch:
+                # Only organic ticks are eligible (event.month == batch
+                # month): an already-delayed tick must not be re-picked
+                # and pushed beyond the documented max_delay bound.
+                if isinstance(event, SalesTick) and event.month == month \
+                        and rng.random() < fraction:
+                    delay = int(rng.integers(1, max_delay + 1))
+                    arrival = min(month + delay, last)
+                    self._events_by_month[arrival].append(event)
+                    self.late_ticks_injected += 1
+                else:
+                    kept.append(event)
+            self._events_by_month[month] = kept
+
     # ------------------------------------------------------------------
     # deployed snapshot
     # ------------------------------------------------------------------
@@ -189,9 +246,16 @@ class MarketplaceSimulator:
         """A :class:`DynamicGraph` over the snapshot, ready for replay."""
         return DynamicGraph(self.initial_graph(), **kwargs)
 
-    def initial_store(self) -> StreamingFeatureStore:
-        """Feature store preloaded with the pre-deployment months."""
-        store = StreamingFeatureStore(self.num_shops, self.num_months)
+    def initial_store(self, watermark: Optional[int] = None) -> StreamingFeatureStore:
+        """Feature store preloaded with the pre-deployment months.
+
+        ``watermark`` configures the store's event-time admission window
+        (see :class:`~repro.streaming.features.StreamingFeatureStore`);
+        the event-time frontier starts at the last snapshot month, so the
+        watermark applies from the first streamed tick on.
+        """
+        store = StreamingFeatureStore(self.num_shops, self.num_months,
+                                      watermark=watermark)
         shops = self.market.database.shops()
         for shop_index in np.flatnonzero(self.opened < self.start_month):
             record = shops[int(shop_index)]
@@ -201,6 +265,7 @@ class MarketplaceSimulator:
         store.gmv[:, cols] = self.gmv_table[:, cols]
         store.orders[:, cols] = self.orders_table[:, cols]
         store.customers[:, cols] = self.customers_table[:, cols]
+        store.frontier = self.start_month - 1
         return store
 
     # ------------------------------------------------------------------

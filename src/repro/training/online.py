@@ -7,7 +7,10 @@ the deployed model slowly drifts away from live sales.
 1. **Ring-buffer windows** — every :class:`~repro.streaming.events.SalesTick`
    lands in a per-shop ring buffer of the freshest months, so the
    adapter knows which shops actually have new evidence (bounded
-   memory, no full-table scans).
+   memory, no full-table scans).  Ingestion shares the feature store's
+   event-time path: a tick the store's watermark rejects never reaches
+   a ring buffer either (counted in ``ticks_rejected``), so drift
+   windows and feature tables agree on what counts as live data.
 2. **Drift detection** — at each month close, the deployed model scores
    the freshest complete window and each shop's scaled forecast error
    updates an EWMA; a shop whose EWMA crosses
@@ -88,6 +91,14 @@ class ShopRingWindows:
     shop's oldest slot, so memory is bounded no matter how long the
     stream runs.  Months are tracked explicitly (ticks may arrive late
     or more than once; the ring keeps arrival order).
+
+    >>> ring = ShopRingWindows(2, capacity=2)
+    >>> for month in (3, 4, 5):
+    ...     ring.push(0, month, float(month))
+    >>> ring.recent_ticks(0)[0].tolist()     # oldest slot overwritten
+    [4, 5]
+    >>> int(ring.ticks_in_range(4, 5)[0])
+    2
     """
 
     def __init__(self, num_shops: int, capacity: int) -> None:
@@ -191,14 +202,27 @@ class OnlineAdapter:
         self.error_ewma = np.full(store.num_shops, np.nan)
         self.adaptations: List[AdaptationReport] = []
         self.ticks_ingested = 0
+        #: Ticks refused by the store's watermark (never buffered, so
+        #: drift evidence can't diverge from the feature tables).
+        self.ticks_rejected = 0
         self._last_adapt_month = -(10 ** 9)
 
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
     def ingest(self, event: ShopEvent) -> None:
-        """Feed one stream event (only sales ticks are retained)."""
+        """Feed one stream event (only sales ticks are retained).
+
+        Shares the store's event-time admission: a
+        :class:`~repro.streaming.events.SalesTick` beyond the store's
+        watermark is rejected here too — the fresh windows the adapter
+        fine-tunes on are assembled from the store's tables, so evidence
+        the tables will never contain must not count as drift.
+        """
         if isinstance(event, SalesTick):
+            if not self.store.admits_tick(event.month):
+                self.ticks_rejected += 1
+                return
             self.windows.push(event.shop_index, event.month, event.gmv)
             self.ticks_ingested += 1
 

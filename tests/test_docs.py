@@ -1,0 +1,102 @@
+"""Docs-consistency gates: the documentation layer cannot silently rot.
+
+Three invariants, all cheap enough for tier-1:
+
+* every symbol a ``repro.*`` module exports through ``__all__`` resolves
+  and carries a docstring (modules, classes, functions — the public API
+  surface the docs link into);
+* every demo under ``examples/`` is referenced by name in the top-level
+  ``README.md`` (an example nobody can find is an example that rots);
+* the documentation files the README points at actually exist, and the
+  ROADMAP keeps pointing at the versioned design docs it delegated its
+  per-subsystem guides to.
+"""
+
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _walk_public_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, "repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+MODULES = _walk_public_modules()
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_every_exported_symbol_has_a_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert (module.__doc__ or "").strip(), f"{module_name} has no docstring"
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    undocumented = []
+    for name in exported:
+        assert hasattr(module, name), (
+            f"{module_name}.__all__ exports {name!r} but the module "
+            "does not define it"
+        )
+        symbol = getattr(module, name)
+        # Only objects that *can* carry their own docstring are held to
+        # it: plain data exports (constants, precomputed tables) cannot.
+        if not (inspect.isclass(symbol) or inspect.isroutine(symbol)
+                or inspect.ismodule(symbol)):
+            continue
+        if not (getattr(symbol, "__doc__", None) or "").strip():
+            undocumented.append(name)
+    assert not undocumented, (
+        f"{module_name} exports undocumented symbols: {undocumented}"
+    )
+
+
+def test_readme_references_every_example():
+    readme = (REPO_ROOT / "README.md").read_text()
+    missing = [
+        example.name
+        for example in sorted((REPO_ROOT / "examples").glob("*.py"))
+        if example.name not in readme
+    ]
+    assert not missing, f"README.md never mentions examples: {missing}"
+
+
+def test_documentation_files_exist():
+    for relative in ("README.md", "docs/ARCHITECTURE.md",
+                     "docs/streaming.md", "benchmarks/README.md"):
+        path = REPO_ROOT / relative
+        assert path.is_file(), f"missing documentation file: {relative}"
+        assert path.read_text().strip(), f"{relative} is empty"
+
+
+def test_readme_documents_the_test_matrix_and_benchmarks():
+    readme = (REPO_ROOT / "README.md").read_text()
+    for needle in ("-m slow", "pytest", "BENCH_"):
+        assert needle in readme, f"README.md must mention {needle!r}"
+    bench_readme = (REPO_ROOT / "benchmarks" / "README.md").read_text()
+    missing = [
+        artifact.name
+        for artifact in sorted((REPO_ROOT / "benchmarks").glob("BENCH_*.json"))
+        if artifact.name not in bench_readme
+    ]
+    assert not missing, (
+        f"benchmarks/README.md never documents artifacts: {missing}"
+    )
+
+
+def test_roadmap_points_at_versioned_design_docs():
+    roadmap = (REPO_ROOT / "ROADMAP.md").read_text()
+    for pointer in ("docs/ARCHITECTURE.md", "docs/streaming.md"):
+        assert pointer in roadmap, (
+            f"ROADMAP.md must point at {pointer} for the design guide "
+            "it used to inline"
+        )

@@ -279,11 +279,20 @@ def check_replay_equals_cold_rebuild(case):
         assert np.array_equal(ego.subgraph.src, sub.src)
         assert np.array_equal(ego.subgraph.dst, sub.dst)
         assert np.array_equal(ego.subgraph.edge_types, sub.edge_types)
-    # Compaction is exact: same arrays, same order.
+    # Compaction is exact: same arrays, same order — including the
+    # incrementally patched CSR planes (built above by the ego queries).
     compacted = dyn.compact()
     assert np.array_equal(compacted.src, cold.src)
     assert np.array_equal(compacted.dst, cold.dst)
     assert np.array_equal(compacted.edge_types, cold.edge_types)
+    out_indptr, out_order = compacted.out_csr()
+    cold_indptr, cold_order = cold.out_csr()
+    assert np.array_equal(out_indptr, cold_indptr)
+    assert np.array_equal(out_order, cold_order)
+    in_indptr, in_order = compacted.in_csr()
+    cold_in_indptr, cold_in_order = cold.in_csr()
+    assert np.array_equal(in_indptr, cold_in_indptr)
+    assert np.array_equal(in_order, cold_in_order)
 
 
 class TestReplayEquivalenceProperty:
@@ -627,6 +636,199 @@ class TestDeltaInvalidation:
         gateway.close()
 
 
+# ----------------------------------------------------------------------
+# freshness-aware result caching (SalesTick frontier subscription)
+# ----------------------------------------------------------------------
+class TestFreshnessAwareCaching:
+    def _world(self, factory, dataset, registry, simulator, watermark=None,
+               **cfg):
+        gateway = ServingGateway(
+            factory, dataset, registry,
+            GatewayConfig(max_batch_size=8, max_wait=10.0, **cfg),
+        )
+        dyn = simulator.initial_dynamic_graph(compact_threshold=None)
+        store = simulator.initial_store(watermark=watermark)
+        gateway.attach_stream(dyn, store=store)
+        return gateway, dyn, store
+
+    def test_fresh_tick_inside_ego_tags_cached_result_stale(
+            self, factory, dataset, registry, simulator):
+        gateway, dyn, store = self._world(factory, dataset, registry,
+                                          simulator, max_staleness_months=2)
+        first = gateway.predict(0)
+        assert not first.stale and first.staleness_months == 0
+        month = simulator.start_month
+        store.apply(SalesTick(month=month, shop_index=0, gmv=50.0,
+                              orders=2, customers=1))
+        second = gateway.predict(0)
+        assert second.cached, "within budget the entry must keep serving"
+        assert second.stale
+        assert second.staleness_months == 1    # frontier moved start-1 -> start
+        report = gateway.metrics_report()
+        assert report["counters"]["stale_results_served"] == 1
+        assert report["data_freshness"]["frontier"] == month
+        assert report["data_freshness"]["max_staleness_months"] == 2
+        gateway.close()
+
+    def test_tick_outside_ego_leaves_entry_fresh(self, factory, dataset,
+                                                 registry, simulator):
+        gateway, dyn, store = self._world(factory, dataset, registry,
+                                          simulator, max_staleness_months=3)
+        hops = gateway.config.hops
+        target = gateway.predict(0)
+        ego_nodes = set(gateway.subgraph_cache.get(0, hops).nodes.tolist())
+        far = next(s for s in range(dataset.test.num_shops)
+                   if s not in ego_nodes)
+        store.apply(SalesTick(month=simulator.start_month, shop_index=far,
+                              gmv=10.0, orders=1, customers=1))
+        again = gateway.predict(0)
+        assert again.cached and not again.stale
+        np.testing.assert_array_equal(again.forecast, target.forecast)
+        gateway.close()
+
+    def test_frontier_beyond_budget_evicts_results(self, factory, dataset,
+                                                   registry, simulator):
+        gateway, dyn, store = self._world(factory, dataset, registry,
+                                          simulator, max_staleness_months=1)
+        shops = [0, 5, 9]
+        gateway.predict_many(shops)
+        assert len(gateway.result_cache) == len(shops)
+        month = simulator.start_month
+        store.apply(SalesTick(month=month, shop_index=0, gmv=1.0))
+        assert len(gateway.result_cache) == len(shops)   # age 1 == budget
+        store.apply(SalesTick(month=month + 1, shop_index=0, gmv=1.0))
+        # Frontier advanced 2 months past every entry's data month: the
+        # eager sweep expires them all, ego intersection notwithstanding.
+        assert len(gateway.result_cache) == 0
+        report = gateway.metrics_report()
+        assert report["counters"]["freshness_evictions"] == len(shops)
+        response = gateway.predict(5)
+        assert not response.cached and not response.stale
+        gateway.close()
+
+    def test_zero_budget_serves_same_month_evicts_older(
+            self, factory, dataset, registry, simulator):
+        gateway, dyn, store = self._world(factory, dataset, registry,
+                                          simulator, max_staleness_months=0)
+        month = simulator.start_month
+        gateway.predict(0)
+        # Same-month partial: outdated but age 0 -> stale-tagged serve.
+        store.apply(SalesTick(month=month - 1, shop_index=0, gmv=5.0))
+        tagged = gateway.predict(0)
+        assert tagged.cached and tagged.stale
+        assert tagged.staleness_months == 0
+        # Frontier advance: zero budget expires the entry immediately.
+        store.apply(SalesTick(month=month, shop_index=0, gmv=5.0))
+        recomputed = gateway.predict(0)
+        assert not recomputed.cached
+        gateway.close()
+
+    def test_without_budget_ticks_never_evict(self, factory, dataset,
+                                              registry, simulator):
+        gateway, dyn, store = self._world(factory, dataset, registry,
+                                          simulator)   # max_staleness None
+        gateway.predict(0)
+        store.apply(SalesTick(month=simulator.start_month, shop_index=0,
+                              gmv=9.0))
+        response = gateway.predict(0)
+        assert response.cached and not response.stale
+        report = gateway.metrics_report()
+        assert report["counters"].get("freshness_evictions", 0.0) == 0.0
+        assert report["data_freshness"]["max_staleness_months"] is None
+        gateway.close()
+
+    def test_report_surfaces_watermark_drops(self, factory, dataset,
+                                             registry, simulator):
+        gateway, dyn, store = self._world(factory, dataset, registry,
+                                          simulator, watermark=0,
+                                          max_staleness_months=2)
+        month = simulator.start_month
+        store.apply(SalesTick(month=month, shop_index=0, gmv=1.0))
+        store.apply(SalesTick(month=month - 1, shop_index=1, gmv=1.0))
+        data = gateway.metrics_report()["data_freshness"]
+        assert data["ticks_dropped"] == 1
+        assert data["ticks_applied"] == 1
+        assert data["watermark"] == 0
+        gateway.close()
+
+    def test_expired_lookup_counts_as_cache_miss(self, factory, dataset,
+                                                 registry, simulator):
+        """An entry expired at lookup time recomputes — the LRU window
+        must agree with the gateway's counters that it was a miss."""
+        gateway, dyn, store = self._world(factory, dataset, registry,
+                                          simulator, max_staleness_months=0)
+        month = simulator.start_month
+        gateway.predict(0)
+        hits_before = gateway.result_cache.stats.hits
+        # Advance the frontier without notifying the gateway, so the
+        # eager sweep cannot run and the lazy lookup path must expire it.
+        store.unsubscribe(gateway._on_ticks)
+        store.apply(SalesTick(month=month + 1, shop_index=0, gmv=1.0))
+        response = gateway.predict(0)
+        assert not response.cached
+        assert gateway.result_cache.stats.hits == hits_before
+        assert gateway.metrics.counter("freshness_evictions") == 1.0
+        store.subscribe(gateway._on_ticks)   # restore for close()
+        gateway.close()
+
+    def test_sweep_runs_only_on_frontier_advance(self, factory, dataset,
+                                                 registry, simulator,
+                                                 monkeypatch):
+        gateway, dyn, store = self._world(factory, dataset, registry,
+                                          simulator, max_staleness_months=1)
+        sweeps = []
+        original = gateway.result_cache.expire_older_than
+        monkeypatch.setattr(gateway.result_cache, "expire_older_than",
+                            lambda cutoff: sweeps.append(cutoff) or original(cutoff))
+        month = simulator.start_month
+        store.apply(SalesTick(month=month, shop_index=0, gmv=1.0))
+        assert len(sweeps) == 1              # frontier advanced: sweep
+        store.apply(SalesTick(month=month - 1, shop_index=1, gmv=1.0))
+        store.apply(SalesTick(month=month, shop_index=2, gmv=1.0))
+        assert len(sweeps) == 1              # in-window late / same month: no sweep
+        store.apply(SalesTick(month=month + 1, shop_index=0, gmv=1.0))
+        assert len(sweeps) == 2
+        gateway.close()
+
+    def test_tick_counter_counts_ticks_not_coalesced_shops(
+            self, factory, dataset, registry, simulator):
+        """Batched ingestion coalesces notifications per shop set; the
+        gateway's tick counter must still count accepted *ticks*."""
+        gateway, dyn, store = self._world(factory, dataset, registry,
+                                          simulator, max_staleness_months=2)
+        month = simulator.start_month
+        store.apply_events([
+            SalesTick(month=month, shop_index=0, gmv=1.0),
+            SalesTick(month=month + 1, shop_index=0, gmv=2.0),
+            SalesTick(month=month + 1, shop_index=3, gmv=3.0),
+        ])
+        assert gateway.metrics.counter("data_ticks_observed") == 3.0
+        store.apply(SalesTick(month=month + 1, shop_index=0, gmv=4.0))
+        assert gateway.metrics.counter("data_ticks_observed") == 4.0
+        gateway.close()
+
+    def test_close_detaches_tick_subscription(self, factory, dataset,
+                                              registry, simulator):
+        gateway, dyn, store = self._world(factory, dataset, registry,
+                                          simulator, max_staleness_months=1)
+        assert store._tick_listeners
+        gateway.close()
+        assert not store._tick_listeners
+        # Re-attach replaces, never stacks, subscriptions.
+        gateway2 = ServingGateway(
+            factory, dataset, registry,
+            GatewayConfig(max_batch_size=8, max_wait=10.0),
+        )
+        gateway2.attach_stream(dyn, store=store)
+        gateway2.attach_stream(dyn, store=store)
+        assert len(store._tick_listeners) == 1
+        gateway2.close()
+
+    def test_negative_staleness_budget_rejected(self):
+        with pytest.raises(ValueError):
+            GatewayConfig(max_staleness_months=-1).validate()
+
+
 class TestEventValidation:
     def test_store_rejects_negative_shop_index(self):
         store = StreamingFeatureStore(4, 10)
@@ -760,6 +962,35 @@ class TestOnlineAdapter:
         assert adapter.adaptations
         report = adapter.adaptations[0]
         assert report.post_loss != report.pre_loss
+
+    def test_ingest_respects_store_watermark(self, factory, dataset,
+                                             simulator):
+        """A tick the store's watermark rejects never reaches a drift
+        ring buffer either — windows and tables agree on live data."""
+        registry = ModelRegistry()
+        registry.publish(factory(), trained_at_month=simulator.start_month)
+        store = simulator.initial_store(watermark=1)
+        dyn = simulator.initial_dynamic_graph()
+        adapter = OnlineAdapter(factory(), registry, store, dyn, dataset)
+        month = simulator.start_month
+        fresh = SalesTick(month=month, shop_index=0, gmv=5.0, orders=1,
+                          customers=1)
+        store.apply(fresh)
+        adapter.ingest(fresh)
+        ahead = SalesTick(month=month + 2, shop_index=1, gmv=5.0, orders=1,
+                          customers=1)
+        store.apply(ahead)
+        adapter.ingest(ahead)
+        straggler = SalesTick(month=month, shop_index=2, gmv=9.0, orders=1,
+                              customers=1)
+        store.apply(straggler)          # dropped by the watermark
+        adapter.ingest(straggler)       # rejected by the shared admission
+        assert store.ticks_dropped == 1
+        assert adapter.ticks_ingested == 2
+        assert adapter.ticks_rejected == 1
+        assert adapter.windows.counts[2] == 0
+        months, _ = adapter.windows.recent_ticks(0)
+        assert months.tolist() == [month]
 
     def test_requires_temporal_scaler(self, factory, dataset, simulator):
         registry, store, dyn = self._world(factory, dataset, simulator)
