@@ -1,0 +1,230 @@
+"""Benchmark: observability-plane overhead and profiler coverage.
+
+The obs plane promises to be free when off and honest when on. Three
+gates on one synthetic marketplace:
+
+* **Disabled tracing < 2%** on the serving path *and* on the engine
+  step path. Instrumentation is compiled in, so the disabled cost is
+  measured as a proxy: (null-span cost, measured over a tight loop)
+  x (spans actually executed per request / per step, counted from an
+  enabled trace of the same workload) / (measured disabled-mode
+  latency).
+* **Profiler coverage >= 0.95**: with kernel profiling installed, the
+  per-kernel timings must account for at least 95% of the measured
+  plan-replay wall time on a realistically-sized Gaia training step —
+  the profile explains where the time goes, it does not guess.
+* Enabled-mode tracing cost is measured and recorded (p95 enabled vs
+  disabled) without a gate — turning tracing on costs what it costs;
+  the artifact keeps the trajectory inspectable across PRs.
+
+Results append to ``BENCH_obs.json`` next to this file (override with
+``REPRO_BENCH_OBS_ARTIFACT``). Scale knobs: ``REPRO_BENCH_OBS_SHOPS``
+(default 300), ``REPRO_BENCH_OBS_REQUESTS`` (default 400),
+``REPRO_BENCH_OBS_STEPS`` (default 8).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime
+from pathlib import Path
+
+import pytest
+
+from repro import Gaia, GaiaConfig
+from repro.data import MarketplaceConfig
+from repro.nn.optim import clip_grad_norm
+from repro.obs import Tracer, profile_kernels, use_tracer
+from repro.obs import tracing as obs_tracing
+from repro.serving import GatewayConfig, LoadGenerator, ServingGateway, run_load
+from repro.training import TrainConfig, Trainer
+
+from conftest import bench_dataset, run_once
+
+pytestmark = pytest.mark.slow
+
+OBS_SHOPS = int(os.environ.get("REPRO_BENCH_OBS_SHOPS", "300"))
+OBS_REQUESTS = int(os.environ.get("REPRO_BENCH_OBS_REQUESTS", "400"))
+OBS_STEPS = int(os.environ.get("REPRO_BENCH_OBS_STEPS", "8"))
+ARTIFACT_PATH = Path(os.environ.get(
+    "REPRO_BENCH_OBS_ARTIFACT",
+    Path(__file__).resolve().parent / "BENCH_obs.json",
+))
+MAX_DISABLED_OVERHEAD = 0.02
+MIN_COVERAGE = 0.95
+TOP_KERNELS = 5
+
+
+def _append_artifact(record: dict) -> None:
+    history = []
+    if ARTIFACT_PATH.exists():
+        try:
+            history = json.loads(ARTIFACT_PATH.read_text())
+        except (ValueError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    ARTIFACT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _null_span_seconds(iterations: int = 200_000) -> float:
+    """Measured cost of one disabled instrumentation point."""
+    span = obs_tracing.span
+    started = time.perf_counter()
+    for _ in range(iterations):
+        with span("bench.null"):
+            pass
+    return (time.perf_counter() - started) / iterations
+
+
+def _make_gateway(dataset, config):
+    return ServingGateway(
+        (lambda: Gaia(config, seed=0)), dataset,
+        config=GatewayConfig(max_batch_size=32),
+    )
+
+
+def test_obs_overhead(benchmark):
+    market, dataset = bench_dataset(OBS_SHOPS, seed=11,
+                                    config_factory=MarketplaceConfig)
+    gaia_config = GaiaConfig(
+        input_window=dataset.input_window,
+        horizon=dataset.horizon,
+        temporal_dim=dataset.temporal_dim,
+        static_dim=dataset.static_dim,
+        channels=8,
+        num_scales=2,
+        num_layers=1,
+    )
+    generator = LoadGenerator(num_shops=dataset.test.num_shops, seed=7)
+    stream = generator.generate(
+        "repeating", num_requests=OBS_REQUESTS,
+        working_set=max(OBS_REQUESTS // 3, 1),
+    )
+
+    def run():
+        # Fresh gateway per mode, warmed on a stream prefix outside the
+        # timed window, so the comparison is mode-vs-mode — not
+        # cold-first-run vs warm-second-run.
+        gateway_off = _make_gateway(dataset, gaia_config)
+        gateway_off.predict_many(stream[:64])
+        disabled = run_load(gateway_off.predict_many, stream,
+                            pattern="repeating")
+        gateway_on = _make_gateway(dataset, gaia_config)
+        gateway_on.predict_many(stream[:64])
+        tracer = Tracer(max_roots=2 * OBS_REQUESTS)
+        with use_tracer(tracer):
+            enabled = run_load(gateway_on.predict_many, stream,
+                               pattern="repeating")
+        return disabled, enabled, tracer
+
+    disabled_report, enabled_report, tracer = run_once(benchmark, run)
+    spans_per_request = len(tracer.chrome_trace()) / OBS_REQUESTS
+    null_span = _null_span_seconds()
+
+    p95_disabled = disabled_report.latency["p95"]
+    p95_enabled = enabled_report.latency["p95"]
+    serving_overhead = spans_per_request * null_span / max(p95_disabled, 1e-12)
+
+    # ------------------------------------------------------------------
+    # engine step path: disabled-span proxy + profiler coverage
+    # ------------------------------------------------------------------
+    model = Gaia(GaiaConfig(
+        input_window=dataset.input_window,
+        horizon=dataset.horizon,
+        temporal_dim=dataset.temporal_dim,
+        static_dim=dataset.static_dim,
+    ), seed=0)
+    trainer = Trainer(model, dataset, TrainConfig(epochs=1, use_engine=True))
+    batch = dataset.train[0]
+
+    def one_step():
+        trainer.optimizer.zero_grad()
+        loss = trainer._train_step_loss(0, batch)
+        clip_grad_norm(trainer.optimizer.parameters, 5.0)
+        trainer.optimizer.step()
+        return loss
+
+    one_step()  # warmup: trace + plan compilation
+    started = time.perf_counter()
+    for _ in range(OBS_STEPS):
+        one_step()
+    step_seconds = (time.perf_counter() - started) / OBS_STEPS
+    # One engine.step span per CompiledLoss.run (and one train.step when
+    # driven through Trainer.fit); budget two disabled spans per step.
+    engine_overhead = 2 * null_span / max(step_seconds, 1e-12)
+
+    with profile_kernels() as profiler:
+        for _ in range(OBS_STEPS):
+            one_step()
+    profile = profiler.report(top=TOP_KERNELS)
+    coverage = profile["coverage"]
+
+    record = {
+        "timestamp": datetime.now().isoformat(timespec="seconds"),
+        "shops": OBS_SHOPS,
+        "requests": OBS_REQUESTS,
+        "steps": OBS_STEPS,
+        "null_span_seconds": null_span,
+        "serving": {
+            "p95_disabled_seconds": p95_disabled,
+            "p95_enabled_seconds": p95_enabled,
+            "enabled_over_disabled": p95_enabled / max(p95_disabled, 1e-12),
+            "spans_per_request": spans_per_request,
+            "disabled_overhead_fraction": serving_overhead,
+            "throughput_disabled_rps": disabled_report.throughput_rps,
+            "throughput_enabled_rps": enabled_report.throughput_rps,
+        },
+        "engine": {
+            "step_seconds": step_seconds,
+            "disabled_overhead_fraction": engine_overhead,
+            "profile_coverage": coverage,
+            "profiled_replays": profile["replays"],
+            "top_kernels": profile["kernels"],
+        },
+    }
+
+    print()
+    print(f"null span          {null_span * 1e9:8.0f} ns")
+    print(f"serving p95        {p95_disabled * 1e3:8.2f} ms off / "
+          f"{p95_enabled * 1e3:8.2f} ms on "
+          f"({spans_per_request:.1f} spans/request, "
+          f"disabled overhead {serving_overhead:.4%})")
+    print(f"engine step        {step_seconds * 1e3:8.2f} ms "
+          f"(disabled overhead {engine_overhead:.4%})")
+    print(f"profile coverage   {coverage:8.2%} over "
+          f"{profile['replays']} replays")
+    for row in profile["kernels"]:
+        print(f"  {row['op']:<16} {row['phase']:<8} x{row['calls']:<5} "
+              f"{row['seconds'] * 1e3:9.3f} ms "
+              f"{row['flops'] / 1e6:10.1f} MFLOP")
+
+    # Result-cache hits legitimately skip the serve path, so the gate is
+    # on span *kinds* exercised, not a per-request count (which is the
+    # amortized number the overhead proxy needs).
+    span_names = {event["name"] for event in tracer.chrome_trace()}
+    for expected in ("gateway.request", "gateway.queue_wait",
+                     "gateway.extract", "gateway.batch_assembly",
+                     "gateway.forward"):
+        assert expected in span_names, (
+            f"traced serving run never entered {expected!r}; "
+            f"saw {sorted(span_names)}"
+        )
+    assert serving_overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled tracing costs {serving_overhead:.2%} of serving p95 "
+        f"({spans_per_request:.1f} spans x {null_span * 1e9:.0f} ns vs "
+        f"{p95_disabled * 1e3:.2f} ms); budget is {MAX_DISABLED_OVERHEAD:.0%}"
+    )
+    assert engine_overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled tracing costs {engine_overhead:.2%} of an engine step "
+        f"({step_seconds * 1e3:.2f} ms); budget is {MAX_DISABLED_OVERHEAD:.0%}"
+    )
+    assert coverage >= MIN_COVERAGE, (
+        f"per-kernel timings explain only {coverage:.1%} of replay wall "
+        f"time; the profile must account for >= {MIN_COVERAGE:.0%}"
+    )
+
+    _append_artifact(record)

@@ -14,13 +14,13 @@ dropping in-flight requests.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..nn.module import Module
+from ..obs import clock as obs_clock
 
 __all__ = ["ModelVersion", "ModelRegistry"]
 
@@ -33,7 +33,7 @@ class ModelVersion:
     state: Dict[str, np.ndarray]
     trained_at_month: int
     metadata: Dict[str, float] = field(default_factory=dict)
-    published_at: float = field(default_factory=time.time)
+    published_at: float = field(default_factory=obs_clock.wall_time)
 
 
 class ModelRegistry:

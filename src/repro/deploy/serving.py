@@ -18,7 +18,7 @@ long-running server's memory never grows with traffic.
 
 from __future__ import annotations
 
-import time
+
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
@@ -29,6 +29,7 @@ from ..data.dataset import ForecastDataset, InstanceBatch
 from ..graph.sampling import ego_subgraph
 from ..nn.module import Module
 from ..nn.tensor import no_grad
+from ..obs import clock as obs_clock
 
 __all__ = ["PredictionResponse", "OnlineModelServer", "OfflineModelServer"]
 
@@ -108,7 +109,7 @@ class OnlineModelServer:
                        batch: Optional[InstanceBatch]) -> PredictionResponse:
         if batch is None:
             batch = self.dataset.test
-        started = time.perf_counter()
+        started = obs_clock.now()
         subgraph, originals, center_local = ego_subgraph(
             self.dataset.graph, shop_index, hops=self.hops
         )
@@ -117,7 +118,7 @@ class OnlineModelServer:
         with no_grad():
             scaled = self.model(sub_batch, subgraph)
         raw = sub_batch.inverse_scale(scaled.data)
-        latency = time.perf_counter() - started
+        latency = obs_clock.now() - started
         return self._log(PredictionResponse(
             shop_index=shop_index,
             forecast=raw[center_local],

@@ -8,7 +8,6 @@ module so every number in EXPERIMENTS.md has a single code path.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -16,6 +15,7 @@ import numpy as np
 
 from ..baselines.registry import create_model
 from ..data.dataset import ForecastDataset, InstanceBatch
+from ..obs import clock as obs_clock
 from ..training.metrics import MetricTable, evaluate_forecast
 from ..training.trainer import TrainConfig, Trainer
 
@@ -51,7 +51,7 @@ def run_method(
     keep_trainer: bool = False,
 ) -> MethodResult:
     """Train/fit one method and evaluate on the dataset's test batch."""
-    started = time.perf_counter()
+    started = obs_clock.now()
     model = create_model(name, dataset, seed=seed, channels=channels)
     batch = dataset.test
     test_mask = dataset.node_mask("test")
@@ -65,7 +65,7 @@ def run_method(
             name=name,
             metrics=metrics,
             predictions=predictions,
-            seconds=time.perf_counter() - started,
+            seconds=obs_clock.now() - started,
         )
     trainer = Trainer(model, dataset, train_config)
     history = trainer.fit()
@@ -78,7 +78,7 @@ def run_method(
         name=name,
         metrics=metrics,
         predictions=predictions,
-        seconds=time.perf_counter() - started,
+        seconds=obs_clock.now() - started,
         epochs=history.epochs_run,
         trainer=trainer if keep_trainer else None,
     )

@@ -61,6 +61,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.tracing import span as _obs_span
+
 __all__ = [
     "OpKernel",
     "KERNELS",
@@ -81,6 +83,8 @@ __all__ = [
     "inference_mode",
     "stats_snapshot",
     "reset_stats",
+    "kernel_profiler",
+    "set_kernel_profiler",
 ]
 
 
@@ -165,13 +169,46 @@ def _bump(key: str, amount: int = 1) -> None:
 
 
 def stats_snapshot() -> Dict[str, int]:
-    """Copy of the engine counters (plans built, replays, fusions, ...)."""
-    return dict(_STATS)
+    """Copy of the engine counters (plans built, replays, fusions, ...).
+
+    Includes the profiling plane's state: ``profiling_enabled`` (whether
+    a :class:`repro.obs.profiling.KernelProfiler` is installed) and
+    ``profiled_replays`` (replays that ran through the timed loops).
+    """
+    snapshot = dict(_STATS)
+    snapshot["profiling_enabled"] = int(_PROFILER[0] is not None)
+    snapshot.setdefault("profiled_replays", 0)
+    return snapshot
 
 
 def reset_stats() -> None:
     """Zero all engine counters."""
     _STATS.clear()
+
+
+# ======================================================================
+# kernel profiling hook (see repro.obs.profiling)
+# ======================================================================
+_PROFILER: List[Optional[object]] = [None]
+
+
+def kernel_profiler():
+    """The installed per-kernel profiler, or ``None`` when disabled."""
+    return _PROFILER[0]
+
+
+def set_kernel_profiler(profiler) -> None:
+    """Install a :class:`repro.obs.profiling.KernelProfiler` (or ``None``).
+
+    While installed, ``ExecutionPlan.forward``/``backward`` replay
+    through timed loops that attribute wall time and estimated
+    FLOPs/bytes to each :class:`OpKernel`; when ``None`` (the default)
+    the replay loops take their original untimed path, so profiling
+    costs nothing unless switched on.  Prefer the
+    :func:`repro.obs.profiling.profile_kernels` context manager, which
+    restores the previous profiler on exit.
+    """
+    _PROFILER[0] = profiler
 
 
 @contextmanager
@@ -1361,7 +1398,9 @@ class ExecutionPlan:
     """
 
     __slots__ = ("structure", "metas", "_params", "_consts", "_values",
-                 "_saved", "_grads", "_unbroadcast", "_seed")
+                 "_saved", "_grads", "_unbroadcast", "_seed",
+                 "_kstats", "_fw_costs", "_bw_costs",
+                 "_profiled_replays", "_profiled_seconds")
 
     def __init__(self, structure: PlanStructure, leaves: List,
                  metas: List[Optional[dict]]) -> None:
@@ -1388,6 +1427,12 @@ class ExecutionPlan:
         self._saved: List[object] = [None] * len(structure.steps)
         self._grads: List[Optional[np.ndarray]] = [None] * structure.num_slots
         self._seed = np.ones(structure.slot_shapes[structure.root_slot])
+        # profiling plane (populated only while a profiler is installed)
+        self._kstats: Dict[Tuple[str, str], List[float]] = {}
+        self._fw_costs: Optional[List[Optional[Tuple[float, float]]]] = None
+        self._bw_costs: Optional[List[Optional[Tuple[float, float]]]] = None
+        self._profiled_replays = 0
+        self._profiled_seconds = 0.0
 
     # ------------------------------------------------------------------
     def check_bindings(self) -> bool:
@@ -1404,6 +1449,9 @@ class ExecutionPlan:
     # ------------------------------------------------------------------
     def forward(self) -> float:
         """Replay the forward schedule; returns the scalar loss."""
+        profiler = _PROFILER[0]
+        if profiler is not None:
+            return self._forward_profiled(profiler)
         values = self._values
         saved = self._saved
         for slot, param in self._params:
@@ -1415,6 +1463,67 @@ class ExecutionPlan:
             saved[i] = sv
         return float(values[self.structure.root_slot])
 
+    def _accumulate(self, op: str, phase: str, seconds: float,
+                    flops: float, bytes_moved: float) -> None:
+        row = self._kstats.get((op, phase))
+        if row is None:
+            row = self._kstats[(op, phase)] = [0.0, 0.0, 0.0, 0.0]
+        row[0] += 1.0
+        row[1] += seconds
+        row[2] += flops
+        row[3] += bytes_moved
+
+    def _forward_profiled(self, profiler) -> float:
+        """The forward replay with per-kernel timing and cost attribution.
+
+        A separate method so the unprofiled loop stays untouched — with
+        no profiler installed, ``forward()`` pays exactly one list read.
+        Costs are estimated from the plan's static slot shapes once and
+        cached, so steady-state profiled replays only add clock reads.
+        """
+        from ..obs.profiling import estimate_cost
+
+        structure = self.structure
+        values = self._values
+        saved = self._saved
+        for slot, param in self._params:
+            values[slot] = param.data
+        costs = self._fw_costs
+        if costs is None:
+            costs = self._fw_costs = [None] * len(structure.steps)
+        clock = profiler.clock
+        shapes = structure.slot_shapes
+        metas = self.metas
+        # Boundary-to-boundary timing: one clock read per step, each
+        # step's elapsed spanning everything since the previous boundary
+        # (kernel, bookkeeping, cost lookup) — so the per-kernel rows
+        # account for the replay wall time structurally, not modulo the
+        # profiler's own dict updates.
+        replay_start = clock()
+        boundary = replay_start
+        for i, step in enumerate(structure.steps):
+            arrays = tuple(values[j] for j in step.ins)
+            out, sv = step.forward(metas[i], arrays)
+            values[step.out] = out
+            saved[i] = sv
+            cost = costs[i]
+            if cost is None:
+                cost = costs[i] = estimate_cost(
+                    step.op, tuple(shapes[j] for j in step.ins),
+                    shapes[step.out], metas[i], phase="forward",
+                )
+            now = clock()
+            elapsed = now - boundary
+            boundary = now
+            profiler.record(step.op, "forward", elapsed, cost[0], cost[1])
+            self._accumulate(step.op, "forward", elapsed, cost[0], cost[1])
+        replay_seconds = clock() - replay_start
+        self._profiled_replays += 1
+        self._profiled_seconds += replay_seconds
+        profiler.record_replay(replay_seconds)
+        _bump("profiled_replays")
+        return float(values[structure.root_slot])
+
     def backward(self) -> None:
         """Replay the VJP schedule over per-slot gradient references.
 
@@ -1423,6 +1532,10 @@ class ExecutionPlan:
         the same order — so planned and eager parameter gradients are
         bit-for-bit identical.
         """
+        profiler = _PROFILER[0]
+        if profiler is not None:
+            self._backward_profiled(profiler)
+            return
         structure = self.structure
         values = self._values
         grads = self._grads
@@ -1462,6 +1575,81 @@ class ExecutionPlan:
                 param.grad = pgrad.copy()
             else:
                 param.grad = param.grad + pgrad
+        self._release()
+
+    def _backward_profiled(self, profiler) -> None:
+        """The VJP replay with per-kernel timing (same accumulation order).
+
+        Each step's measurement covers its VJP call *plus* the
+        unbroadcast/accumulate work its gradients trigger — that is the
+        true cost of executing this op's backward, and it keeps the
+        per-kernel timings accounting for ≥95% of the replay wall time.
+        """
+        from ..obs.profiling import estimate_cost
+
+        structure = self.structure
+        values = self._values
+        grads = self._grads
+        needs = structure.needs_grad
+        unbroadcast = self._unbroadcast
+        for i in range(structure.num_slots):
+            grads[i] = None
+        grads[structure.root_slot] = self._seed
+        steps = structure.steps
+        metas = self.metas
+        saved = self._saved
+        costs = self._bw_costs
+        if costs is None:
+            costs = self._bw_costs = [None] * len(steps)
+        clock = profiler.clock
+        shapes = structure.slot_shapes
+        # Same boundary-to-boundary discipline as the forward replay;
+        # skipped (dead-gradient) steps fold into the next live step's
+        # elapsed, so the rows still sum to the replay wall time.
+        replay_start = clock()
+        boundary = replay_start
+        for i in range(len(steps) - 1, -1, -1):
+            step = steps[i]
+            grad = grads[step.out]
+            if grad is None:
+                continue
+            grads[step.out] = None
+            arrays = tuple(values[j] for j in step.ins)
+            pgrads = step.vjp(metas[i], grad, arrays, values[step.out], saved[i])
+            for j, pgrad in zip(step.ins, pgrads):
+                if pgrad is None or not needs[j]:
+                    continue
+                pgrad = unbroadcast(
+                    np.asarray(pgrad, dtype=np.float64),
+                    shapes[j],
+                )
+                if grads[j] is None:
+                    grads[j] = pgrad
+                else:
+                    grads[j] = grads[j] + pgrad
+            cost = costs[i]
+            if cost is None:
+                cost = costs[i] = estimate_cost(
+                    step.op, tuple(shapes[j] for j in step.ins),
+                    shapes[step.out], metas[i], phase="backward",
+                )
+            now = clock()
+            elapsed = now - boundary
+            boundary = now
+            profiler.record(step.op, "backward", elapsed, cost[0], cost[1])
+            self._accumulate(step.op, "backward", elapsed, cost[0], cost[1])
+        for slot, param in self._params:
+            pgrad = grads[slot]
+            grads[slot] = None
+            if pgrad is None:
+                continue
+            if param.grad is None:
+                param.grad = pgrad.copy()
+            else:
+                param.grad = param.grad + pgrad
+        replay_seconds = clock() - replay_start
+        self._profiled_seconds += replay_seconds
+        profiler.record_replay(replay_seconds, count=0)
         self._release()
 
     def _release(self) -> None:
@@ -1524,6 +1712,32 @@ class CompiledLoss:
         """Why the loss is running eagerly ('' when planned)."""
         return self._reason
 
+    def profile_report(self, top: Optional[int] = None) -> Dict[str, object]:
+        """Per-kernel profile of this loss's profiled plan replays.
+
+        Populated while a :class:`repro.obs.profiling.KernelProfiler`
+        is installed (see :func:`repro.obs.profiling.profile_kernels`).
+        Returns the :meth:`KernelProfiler.report
+        <repro.obs.profiling.KernelProfiler.report>` schema — kernels
+        sorted by cumulative time with calls/seconds/flops/bytes,
+        totals, and ``coverage`` (fraction of measured replay wall time
+        the kernel timings account for) — plus ``planned`` and
+        ``fallback_reason`` for losses that never compiled.
+        """
+        from ..obs.profiling import KernelProfiler
+
+        scratch = KernelProfiler()
+        plan = self._plan
+        if plan is not None:
+            scratch.stats = {key: list(row)
+                             for key, row in plan._kstats.items()}
+            scratch.replays = plan._profiled_replays
+            scratch.replay_seconds = plan._profiled_seconds
+        report = scratch.report(top)
+        report["planned"] = plan is not None
+        report["fallback_reason"] = self._reason
+        return report
+
     def _eager(self) -> float:
         loss = self._fn()
         loss.backward()
@@ -1533,12 +1747,14 @@ class CompiledLoss:
         """Execute one step; returns the loss, populates ``.grad``."""
         if self._dynamic or not fused_enabled():
             _bump("compiled_eager_steps")
-            return self._eager()
+            with _obs_span("engine.step"):
+                return self._eager()
         plan = self._plan
         if plan is not None:
             if plan.check_bindings():
-                loss = plan.forward()
-                plan.backward()
+                with _obs_span("engine.step"):
+                    loss = plan.forward()
+                    plan.backward()
                 _bump("plan_replays")
                 return loss
             # Shapes moved under us: retrace next run.

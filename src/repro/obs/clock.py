@@ -1,0 +1,139 @@
+"""The injectable clock pair every latency measurement routes through.
+
+Before this module, subsystems called ``time.perf_counter`` /
+``time.time`` directly, so any behaviour that depends on elapsed time —
+micro-batch ``max_wait`` deadlines, rolling QPS, training wall-clock,
+span durations — was untestable without real sleeping.  Now there is
+one process-wide clock (:func:`get_clock`), defaulting to the real
+:class:`SystemClock`, and two module-level reads:
+
+* :func:`now` — monotonic seconds, for durations and deadlines;
+* :func:`wall_time` — epoch seconds, for timestamps in artifacts.
+
+Both re-read the installed clock on **every call**, so components that
+captured ``obs.clock.now`` as their default clock at construction time
+still see a :class:`FakeClock` installed later via :func:`use_clock`:
+
+>>> from repro.obs.clock import FakeClock, now, use_clock
+>>> fake = FakeClock(start=100.0)
+>>> with use_clock(fake):
+...     before = now()
+...     fake.advance(2.5)
+...     elapsed = now() - before
+>>> elapsed
+2.5
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, List
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "FakeClock",
+    "get_clock",
+    "set_clock",
+    "use_clock",
+    "now",
+    "wall_time",
+]
+
+
+class Clock:
+    """Interface: a monotonic reading plus an epoch reading."""
+
+    def now(self) -> float:
+        """Monotonic seconds (durations, deadlines)."""
+        raise NotImplementedError
+
+    def wall_time(self) -> float:
+        """Seconds since the epoch (timestamps)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real clock: ``time.perf_counter`` / ``time.time``."""
+
+    def now(self) -> float:
+        """Monotonic seconds from ``time.perf_counter``."""
+        return time.perf_counter()
+
+    def wall_time(self) -> float:
+        """Epoch seconds from ``time.time``."""
+        return time.time()
+
+
+class FakeClock(Clock):
+    """A manually advanced clock for deterministic tests.
+
+    ``now()`` returns the current reading without side effects; time
+    moves only through :meth:`advance` (or :meth:`tick`, which advances
+    *then* returns — handy as a drop-in ``clock=`` callable where each
+    observation should be distinct).
+
+    >>> clock = FakeClock()
+    >>> clock.advance(1.5); clock.now()
+    1.5
+    >>> clock.tick(0.5)
+    2.0
+    """
+
+    def __init__(self, start: float = 0.0, epoch: float = 1_700_000_000.0) -> None:
+        self._now = float(start)
+        self._epoch = float(epoch)
+
+    def now(self) -> float:
+        """Current fake monotonic reading."""
+        return self._now
+
+    def wall_time(self) -> float:
+        """Fake epoch reading (advances in lockstep with :meth:`now`)."""
+        return self._epoch + self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ValueError(f"cannot move a clock backwards ({seconds})")
+        self._now += float(seconds)
+
+    def tick(self, seconds: float = 1.0) -> float:
+        """Advance then return the new reading."""
+        self.advance(seconds)
+        return self._now
+
+
+_CLOCK: List[Clock] = [SystemClock()]
+
+
+def get_clock() -> Clock:
+    """The currently installed process-wide clock."""
+    return _CLOCK[0]
+
+
+def set_clock(clock: Clock) -> None:
+    """Install ``clock`` process-wide (prefer :func:`use_clock` in tests)."""
+    _CLOCK[0] = clock
+
+
+@contextmanager
+def use_clock(clock: Clock) -> Iterator[Clock]:
+    """Pin the process-wide clock for a block, restoring on exit."""
+    previous = _CLOCK[0]
+    _CLOCK[0] = clock
+    try:
+        yield clock
+    finally:
+        _CLOCK[0] = previous
+
+
+def now() -> float:
+    """Monotonic seconds from the installed clock (re-read per call)."""
+    return _CLOCK[0].now()
+
+
+def wall_time() -> float:
+    """Epoch seconds from the installed clock (re-read per call)."""
+    return _CLOCK[0].wall_time()

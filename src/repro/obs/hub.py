@@ -1,0 +1,337 @@
+"""A federated metrics hub: one namespaced view over every registry.
+
+Each subsystem keeps its own telemetry object — the gateway's
+:class:`~repro.serving.metrics.MetricsRegistry`, the streaming store's
+``freshness_report()``, the :class:`~repro.training.online.OnlineAdapter`
+drift counters, the :class:`~repro.training.parallel.ParallelTrainer`
+per-shard timings.  A :class:`MetricsHub` federates them: every source
+registers under a unique namespace with a zero-argument ``collect``
+callable, and :meth:`MetricsHub.collect` pulls all of them into one flat
+list of series with explicit kinds (``counter`` / ``gauge`` /
+``histogram``).  The hub never copies state eagerly — sources are read
+at collection time, so a hub is free to outlive model swaps, adapter
+generations and gateway restarts.
+
+Exports: :meth:`~MetricsHub.to_prometheus` renders Prometheus text
+exposition (histograms as summaries with p50/p95/p99 quantile labels);
+:meth:`~MetricsHub.to_jsonl` writes one JSON object per series per
+line, parseable back with :meth:`~MetricsHub.parse_jsonl` (the
+round-trip is a tier-1 gate in ``tests/test_obs.py``).
+
+Source ``collect`` callables return a ``name -> spec`` mapping where a
+spec is either a bare number (treated as a gauge) or a dict::
+
+    {"kind": "counter", "value": 42.0}
+    {"kind": "gauge", "value": 0.93}
+    {"kind": "histogram", "summary": {"count": ..., "mean": ...,
+                                      "p50": ..., "p95": ..., "p99": ...}}
+
+The ``attach_*`` helpers build these adapters for the in-repo sources;
+they are duck-typed, so the hub module imports nothing outside
+:mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Callable, Dict, List, Optional
+
+from . import clock as _clock
+
+__all__ = ["MetricsHub"]
+
+_KINDS = ("counter", "gauge", "histogram")
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize(name: str) -> str:
+    """Prometheus-legal metric name (dots and dashes become ``_``)."""
+    clean = _NAME_RE.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _normalise_spec(namespace: str, name: str, spec: object) -> Dict[str, object]:
+    """One source entry -> a canonical series dict (raises on bad kinds)."""
+    if isinstance(spec, (int, float, bool)):
+        return {"namespace": namespace, "name": name, "kind": "gauge",
+                "value": float(spec)}
+    if isinstance(spec, dict):
+        kind = spec.get("kind", "gauge")
+        if kind not in _KINDS:
+            raise ValueError(
+                f"series {namespace}.{name} has unknown kind {kind!r}; "
+                f"expected one of {_KINDS}"
+            )
+        if kind == "histogram":
+            summary = spec.get("summary")
+            if summary is None:
+                raise ValueError(
+                    f"histogram series {namespace}.{name} needs a 'summary' dict"
+                )
+            return {"namespace": namespace, "name": name, "kind": "histogram",
+                    "value": {key: float(val) for key, val in summary.items()}}
+        return {"namespace": namespace, "name": name, "kind": kind,
+                "value": float(spec.get("value", 0.0))}
+    raise ValueError(
+        f"series {namespace}.{name} has unsupported spec type "
+        f"{type(spec).__name__}"
+    )
+
+
+class MetricsHub:
+    """Federates per-component metric sources under unique namespaces.
+
+    >>> hub = MetricsHub()
+    >>> hub.register_source("build", lambda: {"runs_total":
+    ...     {"kind": "counter", "value": 3}})
+    >>> hub.inc("app", "errors_total")
+    >>> [f"{s['namespace']}.{s['name']}={s['value']}" for s in hub.collect()]
+    ['app.errors_total=1.0', 'build.runs_total=3.0']
+    >>> hub.register_source("build", lambda: {})
+    Traceback (most recent call last):
+        ...
+    ValueError: metrics namespace 'build' is already registered
+    """
+
+    def __init__(self, histogram_window: int = 2048) -> None:
+        self._sources: Dict[str, Callable[[], Dict[str, object]]] = {}
+        # direct instruments: namespace -> name -> state
+        self._counters: Dict[str, Dict[str, float]] = {}
+        self._gauges: Dict[str, Dict[str, float]] = {}
+        self._histograms: Dict[str, Dict[str, List[float]]] = {}
+        self._histogram_window = int(histogram_window)
+
+    # ------------------------------------------------------------------
+    # namespaces
+    # ------------------------------------------------------------------
+    def namespaces(self) -> List[str]:
+        """Every namespace currently known, sorted."""
+        direct = set(self._counters) | set(self._gauges) | set(self._histograms)
+        return sorted(set(self._sources) | direct)
+
+    def _check_free(self, namespace: str) -> None:
+        if namespace in self._sources:
+            raise ValueError(
+                f"metrics namespace {namespace!r} is already registered"
+            )
+
+    def register_source(self, namespace: str,
+                        collect: Callable[[], Dict[str, object]]) -> None:
+        """Attach a pull-based source; the namespace must be unused."""
+        if not namespace:
+            raise ValueError("metrics namespace must be non-empty")
+        self._check_free(namespace)
+        if (namespace in self._counters or namespace in self._gauges
+                or namespace in self._histograms):
+            raise ValueError(
+                f"metrics namespace {namespace!r} is already registered"
+            )
+        self._sources[namespace] = collect
+
+    def unregister_source(self, namespace: str) -> None:
+        """Detach a source (no-op when absent)."""
+        self._sources.pop(namespace, None)
+
+    # ------------------------------------------------------------------
+    # direct instruments (for code without its own registry)
+    # ------------------------------------------------------------------
+    def inc(self, namespace: str, name: str, amount: float = 1.0) -> None:
+        """Increment a hub-owned counter."""
+        self._check_free(namespace)
+        bucket = self._counters.setdefault(namespace, {})
+        bucket[name] = bucket.get(name, 0.0) + float(amount)
+
+    def set_gauge(self, namespace: str, name: str, value: float) -> None:
+        """Set a hub-owned gauge."""
+        self._check_free(namespace)
+        self._gauges.setdefault(namespace, {})[name] = float(value)
+
+    def observe(self, namespace: str, name: str, value: float) -> None:
+        """Record one observation into a hub-owned histogram."""
+        self._check_free(namespace)
+        series = self._histograms.setdefault(namespace, {}).setdefault(name, [])
+        series.append(float(value))
+        if len(series) > self._histogram_window:
+            del series[: len(series) - self._histogram_window]
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+    def collect(self) -> List[Dict[str, object]]:
+        """Every series from every namespace, sorted for stable export."""
+        rows: List[Dict[str, object]] = []
+        for namespace, names in self._counters.items():
+            for name, value in names.items():
+                rows.append({"namespace": namespace, "name": name,
+                             "kind": "counter", "value": value})
+        for namespace, names in self._gauges.items():
+            for name, value in names.items():
+                rows.append({"namespace": namespace, "name": name,
+                             "kind": "gauge", "value": value})
+        for namespace, names in self._histograms.items():
+            for name, values in names.items():
+                count = float(len(values))
+                if values:
+                    ordered = sorted(values)
+
+                    def _pct(q: float) -> float:
+                        idx = min(len(ordered) - 1,
+                                  max(0, round(q * (len(ordered) - 1))))
+                        return ordered[idx]
+
+                    summary = {"count": count,
+                               "mean": sum(values) / count,
+                               "p50": _pct(0.50), "p95": _pct(0.95),
+                               "p99": _pct(0.99)}
+                else:
+                    summary = {"count": 0.0, "mean": 0.0, "p50": 0.0,
+                               "p95": 0.0, "p99": 0.0}
+                rows.append({"namespace": namespace, "name": name,
+                             "kind": "histogram", "value": summary})
+        for namespace, collect_fn in self._sources.items():
+            for name, spec in collect_fn().items():
+                rows.append(_normalise_spec(namespace, name, spec))
+        rows.sort(key=lambda row: (row["namespace"], row["name"]))
+        return rows
+
+    # ------------------------------------------------------------------
+    # exporters
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (histograms as quantile summaries)."""
+        lines: List[str] = []
+        for row in self.collect():
+            metric = _sanitize(f"{row['namespace']}_{row['name']}")
+            kind = row["kind"]
+            if kind == "histogram":
+                summary = row["value"]
+                lines.append(f"# TYPE {metric} summary")
+                for quantile, key in (("0.5", "p50"), ("0.95", "p95"),
+                                      ("0.99", "p99")):
+                    lines.append(
+                        f'{metric}{{quantile="{quantile}"}} '
+                        f"{summary.get(key, 0.0):.9g}"
+                    )
+                count = summary.get("count", 0.0)
+                lines.append(
+                    f"{metric}_sum {summary.get('mean', 0.0) * count:.9g}"
+                )
+                lines.append(f"{metric}_count {count:.9g}")
+            else:
+                lines.append(f"# TYPE {metric} {kind}")
+                lines.append(f"{metric} {row['value']:.9g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_jsonl(self, timestamp: Optional[float] = None) -> str:
+        """One JSON object per series per line (stable key order).
+
+        ``timestamp`` defaults to the injectable wall clock, so JSONL
+        snapshots are deterministic under a fake clock.
+        """
+        stamp = _clock.wall_time() if timestamp is None else float(timestamp)
+        lines = []
+        for row in self.collect():
+            payload = dict(row)
+            payload["ts"] = stamp
+            lines.append(json.dumps(payload, sort_keys=True))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @staticmethod
+    def parse_jsonl(text: str) -> List[Dict[str, object]]:
+        """Parse a :meth:`to_jsonl` export back into series dicts."""
+        rows: List[Dict[str, object]] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            for key in ("namespace", "name", "kind", "value"):
+                if key not in row:
+                    raise ValueError(f"JSONL series line missing {key!r}: {line}")
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------
+    # adapters for the in-repo sources (duck-typed; no imports)
+    # ------------------------------------------------------------------
+    def attach_registry(self, registry, namespace: str = "serving") -> None:
+        """Federate a gateway :class:`~repro.serving.metrics.MetricsRegistry`."""
+
+        def collect() -> Dict[str, object]:
+            report = registry.snapshot()
+            out: Dict[str, object] = {
+                "qps": {"kind": "gauge", "value": report.get("qps", 0.0)},
+                "cache_hit_rate": {"kind": "gauge",
+                                   "value": report.get("cache_hit_rate", 0.0)},
+            }
+            if "qps_lifetime" in report:
+                out["qps_lifetime"] = {"kind": "gauge",
+                                       "value": report["qps_lifetime"]}
+            for name, value in report.get("counters", {}).items():
+                out[name] = {"kind": "counter", "value": value}
+            for name, summary in report.get("distributions", {}).items():
+                out[name] = {"kind": "histogram", "summary": summary}
+            return out
+
+        self.register_source(namespace, collect)
+
+    def attach_streaming(self, store, namespace: str = "streaming") -> None:
+        """Federate a streaming store's ``freshness_report()``."""
+        counters = ("ticks_applied", "late_ticks_accepted", "ticks_dropped")
+
+        def collect() -> Dict[str, object]:
+            report = store.freshness_report()
+            out: Dict[str, object] = {}
+            for name, value in report.items():
+                if value is None:
+                    continue
+                kind = "counter" if name in counters else "gauge"
+                out[name] = {"kind": kind, "value": float(value)}
+            return out
+
+        self.register_source(namespace, collect)
+
+    def attach_online(self, adapter, namespace: str = "online") -> None:
+        """Federate an :class:`~repro.training.online.OnlineAdapter`."""
+
+        def collect() -> Dict[str, object]:
+            out: Dict[str, object] = {
+                "ticks_ingested": {"kind": "counter",
+                                   "value": float(adapter.ticks_ingested)},
+                "ticks_rejected": {"kind": "counter",
+                                   "value": float(adapter.ticks_rejected)},
+                "adaptations_total": {"kind": "counter",
+                                      "value": float(len(adapter.adaptations))},
+                "drifted_shops": {"kind": "gauge",
+                                  "value": float(adapter.drifted_shops().size)},
+            }
+            if adapter.adaptations:
+                last = adapter.adaptations[-1]
+                out["model_version"] = {"kind": "gauge",
+                                        "value": float(last.version)}
+                out["last_post_loss"] = {"kind": "gauge",
+                                         "value": float(last.post_loss)}
+            return out
+
+        self.register_source(namespace, collect)
+
+    def attach_parallel(self, trainer, namespace: str = "parallel") -> None:
+        """Federate a :class:`~repro.training.parallel.ParallelTrainer`."""
+
+        def collect() -> Dict[str, object]:
+            timings = trainer.shard_timings()
+            out: Dict[str, object] = {
+                "train_steps": {"kind": "counter",
+                                "value": float(timings.get("steps", 0))},
+            }
+            for shard, seconds in enumerate(
+                    timings.get("shard_step_seconds", [])):
+                out[f"shard{shard}_step_seconds"] = {
+                    "kind": "counter", "value": float(seconds),
+                }
+            return out
+
+        self.register_source(namespace, collect)

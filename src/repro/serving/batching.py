@@ -13,7 +13,6 @@ forward bit-for-bit, even when the original ego-subgraphs overlap.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -22,6 +21,7 @@ import numpy as np
 from ..data.dataset import InstanceBatch
 from ..graph.graph import ESellerGraph
 from ..graph.sampling import EgoSubgraph
+from ..obs import clock as obs_clock
 
 __all__ = ["PendingRequest", "MicroBatcher", "DisjointBatch", "build_disjoint_batch"]
 
@@ -74,14 +74,16 @@ class MicroBatcher:
     """
 
     def __init__(self, max_batch_size: int = 32, max_wait: float = 0.005,
-                 clock=time.perf_counter) -> None:
+                 clock=None) -> None:
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
         if max_wait < 0:
             raise ValueError(f"max_wait must be non-negative, got {max_wait}")
         self.max_batch_size = int(max_batch_size)
         self.max_wait = float(max_wait)
-        self._clock = clock
+        # Defaults to the injectable observability clock so max_wait
+        # deadlines are testable under a FakeClock without sleeping.
+        self._clock = clock or obs_clock.now
         self._pending: List[PendingRequest] = []
 
     def __len__(self) -> int:

@@ -45,7 +45,6 @@ staleness tag (``GatewayResponse.stale`` /
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
@@ -58,6 +57,8 @@ from ..deploy.serving import PredictionResponse
 from ..graph.sampling import EgoSubgraph, ego_subgraphs
 from ..nn import engine
 from ..nn.module import Module
+from ..obs import clock as obs_clock
+from ..obs import tracing as obs_tracing
 from .batching import MicroBatcher, PendingRequest, build_disjoint_batch
 from .cache import ResultCache, SubgraphCache
 from .metrics import MetricsRegistry
@@ -164,13 +165,16 @@ class ServingGateway:
         config: Optional[GatewayConfig] = None,
         source_batch: Optional[InstanceBatch] = None,
         partition_map=None,
-        clock=time.perf_counter,
+        clock=None,
     ) -> None:
         self.config = config or GatewayConfig()
         self.config.validate()
         self.dataset = dataset
         self.source_batch = source_batch if source_batch is not None else dataset.test
         self.registry = registry
+        # The injectable observability clock by default: batch deadlines,
+        # latency percentiles and rolling QPS all move under a FakeClock.
+        clock = clock or obs_clock.now
         self._clock = clock
         self.router = ReplicaRouter(
             model_factory,
@@ -260,8 +264,9 @@ class ServingGateway:
         touched = np.asarray(touched, dtype=np.int64)
         if touched.size == 0:
             return
-        evicted_subgraphs = self.subgraph_cache.invalidate_nodes(touched)
-        evicted_results = self.result_cache.invalidate_nodes(touched)
+        with obs_tracing.span("gateway.delta_invalidation"):
+            evicted_subgraphs = self.subgraph_cache.invalidate_nodes(touched)
+            evicted_results = self.result_cache.invalidate_nodes(touched)
         self.metrics.inc("graph_delta_invalidations")
         self.metrics.inc("delta_evicted_subgraphs", evicted_subgraphs)
         self.metrics.inc("delta_evicted_results", evicted_results)
@@ -373,12 +378,13 @@ class ServingGateway:
                 f"snapshot ({self.source_batch.num_shops} shops); "
                 "refresh source_batch before serving shops added beyond it"
             )
-        if self.batcher.due():
-            self.flush()
-        self.metrics.inc("requests_total")
-        request, full = self.batcher.submit(shop_index)
-        if full:
-            self.flush()
+        with obs_tracing.span("gateway.admission"):
+            if self.batcher.due():
+                self.flush()
+            self.metrics.record_request()
+            request, full = self.batcher.submit(shop_index)
+            if full:
+                self.flush()
         return request
 
     def poll(self) -> None:
@@ -393,10 +399,11 @@ class ServingGateway:
 
     def predict(self, shop_index: int) -> GatewayResponse:
         """Score one shop synchronously (submit + immediate flush)."""
-        request = self.submit(shop_index)
-        if not request.done:
-            self.flush()
-        return request.result()
+        with obs_tracing.span("gateway.request"):
+            request = self.submit(shop_index)
+            if not request.done:
+                self.flush()
+            return request.result()
 
     def predict_many(self, shop_indices: Sequence[int]) -> List[GatewayResponse]:
         """Serve a request stream, coalescing into micro-batches.
@@ -405,15 +412,20 @@ class ServingGateway:
         sequential :meth:`~repro.deploy.serving.OnlineModelServer.predict_many`
         path exactly.
         """
-        requests = [self.submit(int(s)) for s in np.asarray(shop_indices)]
-        self.flush()
-        return [r.result() for r in requests]
+        with obs_tracing.span("gateway.request"):
+            requests = [self.submit(int(s)) for s in np.asarray(shop_indices)]
+            self.flush()
+            return [r.result() for r in requests]
 
     # ------------------------------------------------------------------
     # batch execution
     # ------------------------------------------------------------------
     def _extract_egos(self, shops: List[int]) -> Dict[int, EgoSubgraph]:
         """Fetch ego-subgraphs for unique shops, via the LRU cache."""
+        with obs_tracing.span("gateway.extract"):
+            return self._extract_egos_traced(shops)
+
+    def _extract_egos_traced(self, shops: List[int]) -> Dict[int, EgoSubgraph]:
         hops = self.config.hops
         egos: Dict[int, EgoSubgraph] = {}
         missing: List[int] = []
@@ -492,6 +504,19 @@ class ServingGateway:
         """Score one drained micro-batch."""
         if not requests:
             return
+        with obs_tracing.span("gateway.serve_batch"):
+            self._serve_traced(requests)
+
+    def _serve_traced(self, requests: List[PendingRequest]) -> None:
+        tracer = obs_tracing.get_tracer()
+        if tracer.enabled:
+            # Queue wait is not call-shaped: it ended the moment this
+            # batch drained.  Attach it retroactively per request, from
+            # the same clock domain the batcher stamped enqueued_at in.
+            drained_at = self._clock()
+            for request in requests:
+                tracer.record("gateway.queue_wait", request.enqueued_at,
+                              drained_at, shop=request.shop_index)
         hops = self.config.hops
         # Partition: result-cache hits answer immediately; misses group
         # per replica, coalescing duplicate shops into one computation.
@@ -564,16 +589,18 @@ class ServingGateway:
             shops = self._fail_unservable(by_shop, egos)
             if not shops:
                 return
-            union = build_disjoint_batch(
-                [egos[s] for s in shops], self.source_batch
-            )
+            with obs_tracing.span("gateway.batch_assembly"):
+                union = build_disjoint_batch(
+                    [egos[s] for s in shops], self.source_batch
+                )
             replica.model.eval()
             # Inference mode = no autograd metadata + the engine's
             # optimized kernel set (GEMM convolutions, reduceat
             # scatter-adds, in-place masked softmax) for the stitched
             # block-diagonal forward.
-            with engine.inference_mode():
-                scaled = replica.model(union.batch, union.graph)
+            with obs_tracing.span("gateway.forward"):
+                with engine.inference_mode():
+                    scaled = replica.model(union.batch, union.graph)
             raw = union.batch.inverse_scale(scaled.data)
         finally:
             replica.inflight -= num_requests

@@ -10,11 +10,12 @@ latency percentiles.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence
 
 import numpy as np
+
+from ..obs import clock as obs_clock
 
 __all__ = ["LoadGenerator", "LoadReport", "run_load"]
 
@@ -98,7 +99,7 @@ def run_load(
     predict_many: Callable[[np.ndarray], Sequence],
     requests: np.ndarray,
     pattern: str = "custom",
-    clock=time.perf_counter,
+    clock=None,
 ) -> LoadReport:
     """Time ``predict_many`` over one request stream.
 
@@ -107,6 +108,7 @@ def run_load(
     and :class:`~repro.serving.gateway.ServingGateway` do).
     """
     requests = np.asarray(requests, dtype=np.int64)
+    clock = clock or obs_clock.now
     started = clock()
     responses: List = list(predict_many(requests))
     elapsed = max(clock() - started, 1e-12)

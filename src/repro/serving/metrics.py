@@ -8,10 +8,11 @@ gateway reports rolling percentiles without unbounded memory.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Optional
 
 import numpy as np
+
+from ..obs import clock as obs_clock
 
 __all__ = ["RollingWindow", "MetricsRegistry"]
 
@@ -85,17 +86,25 @@ class MetricsRegistry:
       included), ``batch_size`` (requests per model forward)
     """
 
-    def __init__(self, window: int = 2048,
-                 clock=time.perf_counter) -> None:
-        self._clock = clock
-        self.started_at = clock()
+    def __init__(self, window: int = 2048, clock=None) -> None:
+        # Defaults to the injectable observability clock, so a FakeClock
+        # installed via repro.obs.clock.use_clock drives QPS and windows
+        # deterministically under test.
+        self._clock = clock or obs_clock.now
+        self.started_at = self._clock()
         self.counters: Dict[str, float] = {}
         self._windows: Dict[str, RollingWindow] = {}
         self._window_capacity = window
+        self._request_times = RollingWindow(window)
 
     def inc(self, name: str, amount: float = 1.0) -> None:
         """Increment a monotone counter."""
         self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def record_request(self) -> None:
+        """Count one admitted request and timestamp it for rolling QPS."""
+        self.inc("requests_total")
+        self._request_times.observe(self._clock())
 
     def counter(self, name: str) -> float:
         """Current value of a counter (0 when never written)."""
@@ -120,7 +129,28 @@ class MetricsRegistry:
         return max(self._clock() - self.started_at, 1e-12)
 
     def qps(self) -> float:
-        """Requests per second since start."""
+        """Rolling-window requests per second (recent load).
+
+        Computed over the retained request timestamps (the newest
+        ``window`` admissions), so the estimate tracks the *current*
+        arrival rate — a lifetime average would understate load after
+        any idle period.  Uses the inter-arrival form ``(N - 1) / span``
+        (exact for uniform arrivals; ``N / span`` would overcount by one
+        gap).  Requests must be admitted through :meth:`record_request`
+        to feed the window; bare ``inc("requests_total")`` only moves
+        the lifetime value.
+        """
+        window = self._request_times
+        count = len(window)
+        if count == 0:
+            return 0.0
+        span = max(self._clock() - float(window.values().min()), 1e-9)
+        if count == 1:
+            return 1.0 / span
+        return (count - 1) / span
+
+    def qps_lifetime(self) -> float:
+        """Requests per second averaged over the registry's lifetime."""
         return self.counter("requests_total") / self.elapsed_seconds()
 
     def cache_hit_rate(self) -> float:
@@ -141,6 +171,7 @@ class MetricsRegistry:
         report: Dict[str, object] = {
             "elapsed_seconds": self.elapsed_seconds(),
             "qps": self.qps(),
+            "qps_lifetime": self.qps_lifetime(),
             "cache_hit_rate": self.cache_hit_rate(),
             "counters": dict(self.counters),
             "distributions": {

@@ -53,6 +53,7 @@ import numpy as np
 
 from ..graph.graph import ESellerGraph
 from ..graph.sampling import EgoSubgraph, _gather_segments
+from ..obs import tracing as obs_tracing
 from .events import (
     EdgeAdded,
     EdgeRetired,
@@ -342,8 +343,9 @@ class DynamicGraph:
         touched: List[np.ndarray] = [np.zeros(0, dtype=np.int64)]
         self._suppress_notify = True
         try:
-            for event in events:
-                touched.append(self.apply(event))
+            with obs_tracing.span("streaming.event_apply"):
+                for event in events:
+                    touched.append(self.apply(event))
         finally:
             # Notify even when an event raised mid-batch: whatever was
             # already applied mutated the graph, and subscribed caches
@@ -441,6 +443,10 @@ class DynamicGraph:
         untouched rows of the old index — instead of being re-sorted
         from scratch on the next query.
         """
+        with obs_tracing.span("streaming.compact"):
+            return self._compact_traced()
+
+    def _compact_traced(self) -> ESellerGraph:
         out_csr = in_csr = None
         if self.incremental_csr:
             out_csr = self._patched_csr(by_src=True)

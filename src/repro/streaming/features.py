@@ -36,6 +36,7 @@ from ..data.dataset import InstanceBatch, make_instance_batch
 from ..data.scaling import ShopLevelScaler, StandardScaler
 from ..data.schema import INDUSTRIES, REGIONS
 from ..data.synthetic import TIMELINE_START_CALENDAR_MONTH
+from ..obs import tracing as obs_tracing
 from .events import SalesTick, ShopAdded, ShopEvent
 
 __all__ = ["StreamingFeatureStore", "grow_rows"]
@@ -244,11 +245,13 @@ class StreamingFeatureStore:
         ticked: List[int] = []
         self._suppress_notify = True
         try:
-            for event in events:
-                self.apply(event)
-                if isinstance(event, SalesTick) and self.ticks_applied > before:
-                    before = self.ticks_applied
-                    ticked.append(int(event.shop_index))
+            with obs_tracing.span("streaming.watermark_fold"):
+                for event in events:
+                    self.apply(event)
+                    if isinstance(event, SalesTick) \
+                            and self.ticks_applied > before:
+                        before = self.ticks_applied
+                        ticked.append(int(event.shop_index))
         finally:
             self._suppress_notify = False
             if ticked:

@@ -39,6 +39,7 @@ from ..nn import engine
 from ..nn.module import Module
 from ..nn.optim import Adam, clip_grad_norm
 from ..nn.tensor import Tensor, no_grad
+from ..obs import tracing as obs_tracing
 from ..streaming.events import SalesTick, ShopEvent
 from ..streaming.features import StreamingFeatureStore, grow_rows
 
@@ -318,13 +319,15 @@ class OnlineAdapter:
         optimizer = Adam(self.model.parameters(), lr=cfg.learning_rate)
         compiled = engine.CompiledLoss(loss_fn)
         pre_loss = float("nan")
-        for step in range(cfg.adapt_steps):
-            optimizer.zero_grad()
-            loss_value = compiled.run()
-            if step == 0:
-                pre_loss = loss_value
-            clip_grad_norm(optimizer.parameters, cfg.clip_norm)
-            optimizer.step()
+        with obs_tracing.span("train.adapt"):
+            for step in range(cfg.adapt_steps):
+                with obs_tracing.span("train.step"):
+                    optimizer.zero_grad()
+                    loss_value = compiled.run()
+                    if step == 0:
+                        pre_loss = loss_value
+                    clip_grad_norm(optimizer.parameters, cfg.clip_norm)
+                    optimizer.step()
         self.model.eval()
         # Score the weights actually being published (the loop's last
         # reading predates its final optimizer step).

@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import copy
 import multiprocessing as mp
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -48,6 +47,8 @@ from ..nn import engine
 from ..nn.module import Module
 from ..nn.optim import Adam, clip_grad_norm
 from ..nn.tensor import Tensor, no_grad
+from ..obs import clock as obs_clock
+from ..obs import tracing as obs_tracing
 from ..partition import GraphPartition, Partition, partition_graph
 from .metrics import MetricTable
 from .trainer import TrainConfig, Trainer, TrainHistory
@@ -202,14 +203,22 @@ class _ShardWorker:
         return entry
 
     def train_step(self, state: Dict[str, np.ndarray],
-                   batch_index: int) -> Tuple[float, int, Optional[Grads]]:
-        """Gradient of the shard loss at ``state`` on one train batch."""
+                   batch_index: int) -> Tuple[float, int, Optional[Grads], float]:
+        """Gradient of the shard loss at ``state`` on one train batch.
+
+        Returns ``(loss, active_count, grads, seconds)`` — the worker
+        times itself through the injectable observability clock, so the
+        coordinator's per-shard load report works in both transports
+        (in ``"process"`` mode the coordinator only sees the reply, not
+        the work).
+        """
+        started = obs_clock.now()
         self.model.load_state_dict(state)
         self.model.train()
         self.model.zero_grad()
         count, compiled = self._compiled_entry(batch_index)
         if count == 0:
-            return 0.0, 0, None
+            return 0.0, 0, None, obs_clock.now() - started
         if compiled is not None and engine.fused_enabled():
             loss_value = compiled.run()
         else:
@@ -222,7 +231,7 @@ class _ShardWorker:
         grads: Grads = [
             None if p.grad is None else p.grad.copy() for p in self._params
         ]
-        return loss_value, count, grads
+        return loss_value, count, grads, obs_clock.now() - started
 
     def val_loss(self, state: Dict[str, np.ndarray]) -> Tuple[float, int]:
         """Shard validation loss at ``state`` (0-weight when inactive)."""
@@ -347,6 +356,8 @@ class ParallelTrainer:
             weight_decay=self.config.weight_decay,
         )
         self.history = TrainHistory()
+        self._shard_step_seconds: Optional[List[float]] = None
+        self._train_steps = 0
         self._pipes = None
         self._processes = None
         self._evaluator: Optional[Trainer] = None
@@ -404,10 +415,18 @@ class ParallelTrainer:
     def _train_results(self, state, batch_index: int):
         if self.mode == "process":
             self._start_processes()
-            return self._scatter_gather(
+            results = self._scatter_gather(
                 [("train", state, batch_index)] * len(self._workers)
             )
-        return [w.train_step(state, batch_index) for w in self._workers]
+        else:
+            results = [w.train_step(state, batch_index)
+                       for w in self._workers]
+        if self._shard_step_seconds is None:
+            self._shard_step_seconds = [0.0] * len(results)
+        for shard, result in enumerate(results):
+            self._shard_step_seconds[shard] += result[3]
+        self._train_steps += 1
+        return results
 
     def _val_results(self, state):
         if self.mode == "process":
@@ -422,13 +441,13 @@ class ParallelTrainer:
         gradient of the global mean loss over all active shops — and
         returns the matching weighted loss.
         """
-        total = sum(count for _, count, _ in results)
+        total = sum(count for _, count, _, _ in results)
         if total == 0:
             raise RuntimeError("no shard has active shops for role 'train'")
         for param in self._params:
             param.grad = None
         loss = 0.0
-        for shard_loss, count, grads in results:
+        for shard_loss, count, grads, _ in results:
             if count == 0:
                 continue
             weight = count / total
@@ -442,6 +461,20 @@ class ParallelTrainer:
                     param.grad += weight * grad
         return loss, total
 
+    def shard_timings(self) -> Dict[str, object]:
+        """Cumulative per-shard train-step seconds (straggler report).
+
+        ``shard_step_seconds[i]`` is worker ``i``'s self-measured time
+        across all synchronous steps so far — the gap between the
+        fastest and slowest entry is the per-step straggler wait baked
+        into this partitioning.  Feeds
+        :meth:`repro.obs.hub.MetricsHub.attach_parallel`.
+        """
+        return {
+            "steps": self._train_steps,
+            "shard_step_seconds": list(self._shard_step_seconds or []),
+        }
+
     def _weighted_val_loss(self, state) -> float:
         results = self._val_results(state)
         total = sum(count for _, count in results)
@@ -453,7 +486,7 @@ class ParallelTrainer:
     def fit(self) -> TrainHistory:
         """Train to convergence; mirrors ``Trainer.fit`` step for step."""
         cfg = self.config
-        started = time.perf_counter()
+        started = obs_clock.now()
         best_val = float("inf")
         best_state = None
         stall = 0
@@ -462,11 +495,12 @@ class ParallelTrainer:
             for epoch in range(cfg.epochs):
                 epoch_losses = []
                 for batch_index in range(len(self.dataset.train)):
-                    state = self.model.state_dict()
-                    results = self._train_results(state, batch_index)
-                    loss, _ = self._aggregate(results)
-                    clip_grad_norm(self._params, cfg.clip_norm)
-                    self.optimizer.step()
+                    with obs_tracing.span("train.step"):
+                        state = self.model.state_dict()
+                        results = self._train_results(state, batch_index)
+                        loss, _ = self._aggregate(results)
+                        clip_grad_norm(self._params, cfg.clip_norm)
+                        self.optimizer.step()
                     epoch_losses.append(loss)
                 train_loss = float(np.mean(epoch_losses))
                 val_loss = self._weighted_val_loss(self.model.state_dict())
@@ -491,7 +525,7 @@ class ParallelTrainer:
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()
-        self.history.seconds = time.perf_counter() - started
+        self.history.seconds = obs_clock.now() - started
         return self.history
 
     # ------------------------------------------------------------------

@@ -10,7 +10,6 @@ dataset's scaler.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -22,6 +21,8 @@ from ..nn import functional as F
 from ..nn.module import Module
 from ..nn.optim import Adam, clip_grad_norm
 from ..nn.tensor import Tensor, no_grad
+from ..obs import clock as obs_clock
+from ..obs import tracing as obs_tracing
 from .metrics import MetricTable, evaluate_forecast
 
 __all__ = ["TrainConfig", "TrainHistory", "Trainer"]
@@ -130,21 +131,24 @@ class Trainer:
     def fit(self) -> TrainHistory:
         """Train until convergence or the epoch budget; restore best weights."""
         cfg = self.config
-        started = time.perf_counter()
+        started = obs_clock.now()
         best_val = float("inf")
         best_state = None
         stall = 0
         self.model.train()
         for epoch in range(cfg.epochs):
             epoch_losses = []
-            for batch_index, batch in enumerate(self.dataset.train):
-                self.optimizer.zero_grad()
-                loss_value = self._train_step_loss(batch_index, batch)
-                clip_grad_norm(self.optimizer.parameters, cfg.clip_norm)
-                self.optimizer.step()
-                epoch_losses.append(loss_value)
-            train_loss = float(np.mean(epoch_losses))
-            val_loss = self._val_loss()
+            with obs_tracing.span("train.epoch"):
+                for batch_index, batch in enumerate(self.dataset.train):
+                    with obs_tracing.span("train.step"):
+                        self.optimizer.zero_grad()
+                        loss_value = self._train_step_loss(batch_index, batch)
+                        clip_grad_norm(self.optimizer.parameters,
+                                       cfg.clip_norm)
+                        self.optimizer.step()
+                    epoch_losses.append(loss_value)
+                train_loss = float(np.mean(epoch_losses))
+                val_loss = self._val_loss()
             self.history.train_loss.append(train_loss)
             self.history.val_loss.append(val_loss)
             if cfg.verbose:
@@ -161,7 +165,7 @@ class Trainer:
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()
-        self.history.seconds = time.perf_counter() - started
+        self.history.seconds = obs_clock.now() - started
         return self.history
 
     # ------------------------------------------------------------------

@@ -72,7 +72,8 @@ def test_readme_references_every_example():
 
 def test_documentation_files_exist():
     for relative in ("README.md", "docs/ARCHITECTURE.md",
-                     "docs/streaming.md", "benchmarks/README.md"):
+                     "docs/streaming.md", "docs/observability.md",
+                     "benchmarks/README.md"):
         path = REPO_ROOT / relative
         assert path.is_file(), f"missing documentation file: {relative}"
         assert path.read_text().strip(), f"{relative} is empty"
@@ -95,7 +96,8 @@ def test_readme_documents_the_test_matrix_and_benchmarks():
 
 def test_roadmap_points_at_versioned_design_docs():
     roadmap = (REPO_ROOT / "ROADMAP.md").read_text()
-    for pointer in ("docs/ARCHITECTURE.md", "docs/streaming.md"):
+    for pointer in ("docs/ARCHITECTURE.md", "docs/streaming.md",
+                    "docs/observability.md"):
         assert pointer in roadmap, (
             f"ROADMAP.md must point at {pointer} for the design guide "
             "it used to inline"
