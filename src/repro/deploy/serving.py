@@ -153,12 +153,20 @@ class OnlineModelServer:
         return [self._predict_local(int(i), batch) for i in np.asarray(shop_indices)]
 
     def latency_summary(self) -> Dict[str, float]:
-        """Mean / p50 / p95 latency over the retained request log."""
+        """Mean / p50 / p95 latency over the retained request log.
+
+        ``count`` is the retained-log population the statistics cover;
+        ``total`` is the lifetime request count (the log is a bounded
+        ring) — the same count/total split as
+        :meth:`~repro.serving.metrics.RollingWindow.summary`.
+        """
         if not self.request_log:
-            return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0}
+            return {"count": 0.0, "total": float(self.total_requests),
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0}
         lat = np.array([r.latency_seconds for r in self.request_log])
         return {
             "count": float(lat.size),
+            "total": float(self.total_requests),
             "mean": float(lat.mean()),
             "p50": float(np.percentile(lat, 50)),
             "p95": float(np.percentile(lat, 95)),

@@ -102,6 +102,7 @@ class MetricsHub:
         self._counters: Dict[str, Dict[str, float]] = {}
         self._gauges: Dict[str, Dict[str, float]] = {}
         self._histograms: Dict[str, Dict[str, List[float]]] = {}
+        self._histogram_totals: Dict[str, Dict[str, int]] = {}
         self._histogram_window = int(histogram_window)
 
     # ------------------------------------------------------------------
@@ -150,12 +151,19 @@ class MetricsHub:
         self._gauges.setdefault(namespace, {})[name] = float(value)
 
     def observe(self, namespace: str, name: str, value: float) -> None:
-        """Record one observation into a hub-owned histogram."""
+        """Record one observation into a hub-owned histogram.
+
+        The retained series is bounded (``histogram_window``); a
+        lifetime total is tracked separately so the summary can report
+        both window-scoped ``count`` and monotone ``total``.
+        """
         self._check_free(namespace)
         series = self._histograms.setdefault(namespace, {}).setdefault(name, [])
         series.append(float(value))
         if len(series) > self._histogram_window:
             del series[: len(series) - self._histogram_window]
+        totals = self._histogram_totals.setdefault(namespace, {})
+        totals[name] = totals.get(name, 0) + 1
 
     # ------------------------------------------------------------------
     # collection
@@ -174,6 +182,8 @@ class MetricsHub:
         for namespace, names in self._histograms.items():
             for name, values in names.items():
                 count = float(len(values))
+                total = float(self._histogram_totals
+                              .get(namespace, {}).get(name, 0))
                 if values:
                     ordered = sorted(values)
 
@@ -182,13 +192,13 @@ class MetricsHub:
                                   max(0, round(q * (len(ordered) - 1))))
                         return ordered[idx]
 
-                    summary = {"count": count,
+                    summary = {"count": count, "total": total,
                                "mean": sum(values) / count,
                                "p50": _pct(0.50), "p95": _pct(0.95),
                                "p99": _pct(0.99)}
                 else:
-                    summary = {"count": 0.0, "mean": 0.0, "p50": 0.0,
-                               "p95": 0.0, "p99": 0.0}
+                    summary = {"count": 0.0, "total": total, "mean": 0.0,
+                               "p50": 0.0, "p95": 0.0, "p99": 0.0}
                 rows.append({"namespace": namespace, "name": name,
                              "kind": "histogram", "value": summary})
         for namespace, collect_fn in self._sources.items():
@@ -215,11 +225,23 @@ class MetricsHub:
                         f'{metric}{{quantile="{quantile}"}} '
                         f"{summary.get(key, 0.0):.9g}"
                     )
+                # `count` is the retained-window population — the same
+                # one `mean` was computed over, so `_sum`/`_count` stay
+                # a consistent pair.  The monotone lifetime total is
+                # exported as its own counter series.
                 count = summary.get("count", 0.0)
                 lines.append(
                     f"{metric}_sum {summary.get('mean', 0.0) * count:.9g}"
                 )
                 lines.append(f"{metric}_count {count:.9g}")
+                total = summary.get("total")
+                if total is not None:
+                    lines.append(
+                        f"# TYPE {metric}_observations_total counter"
+                    )
+                    lines.append(
+                        f"{metric}_observations_total {float(total):.9g}"
+                    )
             else:
                 lines.append(f"# TYPE {metric} {kind}")
                 lines.append(f"{metric} {row['value']:.9g}")

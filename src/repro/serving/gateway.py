@@ -271,7 +271,8 @@ class ServingGateway:
         self.metrics.inc("delta_evicted_subgraphs", evicted_subgraphs)
         self.metrics.inc("delta_evicted_results", evicted_results)
 
-    def attach_stream(self, dynamic_graph, store=None) -> None:
+    def attach_stream(self, dynamic_graph, store=None,
+                      keep_caches: bool = False) -> None:
         """Serve from a live :class:`~repro.streaming.dynamic_graph.DynamicGraph`.
 
         Subgraph extraction switches to the delta overlay (updates are
@@ -297,6 +298,19 @@ class ServingGateway:
         served neighborhoods — until ``source_batch`` is refreshed.
         Pre-allocated arrival slots (the simulator's reveal model) are
         fully supported.
+
+        ``keep_caches`` controls the attach-time flush.  The default
+        (``False``) cold-starts the caches — correct whenever cached
+        entries might have been memoised against different state, which
+        includes **every crash-recovery attach**: a recovered
+        ``DynamicGraph``/store pair is state-identical to the crashed
+        one, but a fresh gateway has nothing to keep and a surviving
+        gateway's entries predate the recovery replay.  Pass ``True``
+        only to *re*-attach the exact stream this gateway was already
+        serving (e.g. swapping in the same graph/store objects after a
+        checkpoint write): the warm entries are provably still valid
+        because delta invalidation tracked every mutation that produced
+        them, and freshness stamps carry over unchanged.
         """
         if self._stream_graph is not None:
             self._stream_graph.unsubscribe(self._stream_callback)
@@ -316,7 +330,8 @@ class ServingGateway:
             self._data_frontier = int(store.frontier)
             self._ticks_seen = int(store.ticks_applied)
             store.subscribe(self._on_ticks)
-        self.notify_graph_changed()
+        if not keep_caches:
+            self.notify_graph_changed()
 
     def _on_ticks(self, shops: np.ndarray, frontier: int) -> None:
         """Store tick subscription: track the frontier, sweep expired results."""

@@ -54,13 +54,22 @@ class RollingWindow:
         return self._count
 
     def summary(self) -> Dict[str, float]:
-        """Mean and p50/p95/p99 over the retained window."""
+        """Window statistics plus the lifetime observation count.
+
+        ``count`` is the number of *retained* observations — the same
+        population mean/p50/p95/p99 are computed over, so the summary
+        is internally consistent (``mean * count`` really is the window
+        sum).  ``total`` is the lifetime observation count, which keeps
+        growing after the ring starts evicting.
+        """
         if self._count == 0:
-            return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+            return {"count": 0.0, "total": float(self.total_observations),
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
         values = self._buffer[: self._count]
         p50, p95, p99 = np.percentile(values, [50, 95, 99])
         return {
-            "count": float(self.total_observations),
+            "count": float(self._count),
+            "total": float(self.total_observations),
             "mean": float(values.mean()),
             "p50": float(p50),
             "p95": float(p95),
@@ -139,12 +148,19 @@ class MetricsRegistry:
         gap).  Requests must be admitted through :meth:`record_request`
         to feed the window; bare ``inc("requests_total")`` only moves
         the lifetime value.
+
+        Reports ``0.0`` until the window spans a measurable interval —
+        a single request with an unadvanced clock is *no evidence of
+        rate*, not an ~1e9-QPS spike (clamping span to epsilon used to
+        produce exactly that under a frozen test clock).
         """
         window = self._request_times
         count = len(window)
         if count == 0:
             return 0.0
-        span = max(self._clock() - float(window.values().min()), 1e-9)
+        span = self._clock() - float(window.values().min())
+        if span <= 0.0:
+            return 0.0
         if count == 1:
             return 1.0 / span
         return (count - 1) / span

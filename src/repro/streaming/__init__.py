@@ -28,6 +28,12 @@ marketplace that never stands still:
   churn against the synthetic generator: cold-start arrivals, edge
   reveals/retirements and sales ticks as one precomputed deterministic
   stream.
+* :mod:`~repro.streaming.durable` — the persistence plane: a
+  file-backed segmented, CRC-checked event log with bounded-memory
+  replay from any offset, plus offset-stamped checkpoints of every
+  fold (graph / features / adapter) so crash recovery is "load
+  snapshot + replay tail", property-tested state-identical to the
+  never-crashed run.
 
 Downstream, the serving gateway subscribes to
 :meth:`DynamicGraph.subscribe` for **delta-aware cache invalidation**
@@ -37,6 +43,7 @@ into drift-triggered warm fine-tunes hot-swapped through the model
 registry.  See ``examples/streaming_marketplace.py``.
 """
 
+from . import durable
 from .dynamic_graph import DynamicGraph
 from .events import (
     EdgeAdded,
@@ -63,4 +70,5 @@ __all__ = [
     "DynamicGraph",
     "StreamingFeatureStore",
     "MarketplaceSimulator",
+    "durable",
 ]

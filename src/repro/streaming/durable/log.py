@@ -1,0 +1,381 @@
+"""File-backed segmented event log: the durable half of ``EventLog``.
+
+The in-memory :class:`~repro.streaming.events.EventLog` is the single
+source of truth for streaming state — but it dies with the process.
+:class:`DurableEventLog` gives the same append-only contract a disk
+representation that survives crashes:
+
+* **Segments** — events land in numbered segment files
+  (``events-<first offset>.seg``) under one directory.  The
+  highest-numbered segment is *active* (appendable); all earlier
+  segments are *sealed* (immutable).  The active segment rolls over
+  once it holds ``segment_events`` records, so no single file grows
+  without bound and sealed segments can be archived or compacted
+  without touching the write path.
+* **Records** — one line per event: two fixed-width hex fields (payload
+  byte length, CRC32 of the payload) followed by the event as compact
+  JSON.  Every read re-checks the length and CRC, so silent disk
+  corruption surfaces as :class:`LogCorruptionError` instead of a
+  quietly diverged fold.
+* **Torn tails** — a crash mid-append leaves a truncated final record
+  in the *active* segment only.  Opening the directory detects it and
+  truncates the file back to the last complete record (the standard
+  write-ahead-log recovery rule); a malformed record anywhere *else* —
+  mid-segment, or in a sealed segment — is corruption and raises.
+* **Bounded-memory replay** — :meth:`since` streams events from any
+  offset as a generator, reading one record at a time.  A consumer
+  restoring from a checkpoint at offset *k* replays only the tail
+  ``since(k)`` without ever materialising the full history.
+
+Write-ahead ordering: :class:`~repro.streaming.events.EventLog` with a
+durable backend journals each event *before* appending it in memory, so
+a crash can lose un-journaled in-memory state but never the reverse —
+recovery replays a prefix of exactly what every consumer saw.
+
+>>> import tempfile
+>>> from repro.streaming.events import SalesTick
+>>> log = DurableEventLog(tempfile.mkdtemp(), segment_events=2)
+>>> for month in (1, 2, 3):
+...     _ = log.append(SalesTick(month=month, shop_index=0, gmv=1.0))
+>>> log.high_water, len(log.segments())
+(3, 2)
+>>> [e.month for e in log.since(1)]
+[2, 3]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from ..events import (
+    EdgeAdded,
+    EdgeRetired,
+    SalesTick,
+    ShopAdded,
+    ShopEvent,
+)
+
+__all__ = [
+    "LogCorruptionError",
+    "encode_event",
+    "decode_event",
+    "DurableEventLog",
+]
+
+#: Registered event kinds, by class name (the ``kind`` field on disk).
+#: New event types register here the same way they join the in-memory
+#: model — see "Adding an event type" in ``docs/streaming.md``.
+EVENT_KINDS: Dict[str, Type[ShopEvent]] = {
+    cls.__name__: cls
+    for cls in (ShopAdded, EdgeAdded, EdgeRetired, SalesTick)
+}
+
+_SEGMENT_PREFIX = "events-"
+_SEGMENT_SUFFIX = ".seg"
+# "llllllll cccccccc <payload>\n": 8 hex digits of payload byte length,
+# 8 hex digits of CRC32, one space each.
+_HEADER_LEN = 18
+
+
+class LogCorruptionError(RuntimeError):
+    """A durable segment failed its length/CRC/framing checks.
+
+    Raised for damage that crash recovery cannot explain: a malformed or
+    CRC-failing record in a sealed segment, or anywhere but the tail of
+    the active one.  (A torn *final* record in the active segment is the
+    expected crash signature and is truncated silently instead.)
+    """
+
+
+def encode_event(event: ShopEvent) -> str:
+    """Serialise one event to its canonical compact-JSON payload.
+
+    The payload carries ``kind`` (the class name) plus every dataclass
+    field, with sorted keys so the bytes — and therefore the CRC — are
+    deterministic for a given event.  Floats round-trip exactly
+    (``json`` emits ``repr``-style shortest representations), which is
+    what lets recovery be *bitwise* identical to the never-crashed fold.
+    """
+    kind = type(event).__name__
+    if kind not in EVENT_KINDS:
+        raise TypeError(f"unregistered event kind: {kind}")
+    payload = {"kind": kind}
+    payload.update(asdict(event))
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def decode_event(payload: str) -> ShopEvent:
+    """Rebuild an event from its JSON payload (inverse of :func:`encode_event`)."""
+    fields = json.loads(payload)
+    kind = fields.pop("kind", None)
+    cls = EVENT_KINDS.get(kind)
+    if cls is None:
+        raise LogCorruptionError(f"unknown event kind in log: {kind!r}")
+    return cls(**fields)
+
+
+def _format_record(payload: str) -> bytes:
+    raw = payload.encode("utf-8")
+    return b"%08x %08x %s\n" % (len(raw), zlib.crc32(raw), raw)
+
+
+def _parse_record(line: bytes) -> str:
+    """Validate one framed record; returns the payload string.
+
+    Raises ``ValueError`` on any framing/length/CRC mismatch; callers
+    decide whether that means a torn tail (truncate) or corruption
+    (raise :class:`LogCorruptionError`).
+    """
+    if len(line) < _HEADER_LEN + 1 or not line.endswith(b"\n"):
+        raise ValueError("incomplete record")
+    if line[8:9] != b" " or line[17:18] != b" ":
+        raise ValueError("malformed record header")
+    length = int(line[:8], 16)
+    crc = int(line[9:17], 16)
+    raw = line[_HEADER_LEN:-1]
+    if len(raw) != length:
+        raise ValueError(f"payload length {len(raw)} != header {length}")
+    if zlib.crc32(raw) != crc:
+        raise ValueError("payload CRC mismatch")
+    return raw.decode("utf-8")
+
+
+class DurableEventLog:
+    """Append-only, crash-safe, segmented event log on disk.
+
+    Parameters
+    ----------
+    directory:
+        Where segments live; created if missing.  Opening a non-empty
+        directory scans every segment (CRC-checking each record),
+        truncates a torn active tail, and restores ``high_water`` /
+        ``frontier`` / ``late_arrivals`` to what the in-memory log
+        tracking the same stream would report.
+    segment_events:
+        Records per segment before the active segment seals and a new
+        one starts.
+    fsync:
+        When true, ``os.fsync`` after every append — real durability at
+        real cost.  Off by default: tests and benchmarks care about the
+        crash-*consistency* story (torn tails, replay), which buffered
+        writes plus flush already exercise.
+    """
+
+    def __init__(self, directory, segment_events: int = 4096,
+                 fsync: bool = False) -> None:
+        if segment_events <= 0:
+            raise ValueError(
+                f"segment_events must be positive, got {segment_events}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_events = int(segment_events)
+        self.fsync = bool(fsync)
+        #: Next append offset (= events durably recorded).
+        self.high_water = 0
+        #: Event-time frontier (mirrors ``EventLog.frontier``).
+        self.frontier = -1
+        #: Events appended behind the frontier (mirrors ``EventLog``).
+        self.late_arrivals = 0
+        #: Torn records truncated from the active tail at open (0 or 1).
+        self.torn_records_truncated = 0
+        # (first_offset, record_count) per segment, in offset order.
+        self._segments: List[Tuple[int, int]] = []
+        self._handle = None
+        self._recover_segments()
+
+    # ------------------------------------------------------------------
+    # startup scan / crash recovery
+    # ------------------------------------------------------------------
+    def _segment_path(self, first_offset: int) -> Path:
+        return self.directory / (
+            f"{_SEGMENT_PREFIX}{first_offset:020d}{_SEGMENT_SUFFIX}"
+        )
+
+    def _recover_segments(self) -> None:
+        paths = sorted(self.directory.glob(
+            f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"
+        ))
+        starts = []
+        for path in paths:
+            stem = path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+            try:
+                starts.append(int(stem))
+            except ValueError:
+                raise LogCorruptionError(f"unparseable segment name: {path.name}")
+        for rank, (start, path) in enumerate(zip(starts, paths)):
+            if start != self.high_water:
+                raise LogCorruptionError(
+                    f"segment {path.name} starts at {start}, "
+                    f"expected {self.high_water}"
+                )
+            active = rank == len(paths) - 1
+            count = self._scan_segment(path, active=active)
+            self._segments.append((start, count))
+            self.high_water = start + count
+
+    def _scan_segment(self, path: Path, active: bool) -> int:
+        """Replay one segment's framing, folding event-time stats.
+
+        Returns the record count.  In the active segment a torn *final*
+        record is truncated away; any other framing failure raises.
+        """
+        count = 0
+        good_bytes = 0
+        with open(path, "rb") as handle:
+            while True:
+                line = handle.readline()
+                if not line:
+                    break
+                try:
+                    payload = _parse_record(line)
+                    event = decode_event(payload)
+                except LogCorruptionError:
+                    raise
+                except ValueError as exc:
+                    if active and not handle.readline():  # torn final record
+                        break
+                    raise LogCorruptionError(
+                        f"{path.name}: corrupt record {count}: {exc}"
+                    )
+                self._fold_event_time(event)
+                count += 1
+                good_bytes += len(line)
+        if good_bytes < path.stat().st_size:
+            with open(path, "r+b") as handle:
+                handle.truncate(good_bytes)
+            self.torn_records_truncated += 1
+        return count
+
+    def _fold_event_time(self, event: ShopEvent) -> None:
+        month = int(event.month)
+        if month < self.frontier:
+            self.late_arrivals += 1
+        else:
+            self.frontier = month
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _active_handle(self):
+        if self._handle is None:
+            if not self._segments:
+                self._segments.append((0, 0))
+            start, _count = self._segments[-1]
+            self._handle = open(self._segment_path(start), "ab")
+        return self._handle
+
+    def append(self, event: ShopEvent) -> int:
+        """Durably record one event; returns its log offset."""
+        if not isinstance(event, ShopEvent):
+            raise TypeError(f"not a ShopEvent: {event!r}")
+        start, count = self._segments[-1] if self._segments else (0, 0)
+        if self._segments and count >= self.segment_events:
+            self.seal()
+            start, count = self._segments[-1]
+        handle = self._active_handle()
+        handle.write(_format_record(encode_event(event)))
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        self._segments[-1] = (start, count + 1)
+        offset = self.high_water
+        self.high_water += 1
+        self._fold_event_time(event)
+        return offset
+
+    def extend(self, events: Iterable[ShopEvent]) -> None:
+        """Durably record several events in order."""
+        for event in events:
+            self.append(event)
+
+    def seal(self) -> None:
+        """Close the active segment and start an empty successor.
+
+        Sealed segments are immutable from here on: any framing failure
+        inside one is treated as corruption, never as a torn tail.
+        """
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._segments.append((self.high_water, 0))
+
+    def sync(self) -> None:
+        """Flush (and fsync, if enabled) the active segment."""
+        if self._handle is not None:
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Release the active segment's file handle."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "DurableEventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def segments(self) -> List[Tuple[int, int]]:
+        """``(first_offset, record_count)`` per segment, oldest first."""
+        if not self._segments:
+            return []
+        return [
+            (start, count) for start, count in self._segments
+            if count > 0 or (start, count) == self._segments[-1]
+        ]
+
+    def since(self, offset: int) -> Iterator[ShopEvent]:
+        """Stream events from ``offset`` on, one record at a time.
+
+        This is the bounded-memory replay path: recovery from a
+        checkpoint at offset *k* iterates ``since(k)`` without ever
+        holding more than one record in memory.  CRC and framing are
+        re-checked on every read.
+        """
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        self.sync()
+        for start, count in self._segments:
+            if count == 0 or start + count <= offset:
+                continue
+            skip = max(offset - start, 0)
+            with open(self._segment_path(start), "rb") as handle:
+                for index, line in enumerate(handle):
+                    if index >= count:
+                        break
+                    if index < skip:
+                        continue
+                    try:
+                        payload = _parse_record(line)
+                    except ValueError as exc:
+                        raise LogCorruptionError(
+                            f"segment at {start}: corrupt record "
+                            f"{index}: {exc}"
+                        )
+                    yield decode_event(payload)
+
+    def __iter__(self) -> Iterator[ShopEvent]:
+        return self.since(0)
+
+    def __len__(self) -> int:
+        return self.high_water
+
+    def counts(self) -> Dict[str, int]:
+        """Events per kind (full-log scan; for reporting)."""
+        out: Dict[str, int] = {}
+        for event in self.since(0):
+            name = type(event).__name__
+            out[name] = out.get(name, 0) + 1
+        return out

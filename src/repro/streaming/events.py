@@ -153,23 +153,65 @@ class EventLog:
     (3, 1)
     >>> [e.month for e in log.by_event_time()]
     [2, 3]
+
+    Durability: pass ``durable`` (a
+    :class:`~repro.streaming.durable.DurableEventLog`) and every append
+    is journaled to disk *before* it enters memory — write-ahead order,
+    so a crash can lose un-journaled in-memory events but a journaled
+    prefix always replays to exactly what consumers saw.  Reopen a
+    journal with :meth:`from_durable`.
     """
 
-    def __init__(self, events: Optional[Iterable[ShopEvent]] = None) -> None:
+    def __init__(self, events: Optional[Iterable[ShopEvent]] = None,
+                 durable=None) -> None:
         self._events: List[ShopEvent] = []
+        self._durable = None
         #: Event-time frontier: highest month any appended event belongs
         #: to (``-1`` while empty).
         self.frontier = -1
         #: Events that arrived after the frontier had passed their month.
         self.late_arrivals = 0
+        if durable is not None:
+            self.attach_durable(durable)
         if events is not None:
             for event in events:
                 self.append(event)
 
-    def append(self, event: ShopEvent) -> int:
-        """Add one event; returns its log position."""
-        if not isinstance(event, ShopEvent):
-            raise TypeError(f"not a ShopEvent: {event!r}")
+    def attach_durable(self, backend) -> None:
+        """Journal every future append through ``backend`` (write-ahead).
+
+        The backend's head must equal this log's — attaching a backend
+        that is ahead (or behind) would silently desynchronise offsets;
+        replay it first via :meth:`from_durable`.
+        """
+        if backend.high_water != len(self._events):
+            raise ValueError(
+                f"durable backend at offset {backend.high_water} does not "
+                f"match log at {len(self._events)}; use "
+                "EventLog.from_durable to replay it first"
+            )
+        self._durable = backend
+
+    @classmethod
+    def from_durable(cls, backend) -> "EventLog":
+        """Rehydrate an in-memory log from a journal, then keep journaling.
+
+        Events already on disk are replayed into memory *without* being
+        re-written; subsequent appends journal through ``backend`` as
+        usual.
+        """
+        log = cls()
+        for event in backend.since(0):
+            log._append_memory(event)
+        log.attach_durable(backend)
+        return log
+
+    @property
+    def durable(self):
+        """The attached durable backend, or ``None`` (in-memory only)."""
+        return self._durable
+
+    def _append_memory(self, event: ShopEvent) -> int:
         month = int(event.month)
         if month < self.frontier:
             self.late_arrivals += 1
@@ -177,6 +219,19 @@ class EventLog:
             self.frontier = month
         self._events.append(event)
         return len(self._events) - 1
+
+    def append(self, event: ShopEvent) -> int:
+        """Add one event; returns its log position.
+
+        With a durable backend attached the event hits disk first — an
+        append that journals successfully is recoverable even if the
+        process dies before any consumer folds it.
+        """
+        if not isinstance(event, ShopEvent):
+            raise TypeError(f"not a ShopEvent: {event!r}")
+        if self._durable is not None:
+            self._durable.append(event)
+        return self._append_memory(event)
 
     def extend(self, events: Iterable[ShopEvent]) -> None:
         """Append several events in order."""
@@ -274,6 +329,13 @@ def edge_history(
         alive = [True] * base.num_edges
     for event in events:
         if isinstance(event, ShopAdded):
+            if event.shop_index < 0:
+                # Match StreamingFeatureStore._ensure_capacity: the two
+                # folds of one log must reject the same events, or they
+                # silently diverge on which shops exist.
+                raise IndexError(
+                    f"shop index must be non-negative, got {event.shop_index}"
+                )
             nodes = max(nodes, event.shop_index + 1)
         elif isinstance(event, EdgeAdded):
             key = (int(event.src), int(event.dst), int(event.edge_type))
@@ -288,6 +350,10 @@ def edge_history(
             alive.append(True)
         elif isinstance(event, EdgeRetired):
             key = (int(event.src), int(event.dst), int(event.edge_type))
+            if key[0] >= nodes or key[1] >= nodes or min(key[:2]) < 0:
+                raise IndexError(
+                    f"edge {key[:2]} out of range for {nodes} shops"
+                )
             stack = live.get(key)
             if not stack:
                 raise LookupError(f"no live edge {key} to retire")

@@ -294,6 +294,59 @@ class StreamingFeatureStore:
         }
 
     # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete fold state, as copies (the checkpoint contract).
+
+        Everything a cold process needs to continue the fold exactly
+        where this store stands: the tables, the per-shop metadata, and
+        the event-time accounting.  ``from_state(state_dict())`` is
+        array-for-array identical to the original — the round trip the
+        recovery property tests pin down.
+        """
+        return {
+            "num_shops": int(self.num_shops),
+            "num_months": int(self.num_months),
+            "watermark": self.watermark,
+            "gmv": self.gmv.copy(),
+            "orders": self.orders.copy(),
+            "customers": self.customers.copy(),
+            "opened_month": self.opened_month.copy(),
+            "last_tick_seq": self.last_tick_seq.copy(),
+            "industries": list(self._industries),
+            "regions": list(self._regions),
+            "events_applied": int(self.events_applied),
+            "frontier": int(self.frontier),
+            "ticks_applied": int(self.ticks_applied),
+            "late_ticks_accepted": int(self.late_ticks_accepted),
+            "ticks_dropped": int(self.ticks_dropped),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingFeatureStore":
+        """Rebuild a store from :meth:`state_dict` output.
+
+        The restored store has no subscribers and cold caches — exactly
+        what a fresh process should hold before consumers re-attach.
+        """
+        store = cls(int(state["num_shops"]), int(state["num_months"]),
+                    watermark=state["watermark"])
+        store.gmv = np.array(state["gmv"], dtype=np.float64)
+        store.orders = np.array(state["orders"], dtype=np.int64)
+        store.customers = np.array(state["customers"], dtype=np.int64)
+        store.opened_month = np.array(state["opened_month"], dtype=np.int64)
+        store.last_tick_seq = np.array(state["last_tick_seq"], dtype=np.int64)
+        store._industries = [str(name) for name in state["industries"]]
+        store._regions = [str(name) for name in state["regions"]]
+        store.events_applied = int(state["events_applied"])
+        store.frontier = int(state["frontier"])
+        store.ticks_applied = int(state["ticks_applied"])
+        store.late_ticks_accepted = int(state["late_ticks_accepted"])
+        store.ticks_dropped = int(state["ticks_dropped"])
+        return store
+
+    # ------------------------------------------------------------------
     # extractor-equivalent views
     # ------------------------------------------------------------------
     def observed(self) -> np.ndarray:
@@ -373,6 +426,12 @@ class StreamingFeatureStore:
         """
         if cutoff < 1:
             raise ValueError(f"cutoff {cutoff} leaves no input history")
+        if cutoff < input_window:
+            raise ValueError(
+                f"cutoff {cutoff} is shorter than the input window "
+                f"{input_window}; the streaming window path never "
+                "zero-pads history"
+            )
         if cutoff + horizon > self.num_months:
             raise ValueError("cutoff + horizon exceeds the timeline")
         return make_instance_batch(

@@ -133,6 +133,27 @@ class ShopRingWindows:
         self._next[shop] = (slot + 1) % self.capacity
         self.counts[shop] = min(self.counts[shop] + 1, self.capacity)
 
+    def state_dict(self) -> dict:
+        """Complete ring state, as copies (the checkpoint contract)."""
+        return {
+            "capacity": int(self.capacity),
+            "num_shops": int(self.num_shops),
+            "months": self.months.copy(),
+            "values": self.values.copy(),
+            "next": self._next.copy(),
+            "counts": self.counts.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ShopRingWindows":
+        """Rebuild rings from :meth:`state_dict` output, array-identical."""
+        ring = cls(int(state["num_shops"]), int(state["capacity"]))
+        ring.months = np.array(state["months"], dtype=np.int64)
+        ring.values = np.array(state["values"], dtype=np.float64)
+        ring._next = np.array(state["next"], dtype=np.int64)
+        ring.counts = np.array(state["counts"], dtype=np.int64)
+        return ring
+
     def ticks_in_range(self, lo: int, hi: int) -> np.ndarray:
         """Per-shop count of retained ticks with ``lo <= month <= hi``."""
         return ((self.months >= lo) & (self.months <= hi)).sum(axis=1)
@@ -232,6 +253,34 @@ class OnlineAdapter:
                                     fill=np.nan)
 
     # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The adapter's fold state: drift EWMAs, rings, counters.
+
+        Deliberately excludes the model/registry/store/graph handles —
+        those are reconstructed by the recovery path and the weights
+        live in the registry; this is only what the *stream* taught the
+        adapter.  Round-trips through
+        :func:`~repro.streaming.durable.write_checkpoint` array-for-array.
+        """
+        return {
+            "error_ewma": self.error_ewma.copy(),
+            "windows": self.windows.state_dict(),
+            "ticks_ingested": int(self.ticks_ingested),
+            "ticks_rejected": int(self.ticks_rejected),
+            "last_adapt_month": int(self._last_adapt_month),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Overwrite the adapter's fold state from :meth:`state_dict` output."""
+        self.error_ewma = np.array(state["error_ewma"], dtype=np.float64)
+        self.windows = ShopRingWindows.from_state(state["windows"])
+        self.ticks_ingested = int(state["ticks_ingested"])
+        self.ticks_rejected = int(state["ticks_rejected"])
+        self._last_adapt_month = int(state["last_adapt_month"])
+
+    # ------------------------------------------------------------------
     # scoring
     # ------------------------------------------------------------------
     def _training_graph(self):
@@ -239,9 +288,16 @@ class OnlineAdapter:
         return as_graph() if callable(as_graph) else self.graph
 
     def _fresh_window(self, month: int) -> Optional[InstanceBatch]:
-        """The freshest complete window: labels end at ``month``."""
+        """The freshest complete window: labels end at ``month``.
+
+        ``None`` while the timeline is too short for a full window —
+        including ``cutoff < input_window``, which
+        :meth:`~repro.streaming.features.StreamingFeatureStore.instance_batch`
+        rejects (the streaming path never zero-pads history).
+        """
         cutoff = month - self.dataset.horizon + 1
-        if cutoff < 1 or month >= self.store.num_months:
+        if cutoff < 1 or cutoff < self.dataset.input_window \
+                or month >= self.store.num_months:
             return None
         return self.store.instance_batch(
             cutoff,

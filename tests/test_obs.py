@@ -341,6 +341,21 @@ class TestMetricsHub:
         assert 'serving_gw_latency{quantile="0.95"} 0.25' in text
         assert "serving_gw_latency_count 1" in text
 
+    def test_histogram_count_is_window_scoped_total_lifetime(self):
+        hub = MetricsHub(histogram_window=4)
+        for value in range(10):
+            hub.observe("lat", "seconds", float(value))
+        row = hub.collect()[0]
+        # ``count`` matches what mean/percentiles were computed over
+        # (the retained ring); ``total`` is the monotone lifetime tally.
+        assert row["value"]["count"] == 4.0
+        assert row["value"]["total"] == 10.0
+        assert row["value"]["mean"] == pytest.approx(7.5)
+        text = hub.to_prometheus()
+        assert "lat_seconds_count 4" in text
+        assert "# TYPE lat_seconds_observations_total counter" in text
+        assert "lat_seconds_observations_total 10" in text
+
     def test_jsonl_round_trip(self):
         hub = MetricsHub()
         hub.inc("a", "hits", 2)
@@ -416,6 +431,20 @@ class TestRollingQps:
         assert burst_qps == pytest.approx(10.0)
         assert lifetime < 0.05  # 40 requests over ~1004 seconds
         assert qps == pytest.approx(10.0)  # only the fresh burst remains
+
+    def test_qps_zero_until_window_spans_time(self):
+        clock = FakeClock()
+        with use_clock(clock):
+            registry = MetricsRegistry(window=16)
+            registry.record_request()
+            # One timestamp and a frozen clock: no measurable span yet.
+            # The old 1e-9 clamp reported ~1e9 QPS here.
+            assert registry.qps() == 0.0
+            registry.record_request()  # same instant: span is still zero
+            assert registry.qps() == 0.0
+            clock.advance(0.5)
+            registry.record_request()
+            assert registry.qps() == pytest.approx((3 - 1) / 0.5)
 
     def test_rolling_qps_recovers_after_window_ages_out(self):
         clock = FakeClock()

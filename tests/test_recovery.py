@@ -1,0 +1,676 @@
+"""Durable log + crash recovery (``repro.streaming.durable``).
+
+The load-bearing property is **kill-and-recover equivalence**: crash
+the process between *any* two events, recover from the newest reachable
+checkpoint plus the journal tail, and every consumer — DynamicGraph
+compacted CSR, feature-store tables, adapter EWMAs/rings — must be
+array-for-array identical to a process that never died.  Around that
+core sit the journal's crash-consistency mechanics (torn-tail
+truncation, CRC rejection of real corruption, seal/rotate, streaming
+``since``) and the checkpoint integrity story (atomic writes, SHA-256
+verification, newest-reachable selection).
+"""
+
+import itertools
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Gaia, GaiaConfig
+from repro.data import MarketplaceConfig, build_dataset, build_marketplace
+from repro.deploy import ModelRegistry
+from repro.serving import GatewayConfig, ServingGateway
+from repro.streaming import (
+    DynamicGraph,
+    EdgeAdded,
+    EdgeRetired,
+    EventLog,
+    MarketplaceSimulator,
+    SalesTick,
+    ShopAdded,
+    StreamingFeatureStore,
+)
+from repro.streaming.durable import (
+    Checkpoint,
+    CheckpointError,
+    Checkpointer,
+    DurableEventLog,
+    LogCorruptionError,
+    decode_event,
+    encode_event,
+    latest_checkpoint,
+    load_checkpoint,
+    recover,
+    write_checkpoint,
+)
+from repro.training import OnlineAdapter, ShopRingWindows
+
+from helpers import forall, random_eseller_graph
+
+pytestmark = pytest.mark.recovery
+
+TRIALS = 8
+
+
+# ----------------------------------------------------------------------
+# shared fixtures: the small streaming world (mirrors test_streaming)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def market():
+    return build_marketplace(MarketplaceConfig(num_shops=50, seed=23))
+
+
+@pytest.fixture(scope="module")
+def dataset(market):
+    return build_dataset(market, train_fraction=0.6, val_fraction=0.2)
+
+
+@pytest.fixture(scope="module")
+def factory(dataset):
+    config = GaiaConfig(
+        input_window=dataset.input_window,
+        horizon=dataset.horizon,
+        temporal_dim=dataset.temporal_dim,
+        static_dim=dataset.static_dim,
+        channels=8,
+        num_scales=2,
+        num_layers=1,
+    )
+    return lambda: Gaia(config, seed=0)
+
+
+@pytest.fixture(scope="module")
+def registry(factory):
+    registry = ModelRegistry()
+    registry.publish(factory(), trained_at_month=28)
+    return registry
+
+
+@pytest.fixture(scope="module")
+def simulator(market):
+    return MarketplaceSimulator(market, start_month=22,
+                                edge_churn_per_month=2, seed=5)
+
+
+def some_events():
+    """A small fixed mix of every event kind (float-heavy ticks)."""
+    return [
+        ShopAdded(month=0, shop_index=0, industry="ind_a", region="reg_b"),
+        ShopAdded(month=0, shop_index=1),
+        EdgeAdded(month=1, src=0, dst=1, edge_type=1),
+        SalesTick(month=1, shop_index=0, gmv=0.1 + 0.2, orders=3,
+                  customers=2),
+        SalesTick(month=2, shop_index=1, gmv=1e-17, orders=0, customers=0),
+        EdgeRetired(month=2, src=0, dst=1, edge_type=1),
+        SalesTick(month=1, shop_index=1, gmv=-7.25, orders=1, customers=1),
+    ]
+
+
+# ----------------------------------------------------------------------
+# durable log mechanics
+# ----------------------------------------------------------------------
+class TestDurableLog:
+    def test_codec_round_trips_every_kind_bitwise(self):
+        for event in some_events():
+            back = decode_event(encode_event(event))
+            assert back == event
+            assert type(back) is type(event)
+            if isinstance(event, SalesTick):
+                # json emits repr-shortest floats: exact round trip.
+                assert np.float64(back.gmv).tobytes() \
+                    == np.float64(event.gmv).tobytes()
+
+    def test_codec_rejects_unknown_kind(self):
+        with pytest.raises(LogCorruptionError, match="unknown event kind"):
+            decode_event(json.dumps({"kind": "Mystery", "month": 0}))
+
+    def test_append_reopen_replays_identically(self, tmp_path):
+        events = some_events()
+        with DurableEventLog(tmp_path / "log", segment_events=3) as log:
+            for event in events:
+                log.append(event)
+            assert log.high_water == len(events)
+        reopened = DurableEventLog(tmp_path / "log", segment_events=3)
+        assert reopened.high_water == len(events)
+        assert list(reopened.since(0)) == events
+        # Event-time statistics match the in-memory log over one feed.
+        memory = EventLog(events)
+        assert reopened.frontier == memory.frontier
+        assert reopened.late_arrivals == memory.late_arrivals
+        assert reopened.counts() == memory.counts()
+
+    def test_since_streams_every_offset(self, tmp_path):
+        events = some_events()
+        log = DurableEventLog(tmp_path / "log", segment_events=2)
+        log.extend(events)
+        for offset in range(len(events) + 2):
+            assert list(log.since(offset)) == events[offset:]
+        with pytest.raises(ValueError):
+            list(log.since(-1))
+
+    def test_rotation_seals_segments(self, tmp_path):
+        log = DurableEventLog(tmp_path / "log", segment_events=2)
+        log.extend(some_events())
+        starts = [start for start, _ in log.segments()]
+        assert starts == [0, 2, 4, 6]
+        assert sum(count for _, count in log.segments()) == log.high_water
+        # Sealed segment files are never written again.
+        log.seal()
+        log.append(SalesTick(month=5, shop_index=0, gmv=1.0))
+        assert log.segments()[-1] == (7, 1)
+
+    def test_torn_tail_is_truncated_on_reopen(self, tmp_path):
+        events = some_events()
+        log = DurableEventLog(tmp_path / "log", segment_events=100)
+        log.extend(events)
+        log.close()
+        segment = next((tmp_path / "log").glob("events-*.seg"))
+        with open(segment, "ab") as handle:
+            handle.write(b"0000002a 1badc0de {\"kind\": torn-mid-w")
+        reopened = DurableEventLog(tmp_path / "log", segment_events=100)
+        assert reopened.high_water == len(events)
+        assert reopened.torn_records_truncated == 1
+        assert list(reopened.since(0)) == events
+        # The truncated log accepts new appends cleanly.
+        reopened.append(SalesTick(month=9, shop_index=1, gmv=2.0))
+        assert list(reopened.since(len(events)))[0].month == 9
+
+    def test_torn_tail_mid_record_prefix(self, tmp_path):
+        events = some_events()
+        log = DurableEventLog(tmp_path / "log")
+        log.extend(events)
+        log.close()
+        segment = next((tmp_path / "log").glob("events-*.seg"))
+        raw = segment.read_bytes()
+        segment.write_bytes(raw[:-11])        # cut inside the last record
+        reopened = DurableEventLog(tmp_path / "log")
+        assert reopened.high_water == len(events) - 1
+        assert list(reopened.since(0)) == events[:-1]
+
+    def test_corrupt_sealed_segment_raises(self, tmp_path):
+        log = DurableEventLog(tmp_path / "log", segment_events=2)
+        log.extend(some_events())
+        log.close()
+        sealed = sorted((tmp_path / "log").glob("events-*.seg"))[0]
+        raw = bytearray(sealed.read_bytes())
+        raw[-5] ^= 0xFF                        # flip a payload byte
+        sealed.write_bytes(bytes(raw))
+        with pytest.raises(LogCorruptionError):
+            DurableEventLog(tmp_path / "log", segment_events=2)
+
+    def test_corruption_before_the_tail_raises(self, tmp_path):
+        from repro.streaming.durable.log import _format_record
+
+        events = some_events()
+        log = DurableEventLog(tmp_path / "log", segment_events=100)
+        log.extend(events[:3])
+        log.close()
+        segment = next((tmp_path / "log").glob("events-*.seg"))
+        # Garbage followed by a *valid* record: the damage is mid-file,
+        # not a torn tail, so reopen must refuse rather than truncate.
+        with open(segment, "ab") as handle:
+            handle.write(b"garbage line\n")
+            handle.write(_format_record(encode_event(events[3])))
+        with pytest.raises(LogCorruptionError):
+            DurableEventLog(tmp_path / "log", segment_events=100)
+
+    def test_fresh_directory_is_empty(self, tmp_path):
+        log = DurableEventLog(tmp_path / "new")
+        assert log.high_water == 0
+        assert log.segments() == []
+        assert list(log.since(0)) == []
+        assert log.frontier == -1
+
+
+# ----------------------------------------------------------------------
+# EventLog durable tee
+# ----------------------------------------------------------------------
+class TestEventLogDurableTee:
+    def test_appends_journal_write_ahead(self, tmp_path):
+        backend = DurableEventLog(tmp_path / "log")
+        log = EventLog(durable=backend)
+        events = some_events()
+        for event in events:
+            log.append(event)
+        assert backend.high_water == log.high_water == len(events)
+        assert list(backend.since(0)) == list(log)
+
+    def test_from_durable_rehydrates_without_rewriting(self, tmp_path):
+        events = some_events()
+        backend = DurableEventLog(tmp_path / "log")
+        EventLog(events, durable=backend)
+        backend.close()
+
+        reopened = DurableEventLog(tmp_path / "log")
+        log = EventLog.from_durable(reopened)
+        assert list(log) == events
+        assert log.frontier == EventLog(events).frontier
+        assert log.late_arrivals == EventLog(events).late_arrivals
+        # No double journaling: disk still holds exactly len(events).
+        assert reopened.high_water == len(events)
+        # And the tee continues from the journal head.
+        log.append(SalesTick(month=8, shop_index=0, gmv=3.0))
+        assert reopened.high_water == len(events) + 1
+
+    def test_attach_out_of_sync_backend_rejected(self, tmp_path):
+        backend = DurableEventLog(tmp_path / "log")
+        backend.append(ShopAdded(month=0, shop_index=0))
+        with pytest.raises(ValueError, match="does not match"):
+            EventLog(durable=backend)
+
+
+# ----------------------------------------------------------------------
+# checkpoint round trips
+# ----------------------------------------------------------------------
+def fold_world(events, base, num_months=12, watermark=None, ewma_seed=None):
+    """Fold ``events`` into a fresh (dyn, store, ring, ewma) world."""
+    dyn = DynamicGraph(base, compact_threshold=0.5, min_compact_edges=8)
+    store = StreamingFeatureStore(base.num_nodes, num_months,
+                                  watermark=watermark)
+    ring = ShopRingWindows(base.num_nodes, capacity=3)
+    ewma = (np.random.default_rng(ewma_seed)
+            .normal(size=base.num_nodes) if ewma_seed is not None
+            else np.full(base.num_nodes, np.nan))
+    for event in events:
+        dyn.apply(event)
+        store.apply(event)
+        if isinstance(event, SalesTick) and store.admits_tick(event.month):
+            ring.push(event.shop_index, event.month, event.gmv)
+    return dyn, store, ring, ewma
+
+
+class _AdapterState:
+    """Duck-typed stand-in carrying the OnlineAdapter state contract."""
+
+    def __init__(self, store, ring, ewma):
+        self.store = store
+        self.graph = None
+        self.windows = ring
+        self.error_ewma = ewma
+        self.ticks_ingested = 0
+        self.ticks_rejected = 0
+        self._last_adapt_month = -5
+
+    state_dict = OnlineAdapter.state_dict
+    load_state_dict = OnlineAdapter.load_state_dict
+    ingest = OnlineAdapter.ingest
+
+
+def assert_stores_identical(a, b):
+    assert np.array_equal(a.gmv, b.gmv)
+    assert np.array_equal(a.orders, b.orders)
+    assert np.array_equal(a.customers, b.customers)
+    assert np.array_equal(a.opened_month, b.opened_month)
+    assert np.array_equal(a.last_tick_seq, b.last_tick_seq)
+    assert a._industries == b._industries
+    assert a._regions == b._regions
+    assert a.freshness_report() == b.freshness_report()
+    assert a.num_shops == b.num_shops
+    assert a.events_applied == b.events_applied
+
+
+def assert_graphs_identical(dyn_a, dyn_b):
+    ga, gb = dyn_a.compact(), dyn_b.compact()
+    assert ga.num_nodes == gb.num_nodes
+    assert np.array_equal(ga.src, gb.src)
+    assert np.array_equal(ga.dst, gb.dst)
+    assert np.array_equal(ga.edge_types, gb.edge_types)
+    for pair in zip(ga.out_csr(), gb.out_csr()):
+        assert np.array_equal(*pair)
+    for pair in zip(ga.in_csr(), gb.in_csr()):
+        assert np.array_equal(*pair)
+
+
+class TestCheckpoint:
+    def test_store_state_round_trip(self):
+        rng = np.random.default_rng(3)
+        base = random_eseller_graph(rng, max_nodes=10, max_edges=20)
+        _dyn, store, _ring, _ = fold_world(
+            _valid_sequence(rng, base, num_months=12), base, watermark=2)
+        assert_stores_identical(store,
+                                StreamingFeatureStore.from_state(
+                                    store.state_dict()))
+
+    def test_ring_state_round_trip_with_wraparound(self):
+        ring = ShopRingWindows(2, capacity=2)
+        for month in (3, 4, 5):                 # wraps shop 0's ring
+            ring.push(0, month, float(month))
+        back = ShopRingWindows.from_state(ring.state_dict())
+        assert np.array_equal(back.months, ring.months)
+        assert np.array_equal(back.values, ring.values)
+        assert np.array_equal(back._next, ring._next)
+        assert np.array_equal(back.counts, ring.counts)
+        months, values = back.recent_ticks(0)
+        assert months.tolist() == [4, 5] and values.tolist() == [4.0, 5.0]
+
+    def test_write_load_checkpoint_all_components(self, tmp_path):
+        rng = np.random.default_rng(5)
+        base = random_eseller_graph(rng, max_nodes=12, max_edges=30)
+        events = _valid_sequence(rng, base, num_months=12)
+        dyn, store, ring, ewma = fold_world(events, base, ewma_seed=11)
+        adapter = _AdapterState(store, ring, ewma)
+        path = write_checkpoint(tmp_path, len(events), dynamic_graph=dyn,
+                                store=store, adapter=adapter)
+        ckpt = load_checkpoint(path)
+        assert ckpt.offset == len(events)
+        assert ckpt.components == ["graph", "store", "adapter"]
+        assert_graphs_identical(dyn, ckpt.build_dynamic_graph())
+        assert_stores_identical(store, ckpt.build_store())
+        restored = _AdapterState(store, ShopRingWindows(1, 1),
+                                 np.zeros(1))
+        ckpt.restore_adapter(restored)
+        assert np.array_equal(restored.error_ewma, ewma)
+        assert np.array_equal(restored.windows.months, ring.months)
+        assert restored._last_adapt_month == -5
+
+    def test_checkpoint_sha_mismatch_rejected(self, tmp_path):
+        rng = np.random.default_rng(7)
+        base = random_eseller_graph(rng, max_nodes=6, max_edges=8)
+        dyn, store, _r, _e = fold_world([], base)
+        path = write_checkpoint(tmp_path, 0, dynamic_graph=dyn, store=store)
+        arrays = path / "arrays.npz"
+        raw = bytearray(arrays.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        arrays.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="SHA-256"):
+            load_checkpoint(path)
+
+    def test_incomplete_checkpoint_rejected(self, tmp_path):
+        broken = tmp_path / "ckpt-00000000000000000003"
+        broken.mkdir()
+        with pytest.raises(CheckpointError, match="incomplete"):
+            load_checkpoint(broken)
+
+    def test_latest_checkpoint_selection(self, tmp_path):
+        rng = np.random.default_rng(9)
+        base = random_eseller_graph(rng, max_nodes=6, max_edges=8)
+        dyn, store, _r, _e = fold_world([], base)
+        for offset in (0, 7, 19):
+            write_checkpoint(tmp_path, offset, dynamic_graph=dyn,
+                             store=store)
+        (tmp_path / "ckpt-00000000000000000099.tmp").mkdir()  # staging junk
+        assert latest_checkpoint(tmp_path).name.endswith("19")
+        assert latest_checkpoint(tmp_path, max_offset=18).name.endswith("07")
+        assert latest_checkpoint(tmp_path, max_offset=-1) is None
+        assert latest_checkpoint(tmp_path / "absent") is None
+
+    def test_checkpointer_cadence(self, tmp_path):
+        rng = np.random.default_rng(13)
+        base = random_eseller_graph(rng, max_nodes=6, max_edges=8)
+        dyn, store, _r, _e = fold_world([], base)
+        policy = Checkpointer(tmp_path, interval_events=5,
+                              dynamic_graph=dyn, store=store)
+        written = [offset for offset in range(14)
+                   if policy.observe(offset) is not None]
+        assert written == [0, 5, 10]
+        assert policy.snapshots_written == 3
+
+
+# ----------------------------------------------------------------------
+# the tentpole property: crash at every offset
+# ----------------------------------------------------------------------
+def _valid_sequence(rng, base, num_months=12, max_events=35):
+    """Random event mix valid against ``base``: churn + ticks (some late)."""
+    live = [
+        (int(base.src[e]), int(base.dst[e]), int(base.edge_types[e]))
+        for e in range(base.num_edges)
+    ]
+    num_nodes = base.num_nodes
+    month = int(rng.integers(0, num_months // 2))
+    events = []
+    for _ in range(int(rng.integers(1, max_events))):
+        month = min(num_months - 1, month + int(rng.integers(0, 2)))
+        kind = rng.random()
+        if kind < 0.12:
+            num_nodes += 1
+            events.append(ShopAdded(month=month, shop_index=num_nodes - 1,
+                                    industry="ind_a", region="reg_b"))
+        elif kind < 0.30 and live:
+            key = live.pop(int(rng.integers(0, len(live))))
+            events.append(EdgeRetired(month=month, src=key[0], dst=key[1],
+                                      edge_type=key[2]))
+        elif kind < 0.55:
+            key = (int(rng.integers(0, num_nodes)),
+                   int(rng.integers(0, num_nodes)),
+                   int(rng.integers(0, 3)))
+            live.append(key)
+            events.append(EdgeAdded(month=month, src=key[0], dst=key[1],
+                                    edge_type=key[2]))
+        else:
+            tick_month = max(0, month - int(rng.integers(0, 4)))  # some late
+            events.append(SalesTick(
+                month=tick_month,
+                shop_index=int(rng.integers(0, num_nodes)),
+                gmv=float(rng.normal() * 10.0),
+                orders=int(rng.integers(0, 5)),
+                customers=int(rng.integers(0, 4)),
+            ))
+    return events
+
+
+class _TruncatedLog:
+    """A durable log viewed as if the process died at ``head`` events."""
+
+    def __init__(self, log, head):
+        self._log = log
+        self.high_water = head
+
+    def since(self, offset):
+        return itertools.islice(self._log.since(offset),
+                                max(self.high_water - offset, 0))
+
+
+def check_crash_recovery(case):
+    base, events, watermark, cadence, ewma_seed, tmp_path = case
+    run_dir = tmp_path / f"run-{ewma_seed}-{len(events)}-{cadence}"
+    log_dir, ckpt_dir = run_dir / "log", run_dir / "ckpt"
+
+    # First life: journal + fold + checkpoint on cadence.
+    durable = DurableEventLog(log_dir, segment_events=8)
+    dyn, store, ring, ewma = fold_world([], base, watermark=watermark,
+                                        ewma_seed=ewma_seed)
+    adapter = _AdapterState(store, ring, ewma.copy())
+    for offset, event in enumerate(events):
+        durable.append(event)
+        dyn.apply(event)
+        store.apply(event)
+        adapter.ingest(event)
+        if (offset + 1) % cadence == 0:
+            write_checkpoint(ckpt_dir, offset + 1, dynamic_graph=dyn,
+                             store=store, adapter=adapter)
+    durable.close()
+
+    # Crash between every pair of events; compare against a cold fold
+    # of the same prefix (the never-crashed reference).
+    reopened = DurableEventLog(log_dir, segment_events=8)
+    for crash_at in range(len(events) + 1):
+        ref_dyn, ref_store, ref_ring, _ = fold_world(
+            events[:crash_at], base, watermark=watermark)
+        # Ring shaped for the market: a cold start (no reachable
+        # checkpoint) must still accumulate replayed ticks correctly.
+        recovered_adapter = _AdapterState(
+            StreamingFeatureStore(1, 1),
+            ShopRingWindows(base.num_nodes, capacity=3), np.zeros(1))
+        state = recover(
+            _TruncatedLog(reopened, crash_at),
+            ckpt_dir,
+            base_graph=base,
+            store_factory=lambda: StreamingFeatureStore(
+                base.num_nodes, store.num_months, watermark=watermark),
+            adapter=recovered_adapter,
+            graph_kwargs=dict(compact_threshold=0.5, min_compact_edges=8),
+        )
+        assert state.high_water == crash_at
+        assert state.checkpoint_offset + state.replayed_events == crash_at
+        assert_graphs_identical(state.dynamic_graph, ref_dyn)
+        assert_stores_identical(state.store, ref_store)
+        # Adapter fold state: rings identical; EWMAs round-trip from
+        # the newest reachable snapshot (they only change in
+        # observe_month, which never ran after the pre-seed).
+        assert np.array_equal(recovered_adapter.windows.months,
+                              ref_ring.months)
+        assert np.array_equal(recovered_adapter.windows.values,
+                              ref_ring.values)
+        assert np.array_equal(recovered_adapter.windows.counts,
+                              ref_ring.counts)
+        if state.checkpoint_offset > 0:
+            assert np.array_equal(recovered_adapter.error_ewma, ewma)
+
+
+class TestCrashAtEveryOffset:
+    def test_snapshot_plus_tail_equals_never_crashed(self, tmp_path):
+        counter = itertools.count()
+
+        def gen(rng):
+            base = random_eseller_graph(rng, max_nodes=10, max_edges=25)
+            events = _valid_sequence(rng, base)
+            watermark = [None, 2, 0][int(rng.integers(0, 3))]
+            cadence = int(rng.integers(3, 9))
+            return (base, events, watermark, cadence, next(counter),
+                    tmp_path)
+
+        forall(gen, check_crash_recovery, trials=TRIALS, seed=101,
+               name="crash-at-every-offset recovery equivalence")
+
+    def test_recovery_without_any_checkpoint_cold_starts(self, tmp_path):
+        rng = np.random.default_rng(17)
+        base = random_eseller_graph(rng, max_nodes=8, max_edges=16)
+        events = _valid_sequence(rng, base)
+        durable = DurableEventLog(tmp_path / "log")
+        durable.extend(events)
+        state = recover(
+            durable, tmp_path / "no-ckpts",
+            base_graph=base,
+            store_factory=lambda: StreamingFeatureStore(base.num_nodes, 12),
+        )
+        assert state.checkpoint_offset == 0
+        assert state.replayed_events == len(events)
+        ref_dyn, ref_store, _r, _e = fold_world(events, base)
+        assert_graphs_identical(state.dynamic_graph, ref_dyn)
+        assert_stores_identical(state.store, ref_store)
+
+    def test_recovery_without_checkpoint_or_cold_start_raises(self, tmp_path):
+        durable = DurableEventLog(tmp_path / "log")
+        with pytest.raises(CheckpointError, match="cold-start"):
+            recover(durable, tmp_path / "ckpts")
+
+    def test_checkpoint_ahead_of_torn_log_is_skipped(self, tmp_path):
+        rng = np.random.default_rng(19)
+        base = random_eseller_graph(rng, max_nodes=8, max_edges=16)
+        events = _valid_sequence(rng, base)
+        durable = DurableEventLog(tmp_path / "log")
+        dyn, store, _r, _e = fold_world(events, base)
+        durable.extend(events)
+        # Snapshot *past* the surviving journal: as if the checkpoint
+        # landed but the log tail was torn away by the crash.
+        write_checkpoint(tmp_path / "ckpt", len(events) + 3,
+                         dynamic_graph=dyn, store=store)
+        state = recover(
+            durable, tmp_path / "ckpt",
+            base_graph=base,
+            store_factory=lambda: StreamingFeatureStore(base.num_nodes, 12),
+        )
+        assert state.checkpoint_offset == 0      # unreachable snapshot skipped
+        ref_dyn, ref_store, _r2, _e2 = fold_world(events, base)
+        assert_graphs_identical(state.dynamic_graph, ref_dyn)
+        assert_stores_identical(state.store, ref_store)
+
+
+# ----------------------------------------------------------------------
+# end-to-end: recovered state serves identical forecasts
+# ----------------------------------------------------------------------
+class TestRecoveredServing:
+    def _gateway(self, factory, dataset, registry):
+        return ServingGateway(factory, dataset, registry,
+                              GatewayConfig(max_batch_size=8, max_wait=10.0))
+
+    def test_kill_and_recover_serves_identical_forecasts(
+            self, factory, dataset, registry, simulator, tmp_path):
+        months = list(simulator.streaming_months)
+        crash_after = months[len(months) // 2]
+
+        # Never-crashed run over the full stream.
+        ref_dyn = simulator.initial_dynamic_graph()
+        ref_store = simulator.initial_store()
+        for month in months:
+            events = simulator.events_for_month(month)
+            ref_dyn.apply_events(events)
+            ref_store.apply_events(events)
+
+        # First life: journal everything, checkpoint mid-stream, "die".
+        durable = DurableEventLog(tmp_path / "log", segment_events=64)
+        log = EventLog(durable=durable)
+        dyn = simulator.initial_dynamic_graph()
+        store = simulator.initial_store()
+        for month in months:
+            events = simulator.events_for_month(month)
+            log.extend(events)
+            dyn.apply_events(events)
+            store.apply_events(events)
+            if month == crash_after:
+                write_checkpoint(tmp_path / "ckpt", log.high_water,
+                                 dynamic_graph=dyn, store=store)
+        durable.close()
+        del log, dyn, store                      # the crash
+
+        # Second life: snapshot + tail, then attach serving cold.
+        reopened = DurableEventLog(tmp_path / "log", segment_events=64)
+        state = recover(reopened, tmp_path / "ckpt")
+        assert state.checkpoint_offset > 0
+        assert state.replayed_events == reopened.high_water \
+            - state.checkpoint_offset
+        assert_graphs_identical(state.dynamic_graph, ref_dyn)
+        assert_stores_identical(state.store, ref_store)
+
+        shops = np.arange(0, 48, 3)
+        ref_gateway = self._gateway(factory, dataset, registry)
+        ref_gateway.attach_stream(ref_dyn, store=ref_store)
+        expected = ref_gateway.predict_many(shops)
+        gateway = self._gateway(factory, dataset, registry)
+        gateway.attach_stream(state.dynamic_graph, store=state.store)
+        got = gateway.predict_many(shops)
+        for a, b in zip(got, expected):
+            assert np.array_equal(a.forecast, b.forecast)
+        ref_gateway.close()
+        gateway.close()
+
+    def test_reattach_keep_caches_preserves_warm_entries(
+            self, factory, dataset, registry, simulator):
+        dyn = simulator.initial_dynamic_graph()
+        store = simulator.initial_store()
+        gateway = self._gateway(factory, dataset, registry)
+        gateway.attach_stream(dyn, store=store)
+        shops = np.arange(8)
+        first = gateway.predict_many(shops)
+        flushes = gateway.metrics.counter("graph_invalidations")
+        hits_before = gateway.metrics.counter("cache_hits")
+
+        # Same stream, warm re-attach: entries survive and hit.
+        gateway.attach_stream(dyn, store=store, keep_caches=True)
+        assert gateway.metrics.counter("graph_invalidations") == flushes
+        again = gateway.predict_many(shops)
+        assert gateway.metrics.counter("cache_hits") \
+            >= hits_before + len(shops)
+        for a, b in zip(again, first):
+            assert np.array_equal(a.forecast, b.forecast)
+
+        # Default re-attach is the cold start.
+        gateway.attach_stream(dyn, store=store)
+        assert gateway.metrics.counter("graph_invalidations") == flushes + 1
+        gateway.close()
+
+    def test_recovered_serving_batch_guards_short_cutoff(
+            self, dataset, simulator, tmp_path):
+        durable = DurableEventLog(tmp_path / "log")
+        state = recover(
+            durable, tmp_path / "ckpt",
+            base_graph=simulator.initial_graph(),
+            store_factory=simulator.initial_store,
+        )
+        # The durable-restore path carries the same guard as
+        # StreamingFeatureStore.instance_batch: no zero-padded windows.
+        with pytest.raises(ValueError, match="input"):
+            state.serving_batch(dataset, cutoff=dataset.input_window - 1)
+        batch = state.serving_batch(dataset, cutoff=dataset.input_window)
+        assert batch.series.shape[1] == dataset.input_window

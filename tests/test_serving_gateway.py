@@ -385,10 +385,14 @@ class TestMetrics:
         for value in range(1, 101):
             metrics.observe("latency_seconds", float(value))
         summary = metrics.distribution("latency_seconds").summary()
-        assert summary["count"] == 100.0
+        # `count` covers the same retained population as the
+        # percentiles; `total` keeps the lifetime figure.
+        assert summary["count"] == 16.0
+        assert summary["total"] == 100.0
         # Only the freshest 16 observations are retained.
         assert summary["p50"] >= 85.0
         assert summary["p99"] <= 100.0
+        assert summary["mean"] * summary["count"] == sum(range(85, 101))
 
     def test_snapshot_shape(self, factory, dataset, registry):
         gateway = make_gateway(factory, dataset, registry)

@@ -122,6 +122,19 @@ class TestEventLog:
         with pytest.raises(IndexError):
             edge_history([EdgeAdded(month=0, src=5, dst=0)], num_nodes=2)
 
+    def test_edge_history_rejects_bad_indices(self):
+        # Negative shop indices used to flow through edge_history
+        # silently and only blow up later, deep inside
+        # StreamingFeatureStore._ensure_capacity.
+        with pytest.raises(IndexError, match="non-negative"):
+            edge_history([ShopAdded(month=0, shop_index=-1)], num_nodes=2)
+        # EdgeRetired endpoints are bounds-checked like EdgeAdded, not
+        # misreported as a missing live edge (LookupError).
+        with pytest.raises(IndexError, match="out of range"):
+            edge_history([EdgeRetired(month=0, src=5, dst=0)], num_nodes=2)
+        with pytest.raises(IndexError, match="out of range"):
+            edge_history([EdgeRetired(month=0, src=0, dst=-1)], num_nodes=2)
+
 
 # ----------------------------------------------------------------------
 # dynamic graph: unit behaviour
@@ -373,6 +386,18 @@ class TestStreamingWindows:
                      "static", "labels", "labels_scaled", "levels"):
             np.testing.assert_array_equal(
                 getattr(streamed, name), getattr(cold, name), err_msg=name
+            )
+
+    def test_short_cutoff_rejected(self, simulator, dataset):
+        store = simulator.initial_store()
+        store.apply_events(simulator.event_log())
+        # The streaming window path never zero-pads history: a cutoff
+        # shorter than the input window used to slip through and return
+        # a silently mis-shaped batch.
+        with pytest.raises(ValueError, match="input window"):
+            store.instance_batch(
+                dataset.input_window - 1, dataset.input_window,
+                dataset.horizon, dataset.scaler, dataset.temporal_scaler,
             )
 
     def test_streamed_batch_matches_dataset_pipeline(self, simulator, market,
