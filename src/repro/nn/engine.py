@@ -40,6 +40,19 @@ the remedy — *record once, plan, then execute* — in three layers:
    pre-allocated, step-reused gradient buffers: no ``Tensor`` objects,
    no closures, no per-step garbage.
 
+4. **Pass pipeline + backends** (:mod:`repro.nn.passes`,
+   :mod:`repro.nn.backends`).  Binding a structure runs plan-level
+   rewrites *between trace and schedule*: structural CSE aliases
+   duplicate kernels' forwards, and liveness analysis assigns outputs
+   to a preallocated arena of reusable buffers, so steady-state replay
+   allocates ≈ nothing for the outputs it manages.  The executing
+   :class:`~repro.nn.backends.ExecutionBackend` supplies the dtype
+   policy, kernel table, and arena flag — ``float64`` (trainers; the
+   bitwise gate below) and a ``float32`` serving backend selected per
+   ``GatewayConfig(precision=...)`` with an explicit accuracy budget.
+   Passes never touch the eager path, so planned float64 replay stays
+   bitwise-identical to the fused eager walk.
+
 Replay assumes the traced structure is *static*: same batch arrays, same
 index/mask constants, same control flow.  Ops whose recorded constants
 depend on tensor *values* (dropout masks, Huber's quadratic/linear
@@ -56,17 +69,38 @@ the pre-engine reference path) or the :func:`use_mode` context manager.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..obs.tracing import span as _obs_span
+from . import passes as _passes
+from .backends import (
+    BACKENDS,
+    FLOAT32_ACCURACY_BUDGET,
+    ExecutionBackend,
+    active_backend,
+    active_dtype,
+    get_backend,
+    register_backend,
+    use_backend,
+)
 
 __all__ = [
     "OpKernel",
     "KERNELS",
     "register_kernel",
+    "ExecutionBackend",
+    "BACKENDS",
+    "FLOAT32_ACCURACY_BUDGET",
+    "register_backend",
+    "get_backend",
+    "active_backend",
+    "active_dtype",
+    "use_backend",
+    "ensure_allocator_tuned",
     "engine_mode",
     "set_engine_mode",
     "use_mode",
@@ -131,6 +165,19 @@ def fused_enabled() -> bool:
     return _MODE[0] != "eager"
 
 
+def _malloc_tune_enabled() -> bool:
+    """Whether the glibc mmap-threshold tune is allowed by environment.
+
+    ``REPRO_NN_MALLOC_TUNE=0`` (or ``false``/``no``/``off``) disables
+    it; the legacy ``REPRO_NN_NO_MALLOC_TUNE=1`` opt-out is still
+    honoured when the new knob is unset.
+    """
+    flag = os.environ.get("REPRO_NN_MALLOC_TUNE")
+    if flag is not None:
+        return flag.strip().lower() not in ("0", "false", "no", "off")
+    return not os.environ.get("REPRO_NN_NO_MALLOC_TUNE")
+
+
 def _tune_allocator() -> bool:
     """Keep big step buffers on the heap instead of fresh mmap regions.
 
@@ -141,10 +188,8 @@ def _tune_allocator() -> bool:
     of Gaia's step time at 1000 shops.  Raising the threshold once lets
     the allocator recycle those buffers across steps (the engine's
     buffer reuse at the allocator level).  Best-effort: silently a no-op
-    off glibc/Linux; opt out with ``REPRO_NN_NO_MALLOC_TUNE=1``.
+    off glibc/Linux.
     """
-    if os.environ.get("REPRO_NN_NO_MALLOC_TUNE"):
-        return False
     try:
         import ctypes
 
@@ -155,35 +200,65 @@ def _tune_allocator() -> bool:
         return False
 
 
-_ALLOCATOR_TUNED = _tune_allocator()
+_MALLOC_TUNE_STATE = {"attempted": False, "tuned": False}
+
+
+def ensure_allocator_tuned(arena_covered: bool = False) -> bool:
+    """Apply the mmap-threshold tune lazily, at most once per process.
+
+    Called on the first eager/fallback step and on plan replays —
+    *not* at import.  ``arena_covered=True`` (the executing plan's
+    arena already recycles every output buffer and runs forward-only)
+    skips the tune without consuming the once-per-process attempt, so
+    a later uncovered workload can still apply it.  Disabled entirely
+    by ``REPRO_NN_MALLOC_TUNE=0`` (see :func:`_malloc_tune_enabled`).
+    """
+    state = _MALLOC_TUNE_STATE
+    if state["attempted"]:
+        return state["tuned"]
+    if arena_covered:
+        _bump("malloc_tune_skipped")
+        return False
+    state["attempted"] = True
+    if not _malloc_tune_enabled():
+        return False
+    state["tuned"] = _tune_allocator()
+    return state["tuned"]
 
 
 # ======================================================================
 # stats
 # ======================================================================
 _STATS: Dict[str, int] = {}
+_STATS_LOCK = threading.Lock()
 
 
 def _bump(key: str, amount: int = 1) -> None:
-    _STATS[key] = _STATS.get(key, 0) + amount
+    # Gateway replica threads and trainer threads bump concurrently;
+    # dict read-modify-write is not atomic, so serialise under a lock.
+    with _STATS_LOCK:
+        _STATS[key] = _STATS.get(key, 0) + amount
 
 
 def stats_snapshot() -> Dict[str, int]:
     """Copy of the engine counters (plans built, replays, fusions, ...).
 
-    Includes the profiling plane's state: ``profiling_enabled`` (whether
-    a :class:`repro.obs.profiling.KernelProfiler` is installed) and
+    Thread-safe (taken under the same lock ``_bump`` holds).  Includes
+    the profiling plane's state: ``profiling_enabled`` (whether a
+    :class:`repro.obs.profiling.KernelProfiler` is installed) and
     ``profiled_replays`` (replays that ran through the timed loops).
     """
-    snapshot = dict(_STATS)
+    with _STATS_LOCK:
+        snapshot = dict(_STATS)
     snapshot["profiling_enabled"] = int(_PROFILER[0] is not None)
     snapshot.setdefault("profiled_replays", 0)
     return snapshot
 
 
 def reset_stats() -> None:
-    """Zero all engine counters."""
-    _STATS.clear()
+    """Zero all engine counters (thread-safe)."""
+    with _STATS_LOCK:
+        _STATS.clear()
 
 
 # ======================================================================
@@ -216,6 +291,9 @@ def inference_mode():
     """``no_grad`` plus engine accounting for serving-style forwards."""
     from .tensor import no_grad
 
+    # Serving forwards run eagerly (fresh buffers every call), so the
+    # allocator tune pays for itself here; applied once, lazily.
+    ensure_allocator_tuned()
     _bump("inference_forwards")
     with no_grad():
         yield
@@ -224,6 +302,12 @@ def inference_mode():
 # ======================================================================
 # kernel registry
 # ======================================================================
+#: Conservative default for :attr:`OpKernel.vjp_uses` — assume the VJP
+#: reads everything, so unannotated kernels never get a buffer reused
+#: out from under their backward.
+DEFAULT_VJP_USES = ("inputs", "output", "saved")
+
+
 class OpKernel:
     """A named forward/VJP pair, optionally with a reference variant.
 
@@ -233,18 +317,36 @@ class OpKernel:
     gradient (or ``None``) per input array; the caller unbroadcasts.
     ``ref_forward`` / ``ref_vjp`` preserve the pre-engine float
     association bit-for-bit and are used in ``"eager"`` mode.
+
+    ``forward_out(meta, arrays, out) -> (out, saved)`` is the optional
+    arena variant: write the result into the caller-owned ``out``
+    buffer, **bit-for-bit identical** to ``forward``.  It may return a
+    different array (falling back to a fresh allocation) when the
+    recorded shapes cannot be written in place.
+
+    ``vjp_uses`` declares which forward-time arrays the VJP actually
+    reads — any subset of ``("inputs", "output", "saved")`` — and is
+    the liveness contract :func:`repro.nn.passes.plan_memory` relies on
+    to recycle buffers before backward.  A kernel whose VJP only looks
+    at ``meta``/``grad`` (or array *shapes* via ``meta``) declares
+    ``()``; reading ``len(arrays)`` alone does not count as a use.
     """
 
-    __slots__ = ("name", "forward", "vjp", "ref_forward", "ref_vjp")
+    __slots__ = ("name", "forward", "vjp", "ref_forward", "ref_vjp",
+                 "forward_out", "vjp_uses")
 
     def __init__(self, name: str, forward: Callable, vjp: Callable,
                  ref_forward: Optional[Callable] = None,
-                 ref_vjp: Optional[Callable] = None) -> None:
+                 ref_vjp: Optional[Callable] = None,
+                 forward_out: Optional[Callable] = None,
+                 vjp_uses: Tuple[str, ...] = DEFAULT_VJP_USES) -> None:
         self.name = name
         self.forward = forward
         self.vjp = vjp
         self.ref_forward = ref_forward or forward
         self.ref_vjp = ref_vjp or vjp
+        self.forward_out = forward_out
+        self.vjp_uses = tuple(vjp_uses)
 
 
 KERNELS: Dict[str, OpKernel] = {}
@@ -252,17 +354,21 @@ KERNELS: Dict[str, OpKernel] = {}
 
 def register_kernel(name: str, forward: Callable, vjp: Callable,
                     ref_forward: Optional[Callable] = None,
-                    ref_vjp: Optional[Callable] = None) -> OpKernel:
+                    ref_vjp: Optional[Callable] = None,
+                    forward_out: Optional[Callable] = None,
+                    vjp_uses: Tuple[str, ...] = DEFAULT_VJP_USES) -> OpKernel:
     """Add an :class:`OpKernel` to the registry (see ROADMAP for the
     recipe for new fused kernels)."""
-    kernel = OpKernel(name, forward, vjp, ref_forward, ref_vjp)
+    kernel = OpKernel(name, forward, vjp, ref_forward, ref_vjp,
+                      forward_out, vjp_uses)
     KERNELS[name] = kernel
     return kernel
 
 
 def select_kernel(name: str) -> Tuple[Callable, Callable]:
-    """Resolve the (forward, vjp) pair for the current mode."""
-    kernel = KERNELS[name]
+    """Resolve the (forward, vjp) pair for the current mode, from the
+    active backend's kernel table."""
+    kernel = active_backend().kernel(name)
     if fused_enabled():
         return kernel.forward, kernel.vjp
     return kernel.ref_forward, kernel.ref_vjp
@@ -316,12 +422,16 @@ def _scatter_rows(index: np.ndarray, values: np.ndarray, num_rows: int,
     """
     out_shape = (num_rows,) + values.shape[1:]
     if index.size == 0:
-        return np.zeros(out_shape, dtype=np.float64)
+        return np.zeros(out_shape, dtype=values.dtype)
     if index.min() < 0:
         # bincount rejects negatives; normalise like numpy indexing does.
         index = index + (index < 0) * num_rows
     if values.ndim == 1:
-        return np.bincount(index, weights=values, minlength=num_rows)
+        # bincount accumulates in float64; cast back to the working
+        # dtype (a no-op copy-free view under the float64 backend).
+        return np.bincount(
+            index, weights=values, minlength=num_rows
+        ).astype(values.dtype, copy=False)
     flat = values.reshape(index.shape[0], -1)
     d = flat.shape[1]
     cache = meta.get("_flat_index")
@@ -330,7 +440,7 @@ def _scatter_rows(index: np.ndarray, values: np.ndarray, num_rows: int,
         meta["_flat_index"] = cache = (composite, d)
     return np.bincount(
         cache[0], weights=flat.ravel(), minlength=num_rows * d
-    ).reshape(out_shape)
+    ).astype(values.dtype, copy=False).reshape(out_shape)
 
 
 # ======================================================================
@@ -469,7 +579,7 @@ def _fw_getitem(meta, arrays):
 
 
 def _bw_getitem_ref(meta, grad, arrays, out, saved):
-    full = np.zeros(meta["in_shape"], dtype=np.float64)
+    full = np.zeros(meta["in_shape"], dtype=np.asarray(grad).dtype)
     np.add.at(full, meta["index"], grad)
     return (full,)
 
@@ -479,13 +589,13 @@ def _bw_getitem(meta, grad, arrays, out, saved):
     if isinstance(index, np.ndarray):
         if index.dtype == np.bool_:
             # A boolean mask selects each row at most once.
-            full = np.zeros(meta["in_shape"], dtype=np.float64)
+            full = np.zeros(meta["in_shape"], dtype=np.asarray(grad).dtype)
             full[index] = grad
             return (full,)
         if index.ndim == 1 and np.issubdtype(index.dtype, np.integer):
             return (_scatter_rows(index, np.asarray(grad),
                                   meta["in_shape"][0], meta),)
-    full = np.zeros(meta["in_shape"], dtype=np.float64)
+    full = np.zeros(meta["in_shape"], dtype=np.asarray(grad).dtype)
     if isinstance(index, (int, np.integer, slice)) or (
         isinstance(index, tuple)
         and all(isinstance(i, (int, np.integer, slice)) for i in index)
@@ -561,7 +671,7 @@ def _fw_sqrt(meta, arrays):
 
 
 def _bw_sqrt(meta, grad, arrays, out, saved):
-    return (grad * 0.5 / np.maximum(out, 1e-300),)
+    return (grad * 0.5 / np.maximum(out, _denom_floor(out.dtype)),)
 
 
 def _fw_abs(meta, arrays):
@@ -584,7 +694,10 @@ def _bw_relu(meta, grad, arrays, out, saved):
 
 def _fw_leaky_relu(meta, arrays):
     (a,) = arrays
-    scale = np.where(a > 0, 1.0, meta["negative_slope"])
+    # Typed scalars: np.where with two python floats would promote to
+    # float64 regardless of the input dtype (bitwise no-op for float64).
+    one = a.dtype.type(1.0)
+    scale = np.where(a > 0, one, a.dtype.type(meta["negative_slope"]))
     return a * scale, scale
 
 
@@ -613,6 +726,35 @@ def _bw_tanh(meta, grad, arrays, out, saved):
 # ======================================================================
 # kernels: softmax family
 # ======================================================================
+def _denom_floor(dtype) -> float:
+    """Smallest safe softmax-denominator floor for a working dtype.
+
+    The historical float64 constant ``1e-300`` is kept bit-for-bit for
+    8-byte floats (the engine's bitwise gate); narrower dtypes get
+    their own smallest positive normal instead, since ``1e-300``
+    underflows to ``0.0`` in float32 and would stop guarding at all.
+    """
+    if dtype.itemsize >= 8:
+        return 1e-300
+    return float(np.finfo(dtype).tiny)
+
+
+def _mask_like(meta, a: np.ndarray) -> np.ndarray:
+    """The recorded additive mask, cast to the working dtype.
+
+    Masks are recorded float64; under the float32 backend the cast is
+    computed once and memoised under a kernel-private meta key.  For
+    float64 inputs this returns the recorded array itself.
+    """
+    mask = meta["mask"]
+    if mask.dtype == a.dtype:
+        return mask
+    cache = meta.get("_mask_cast")
+    if cache is None or cache.dtype != a.dtype:
+        cache = meta["_mask_cast"] = np.asarray(mask, dtype=a.dtype)
+    return cache
+
+
 def _fw_softmax(meta, arrays):
     (a,) = arrays
     axis = meta["axis"]
@@ -621,7 +763,7 @@ def _fw_softmax(meta, arrays):
     # nan via (-inf) - (-inf) and 0/0; guard both like masked_softmax.
     row_max = np.where(np.isfinite(row_max), row_max, 0.0)
     ex = np.exp(a - row_max)
-    denom = np.maximum(ex.sum(axis=axis, keepdims=True), 1e-300)
+    denom = np.maximum(ex.sum(axis=axis, keepdims=True), _denom_floor(a.dtype))
     return ex / denom, None
 
 
@@ -633,20 +775,20 @@ def _bw_softmax(meta, grad, arrays, out, saved):
 
 def _fw_masked_softmax_ref(meta, arrays):
     (a,) = arrays
-    mask, axis = meta["mask"], meta["axis"]
+    mask, axis = _mask_like(meta, a), meta["axis"]
     scores = a + mask
     row_max = scores.max(axis=axis, keepdims=True)
     row_max = np.where(np.isfinite(row_max), row_max, 0.0)
     ex = np.exp(scores - row_max)
     ex = np.where(np.isfinite(scores), ex, 0.0)
     denom = ex.sum(axis=axis, keepdims=True)
-    safe = np.maximum(denom, 1e-300)
+    safe = np.maximum(denom, _denom_floor(a.dtype))
     return ex / safe, None
 
 
 def _fw_masked_softmax(meta, arrays):
     (a,) = arrays
-    mask, axis = meta["mask"], meta["axis"]
+    mask, axis = _mask_like(meta, a), meta["axis"]
     scores = a + mask                       # only fresh allocation
     row_max = scores.max(axis=axis, keepdims=True)
     row_max = np.where(np.isfinite(row_max), row_max, 0.0)
@@ -656,7 +798,7 @@ def _fw_masked_softmax(meta, arrays):
     # logits assumed; the reference variant also zeroes nan scores).
     np.exp(scores, out=scores)
     denom = scores.sum(axis=axis, keepdims=True)
-    np.maximum(denom, 1e-300, out=denom)
+    np.maximum(denom, _denom_floor(a.dtype), out=denom)
     np.divide(scores, denom, out=scores)
     return scores, None
 
@@ -689,13 +831,13 @@ def _fw_scaled_masked_softmax(meta, arrays):
     (a,) = arrays
     axis = meta["axis"]
     scores = a * meta["scale"]
-    scores += meta["mask"]
+    scores += _mask_like(meta, a)
     row_max = scores.max(axis=axis, keepdims=True)
     row_max = np.where(np.isfinite(row_max), row_max, 0.0)
     np.subtract(scores, row_max, out=scores)
     np.exp(scores, out=scores)
     denom = scores.sum(axis=axis, keepdims=True)
-    np.maximum(denom, 1e-300, out=denom)
+    np.maximum(denom, _denom_floor(a.dtype), out=denom)
     np.divide(scores, denom, out=scores)
     return scores, None
 
@@ -715,7 +857,7 @@ def _fw_gather_rows(meta, arrays):
 
 
 def _bw_gather_rows_ref(meta, grad, arrays, out, saved):
-    full = np.zeros(meta["in_shape"], dtype=np.float64)
+    full = np.zeros(meta["in_shape"], dtype=np.asarray(grad).dtype)
     np.add.at(full, meta["index"], grad)
     return (full,)
 
@@ -727,7 +869,7 @@ def _bw_gather_rows(meta, grad, arrays, out, saved):
 
 def _fw_segment_sum_ref(meta, arrays):
     (a,) = arrays
-    out = np.zeros((meta["num_segments"],) + a.shape[1:], dtype=np.float64)
+    out = np.zeros((meta["num_segments"],) + a.shape[1:], dtype=a.dtype)
     np.add.at(out, meta["ids"], a)
     return out, None
 
@@ -750,7 +892,7 @@ def _fw_segment_max_gather(meta, arrays):
     """
     (scores,) = arrays
     ids, num_segments = meta["ids"], meta["num_segments"]
-    seg_max = np.full(num_segments, -np.inf, dtype=np.float64)
+    seg_max = np.full(num_segments, -np.inf, dtype=scores.dtype)
     np.maximum.at(seg_max, ids, scores)
     seg_max = np.where(np.isfinite(seg_max), seg_max, 0.0)
     return seg_max[ids], None
@@ -800,7 +942,7 @@ def _bw_conv1d_ref(meta, grad, arrays, out, saved):
     gw = np.einsum("btk,bto->ko", cols2, grad).reshape(width, c_in, c_out)
     gcols = grad @ w2.T
     gcols = gcols.reshape(b, out_t, width, c_in)
-    gx_padded = np.zeros((b, t + left + meta["right"], c_in), dtype=np.float64)
+    gx_padded = np.zeros((b, t + left + meta["right"], c_in), dtype=grad.dtype)
     for offset in range(width):
         gx_padded[:, offset:offset + out_t, :] += gcols[:, :, offset, :]
     gx = gx_padded[:, left:left + t, :]
@@ -822,7 +964,7 @@ def _fw_conv1d(meta, arrays):
         return out, None
     left, right = meta["left"], meta["right"]
     # Manual zero-pad: np.pad's generic machinery is measurably slower.
-    xp = np.zeros((b, t + left + right, c_in), dtype=np.float64)
+    xp = np.zeros((b, t + left + right, c_in), dtype=x.dtype)
     xp[:, left:left + t, :] = x
     cols = _im2col(xp, width)
     out_t = cols.shape[1]
@@ -846,7 +988,7 @@ def _conv_input_grad(grad: np.ndarray, w: np.ndarray, t: int,
     width, c_in, c_out = w.shape
     b, out_t, _ = grad.shape
     padded_len = out_t + 2 * (width - 1)
-    gp = np.zeros((b, padded_len, c_out), dtype=np.float64)
+    gp = np.zeros((b, padded_len, c_out), dtype=grad.dtype)
     gp[:, width - 1:width - 1 + out_t, :] = grad
     gcols = np.ascontiguousarray(_im2col(gp, width))
     gcols = gcols.reshape(b * (out_t + width - 1), width * c_out)
@@ -891,7 +1033,7 @@ def _block_weight(ws: Sequence[np.ndarray], wmax: int, c_in: int) -> np.ndarray:
     at once.
     """
     total = sum(w.shape[2] for w in ws)
-    block = np.zeros((wmax, c_in, total), dtype=np.float64)
+    block = np.zeros((wmax, c_in, total), dtype=ws[0].dtype)
     col = 0
     for w in ws:
         width, _, c_out = w.shape
@@ -915,7 +1057,7 @@ def _fw_multi_conv1d(meta, arrays):
     wmax = max(widths)
     b, t, c_in = x.shape
     left = wmax - 1
-    xp = np.zeros((b, t + left, c_in), dtype=np.float64)
+    xp = np.zeros((b, t + left, c_in), dtype=x.dtype)
     xp[:, left:, :] = x
     cols2 = np.ascontiguousarray(_im2col(xp, wmax)).reshape(b * t, wmax * c_in)
     block = _block_weight(ws, wmax, c_in)
@@ -1024,49 +1166,319 @@ def _bw_mul_sum(meta, grad, arrays, out, saved):
 
 
 # ======================================================================
+# arena forward variants (write into caller-owned buffers)
+# ======================================================================
+# Each ``_fwo_*`` computes exactly what its ``_fw_*`` twin computes —
+# same ufuncs, same order of operations — but lands the result in the
+# arena buffer the memory plan assigned, so steady-state replay does
+# not allocate the outputs it manages.  Bit-for-bit equality with the
+# out-of-place variant is part of the kernel contract (property-tested
+# in ``tests/test_passes.py``); kernels whose result cannot be written
+# in place for the recorded shapes fall back to the allocating twin
+# and return the fresh array.
+def _fwo_add(meta, arrays, out):
+    np.add(arrays[0], arrays[1], out=out)
+    return out, None
+
+
+def _fwo_mul(meta, arrays, out):
+    np.multiply(arrays[0], arrays[1], out=out)
+    return out, None
+
+
+def _fwo_div(meta, arrays, out):
+    np.divide(arrays[0], arrays[1], out=out)
+    return out, None
+
+
+def _fwo_exp(meta, arrays, out):
+    np.exp(arrays[0], out=out)
+    return out, None
+
+
+def _fwo_log(meta, arrays, out):
+    safe = np.maximum(arrays[0], _LOG_EPS)
+    np.log(safe, out=out)
+    return out, safe
+
+
+def _fwo_sqrt(meta, arrays, out):
+    np.sqrt(arrays[0], out=out)
+    return out, None
+
+
+def _fwo_abs(meta, arrays, out):
+    np.abs(arrays[0], out=out)
+    return out, None
+
+
+def _fwo_tanh(meta, arrays, out):
+    np.tanh(arrays[0], out=out)
+    return out, None
+
+
+def _fwo_relu(meta, arrays, out):
+    (a,) = arrays
+    mask = a > 0
+    # a * mask, not np.maximum(a, 0): keeps -0.0 exactly as the
+    # out-of-place kernel produces it.
+    np.multiply(a, mask, out=out)
+    return out, mask
+
+
+def _fwo_leaky_relu(meta, arrays, out):
+    (a,) = arrays
+    one = a.dtype.type(1.0)
+    scale = np.where(a > 0, one, a.dtype.type(meta["negative_slope"]))
+    np.multiply(a, scale, out=out)
+    return out, scale
+
+
+def _fwo_sum(meta, arrays, out):
+    np.sum(arrays[0], axis=meta["axis"], keepdims=meta["keepdims"], out=out)
+    return out, None
+
+
+def _fwo_matmul(meta, arrays, out):
+    a, b = arrays
+    if a.ndim >= 2 and b.ndim >= 2:
+        np.matmul(a, b, out=out)
+        return out, None
+    return _fw_matmul(meta, arrays)  # vector cases: no stable out form
+
+
+def _fwo_linear(meta, arrays, out):
+    x, w, b = arrays
+    if x.ndim < 2 or w.ndim < 2:
+        return _fw_linear(meta, arrays)
+    np.matmul(x, w, out=out)
+    np.add(out, b, out=out)
+    return out, None
+
+
+def _fwo_linear_relu(meta, arrays, out):
+    x, w, b = arrays
+    if x.ndim < 2 or w.ndim < 2:
+        return _fw_linear_relu(meta, arrays)
+    np.matmul(x, w, out=out)
+    np.add(out, b, out=out)
+    mask = out > 0
+    np.multiply(out, mask, out=out)
+    return out, None
+
+
+def _fwo_linear_tanh(meta, arrays, out):
+    x, w, b = arrays
+    if x.ndim < 2 or w.ndim < 2:
+        return _fw_linear_tanh(meta, arrays)
+    np.matmul(x, w, out=out)
+    np.add(out, b, out=out)
+    np.tanh(out, out=out)
+    return out, None
+
+
+def _fwo_softmax(meta, arrays, out):
+    (a,) = arrays
+    axis = meta["axis"]
+    row_max = a.max(axis=axis, keepdims=True)
+    row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    np.subtract(a, row_max, out=out)
+    np.exp(out, out=out)
+    denom = np.maximum(out.sum(axis=axis, keepdims=True),
+                       _denom_floor(a.dtype))
+    np.divide(out, denom, out=out)
+    return out, None
+
+
+def _fwo_masked_softmax(meta, arrays, out):
+    (a,) = arrays
+    mask, axis = _mask_like(meta, a), meta["axis"]
+    np.add(a, mask, out=out)
+    row_max = out.max(axis=axis, keepdims=True)
+    row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    np.subtract(out, row_max, out=out)
+    np.exp(out, out=out)
+    denom = out.sum(axis=axis, keepdims=True)
+    np.maximum(denom, _denom_floor(a.dtype), out=denom)
+    np.divide(out, denom, out=out)
+    return out, None
+
+
+def _fwo_scaled_masked_softmax(meta, arrays, out):
+    (a,) = arrays
+    axis = meta["axis"]
+    np.multiply(a, meta["scale"], out=out)
+    out += _mask_like(meta, a)
+    row_max = out.max(axis=axis, keepdims=True)
+    row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    np.subtract(out, row_max, out=out)
+    np.exp(out, out=out)
+    denom = out.sum(axis=axis, keepdims=True)
+    np.maximum(denom, _denom_floor(a.dtype), out=denom)
+    np.divide(out, denom, out=out)
+    return out, None
+
+
+def _fwo_concat(meta, arrays, out):
+    np.concatenate(arrays, axis=meta["axis"], out=out)
+    return out, None
+
+
+def _fwo_stack(meta, arrays, out):
+    np.stack(arrays, axis=meta["axis"], out=out)
+    return out, None
+
+
+def _fwo_pad_time(meta, arrays, out):
+    (a,) = arrays
+    out.fill(0.0)
+    index = [slice(None)] * a.ndim
+    index[-2] = slice(meta["left"], meta["left"] + a.shape[-2])
+    out[tuple(index)] = a
+    return out, None
+
+
+def _fwo_gather_rows(meta, arrays, out):
+    np.take(arrays[0], meta["index"], axis=0, out=out)
+    return out, None
+
+
+def _fwo_segment_max_gather(meta, arrays, out):
+    (scores,) = arrays
+    ids, num_segments = meta["ids"], meta["num_segments"]
+    seg_max = np.full(num_segments, -np.inf, dtype=scores.dtype)
+    np.maximum.at(seg_max, ids, scores)
+    seg_max = np.where(np.isfinite(seg_max), seg_max, 0.0)
+    np.take(seg_max, ids, axis=0, out=out)
+    return out, None
+
+
+def _fwo_conv1d(meta, arrays, out):
+    x, w = arrays[0], arrays[1]
+    width, c_in, c_out = w.shape
+    b, t, _ = x.shape
+    if width == 1:
+        np.matmul(x.reshape(b * t, c_in), w[0],
+                  out=out.reshape(b * t, c_out))
+        if len(arrays) == 3:
+            out += arrays[2]
+        return out, None
+    left, right = meta["left"], meta["right"]
+    xp = np.zeros((b, t + left + right, c_in), dtype=x.dtype)
+    xp[:, left:left + t, :] = x
+    cols = _im2col(xp, width)
+    out_t = cols.shape[1]
+    cols2 = np.ascontiguousarray(cols).reshape(b, out_t, width * c_in)
+    np.matmul(cols2, w.reshape(width * c_in, c_out), out=out)
+    if len(arrays) == 3:
+        out += arrays[2]
+    return out, cols2
+
+
+def _fwo_multi_conv1d(meta, arrays, out):
+    n = meta["num_scales"]
+    x = arrays[0]
+    ws = arrays[1:1 + n]
+    widths = tuple(w.shape[0] for w in ws)
+    wmax = max(widths)
+    b, t, c_in = x.shape
+    left = wmax - 1
+    xp = np.zeros((b, t + left, c_in), dtype=x.dtype)
+    xp[:, left:, :] = x
+    cols2 = np.ascontiguousarray(_im2col(xp, wmax)).reshape(b * t, wmax * c_in)
+    block = _block_weight(ws, wmax, c_in)
+    out2 = out.reshape(b * t, out.shape[2])
+    np.matmul(cols2, block, out=out2)
+    if meta["bias"]:
+        out2 += np.concatenate(arrays[1 + n:])
+    return out, (cols2, block)
+
+
+# ======================================================================
 # registry population
 # ======================================================================
-register_kernel("add", _fw_add, _bw_add)
-register_kernel("mul", _fw_mul, _bw_mul)
-register_kernel("div", _fw_div, _bw_div)
-register_kernel("power", _fw_power, _bw_power)
-register_kernel("matmul", _fw_matmul, _bw_matmul)
-register_kernel("reshape", _fw_reshape, _bw_reshape)
-register_kernel("transpose", _fw_transpose, _bw_transpose)
-register_kernel("sum", _fw_sum, _bw_sum)
+# ``vjp_uses`` annotations are the liveness contract: which of
+# (inputs, output, saved) each kernel's VJP reads at backward time.
+# Reading only ``meta``/``grad`` (or shapes recorded in ``meta``)
+# declares ``()``.  When in doubt, leave the conservative default.
+register_kernel("add", _fw_add, _bw_add,
+                forward_out=_fwo_add, vjp_uses=())
+register_kernel("mul", _fw_mul, _bw_mul,
+                forward_out=_fwo_mul, vjp_uses=("inputs",))
+register_kernel("div", _fw_div, _bw_div,
+                forward_out=_fwo_div, vjp_uses=("inputs",))
+# power has no out-variant: ``a ** e`` may take numpy's scalar-exponent
+# fast paths, which ``np.power(..., out=...)`` is not guaranteed to
+# reproduce bit-for-bit.
+register_kernel("power", _fw_power, _bw_power, vjp_uses=("inputs",))
+register_kernel("matmul", _fw_matmul, _bw_matmul,
+                forward_out=_fwo_matmul, vjp_uses=("inputs",))
+register_kernel("reshape", _fw_reshape, _bw_reshape, vjp_uses=())
+register_kernel("transpose", _fw_transpose, _bw_transpose, vjp_uses=())
+register_kernel("sum", _fw_sum, _bw_sum,
+                forward_out=_fwo_sum, vjp_uses=())
 register_kernel("getitem", _fw_getitem, _bw_getitem,
-                ref_vjp=_bw_getitem_ref)
-register_kernel("concat", _fw_concat, _bw_concat)
-register_kernel("stack", _fw_stack, _bw_stack)
-register_kernel("pad_time", _fw_pad_time, _bw_pad_time)
-register_kernel("exp", _fw_exp, _bw_exp)
-register_kernel("log", _fw_log, _bw_log)
-register_kernel("sqrt", _fw_sqrt, _bw_sqrt)
-register_kernel("abs", _fw_abs, _bw_abs)
-register_kernel("relu", _fw_relu, _bw_relu)
-register_kernel("leaky_relu", _fw_leaky_relu, _bw_leaky_relu)
-register_kernel("sigmoid", _fw_sigmoid, _bw_sigmoid)
-register_kernel("tanh", _fw_tanh, _bw_tanh)
-register_kernel("softmax", _fw_softmax, _bw_softmax)
+                ref_vjp=_bw_getitem_ref, vjp_uses=())
+register_kernel("concat", _fw_concat, _bw_concat,
+                forward_out=_fwo_concat, vjp_uses=())
+register_kernel("stack", _fw_stack, _bw_stack,
+                forward_out=_fwo_stack, vjp_uses=())
+register_kernel("pad_time", _fw_pad_time, _bw_pad_time,
+                forward_out=_fwo_pad_time, vjp_uses=())
+register_kernel("exp", _fw_exp, _bw_exp,
+                forward_out=_fwo_exp, vjp_uses=("output",))
+register_kernel("log", _fw_log, _bw_log,
+                forward_out=_fwo_log, vjp_uses=("saved",))
+register_kernel("sqrt", _fw_sqrt, _bw_sqrt,
+                forward_out=_fwo_sqrt, vjp_uses=("output",))
+register_kernel("abs", _fw_abs, _bw_abs,
+                forward_out=_fwo_abs, vjp_uses=("inputs",))
+register_kernel("relu", _fw_relu, _bw_relu,
+                forward_out=_fwo_relu, vjp_uses=("saved",))
+register_kernel("leaky_relu", _fw_leaky_relu, _bw_leaky_relu,
+                forward_out=_fwo_leaky_relu, vjp_uses=("saved",))
+# sigmoid's branch-stable form routes through np.where (no out=); it
+# stays unmanaged rather than risking an inexact in-place rewrite.
+register_kernel("sigmoid", _fw_sigmoid, _bw_sigmoid, vjp_uses=("output",))
+register_kernel("tanh", _fw_tanh, _bw_tanh,
+                forward_out=_fwo_tanh, vjp_uses=("output",))
+register_kernel("softmax", _fw_softmax, _bw_softmax,
+                forward_out=_fwo_softmax, vjp_uses=("output",))
 register_kernel("masked_softmax", _fw_masked_softmax, _bw_masked_softmax,
                 ref_forward=_fw_masked_softmax_ref,
-                ref_vjp=_bw_masked_softmax_ref)
+                ref_vjp=_bw_masked_softmax_ref,
+                forward_out=_fwo_masked_softmax, vjp_uses=("output",))
 register_kernel("scaled_masked_softmax", _fw_scaled_masked_softmax,
-                _bw_scaled_masked_softmax)
+                _bw_scaled_masked_softmax,
+                forward_out=_fwo_scaled_masked_softmax,
+                vjp_uses=("output",))
 register_kernel("gather_rows", _fw_gather_rows, _bw_gather_rows,
-                ref_vjp=_bw_gather_rows_ref)
+                ref_vjp=_bw_gather_rows_ref,
+                forward_out=_fwo_gather_rows, vjp_uses=())
+# segment_sum forwards through bincount (allocates internally); an
+# out-variant would only add a copy.
 register_kernel("segment_sum", _fw_segment_sum, _bw_segment_sum,
-                ref_forward=_fw_segment_sum_ref)
+                ref_forward=_fw_segment_sum_ref, vjp_uses=())
 register_kernel("segment_max_gather", _fw_segment_max_gather,
-                _bw_segment_max_gather)
+                _bw_segment_max_gather,
+                forward_out=_fwo_segment_max_gather, vjp_uses=())
 register_kernel("conv1d", _fw_conv1d, _bw_conv1d,
-                ref_forward=_fw_conv1d_ref, ref_vjp=_bw_conv1d_ref)
-register_kernel("multi_conv1d", _fw_multi_conv1d, _bw_multi_conv1d)
-register_kernel("linear", _fw_linear, _bw_linear)
-register_kernel("linear_relu", _fw_linear_relu, _bw_linear_relu)
-register_kernel("linear_tanh", _fw_linear_tanh, _bw_linear_tanh)
-register_kernel("linear_sigmoid", _fw_linear_sigmoid, _bw_linear_sigmoid)
-register_kernel("mul_sum", _fw_mul_sum, _bw_mul_sum)
+                ref_forward=_fw_conv1d_ref, ref_vjp=_bw_conv1d_ref,
+                forward_out=_fwo_conv1d, vjp_uses=("inputs", "saved"))
+register_kernel("multi_conv1d", _fw_multi_conv1d, _bw_multi_conv1d,
+                forward_out=_fwo_multi_conv1d,
+                vjp_uses=("inputs", "saved"))
+register_kernel("linear", _fw_linear, _bw_linear,
+                forward_out=_fwo_linear, vjp_uses=("inputs",))
+register_kernel("linear_relu", _fw_linear_relu, _bw_linear_relu,
+                forward_out=_fwo_linear_relu,
+                vjp_uses=("inputs", "output"))
+register_kernel("linear_tanh", _fw_linear_tanh, _bw_linear_tanh,
+                forward_out=_fwo_linear_tanh,
+                vjp_uses=("inputs", "output"))
+register_kernel("linear_sigmoid", _fw_linear_sigmoid, _bw_linear_sigmoid,
+                vjp_uses=("inputs", "output"))
+register_kernel("mul_sum", _fw_mul_sum, _bw_mul_sum, vjp_uses=("inputs",))
 
 #: fused ops reachable only through :func:`match_fusion` or the fused
 #: entry points in :mod:`repro.nn.functional` (``linear``, ``conv_bank``).
@@ -1302,21 +1714,13 @@ def structure_cache_info() -> Dict[str, int]:
     return {"structures": len(_STRUCTURES)}
 
 
-def _collect_ancestors(root) -> Dict[int, object]:
-    found: Dict[int, object] = {}
-    stack = [root]
-    while stack:
-        node = stack.pop()
-        key = id(node)
-        if key in found:
-            continue
-        found[key] = node
-        stack.extend(node._parents)
-    return found
-
-
 def compile_plan(root, tape: Tape) -> "ExecutionPlan":
     """Compile a traced scalar loss into an :class:`ExecutionPlan`.
+
+    Lowering order: dead-node pruning (:mod:`repro.nn.passes`) →
+    slot/schedule construction → structure-cache lookup → plan binding,
+    where binding runs the remaining passes (CSE, liveness, arena
+    planning) against the *active backend*.
 
     Raises :class:`PlanError` when the graph is not statically
     replayable (dynamic ops, ancestors created outside the trace, or a
@@ -1326,8 +1730,7 @@ def compile_plan(root, tape: Tape) -> "ExecutionPlan":
         raise PlanError("dynamic trace: " + ", ".join(tape.reasons))
     if root.data.size != 1:
         raise PlanError("plans require a scalar loss root")
-    ancestors = _collect_ancestors(root)
-    op_nodes = [t for t in tape.nodes if id(t) in ancestors]
+    ancestors, op_nodes = _passes.prune_dead_nodes(root, tape.nodes)
     recorded = {id(t) for t in op_nodes}
     slot_of: Dict[int, int] = {}
     leaves: List = []
@@ -1388,26 +1791,38 @@ def compile_plan(root, tape: Tape) -> "ExecutionPlan":
 
 
 class ExecutionPlan:
-    """A :class:`PlanStructure` bound to concrete leaves and buffers.
+    """A :class:`PlanStructure` bound to leaves, a backend, and buffers.
 
     ``run()`` replays forward and backward as flat loops over numpy
     arrays.  Parameter leaves are re-read through their ``Tensor``
     (``load_state_dict`` replaces ``.data``), constants are captured
     array references, and per-slot gradient buffers are allocated once
     and reused across steps.
+
+    Binding runs the pass pipeline (:mod:`repro.nn.passes`) against the
+    backend active at compile time: CSE'd steps skip their forward
+    kernel and alias the original's output/saved, and arena-managed
+    steps write into preallocated buffers (materialised lazily on the
+    first replay, then reused forever), so steady-state replay
+    allocates nothing for the outputs the plan manages.
     """
 
-    __slots__ = ("structure", "metas", "_params", "_consts", "_values",
-                 "_saved", "_grads", "_unbroadcast", "_seed",
+    __slots__ = ("structure", "metas", "backend", "memory_plan",
+                 "_params", "_consts", "_values",
+                 "_saved", "_grads", "_unbroadcast", "_seed", "_dtype",
+                 "_kernels", "_arena", "_arena_covered",
                  "_kstats", "_fw_costs", "_bw_costs",
                  "_profiled_replays", "_profiled_seconds")
 
     def __init__(self, structure: PlanStructure, leaves: List,
-                 metas: List[Optional[dict]]) -> None:
+                 metas: List[Optional[dict]],
+                 backend: Optional[ExecutionBackend] = None) -> None:
         from .tensor import unbroadcast
 
         self.structure = structure
         self.metas = metas
+        self.backend = backend if backend is not None else active_backend()
+        self._dtype = self.backend.dtype
         self._unbroadcast = unbroadcast
         self._params = [
             (structure.param_slots[j], leaf)
@@ -1426,7 +1841,24 @@ class ExecutionPlan:
             self._values[slot] = data
         self._saved: List[object] = [None] * len(structure.steps)
         self._grads: List[Optional[np.ndarray]] = [None] * structure.num_slots
-        self._seed = np.ones(structure.slot_shapes[structure.root_slot])
+        self._seed = np.ones(structure.slot_shapes[structure.root_slot],
+                             dtype=self._dtype)
+        # pass pipeline: CSE + liveness + arena plan, per bound plan
+        # (structure fingerprints meta by shape only, so value-level
+        # rewrites must not be shared across plans).
+        self.memory_plan = _passes.run_pipeline(structure, metas, self.backend)
+        self._kernels = [self.backend.kernel(step.op)
+                         for step in structure.steps]
+        self._arena: Optional[List[Optional[np.ndarray]]] = None
+        if self.memory_plan.cse_eliminated:
+            _bump("cse_eliminated_steps", self.memory_plan.cse_eliminated)
+        _bump("arena_planned_bytes", self.memory_plan.arena_bytes)
+        # Arena "covers" the plan when every executing step writes into
+        # it AND nothing is pinned for a backward pass — then the mmap
+        # tune has nothing left to win (see ensure_allocator_tuned).
+        self._arena_covered = (
+            self.memory_plan.fully_managed and not self._params
+        )
         # profiling plane (populated only while a profiler is installed)
         self._kstats: Dict[Tuple[str, str], List[float]] = {}
         self._fw_costs: Optional[List[Optional[Tuple[float, float]]]] = None
@@ -1447,18 +1879,54 @@ class ExecutionPlan:
         return True
 
     # ------------------------------------------------------------------
+    def _materialize_arena(self) -> List[Optional[np.ndarray]]:
+        """Allocate the plan's arena buffers (once, on first replay)."""
+        plan = self.memory_plan
+        arena: List[Optional[np.ndarray]] = [
+            np.empty(shape, dtype=self._dtype)
+            for shape in plan.buffer_shapes
+        ]
+        self._arena = arena
+        _bump("arena_buffers_allocated", len(arena))
+        _bump("arena_bytes_allocated", plan.arena_bytes)
+        return arena
+
     def forward(self) -> float:
-        """Replay the forward schedule; returns the scalar loss."""
+        """Replay the forward schedule; returns the scalar loss.
+
+        CSE'd steps alias the original's output/saved instead of
+        re-running the kernel; arena-managed steps write into the
+        plan's preallocated buffers.  Both rewrites are bitwise-neutral
+        (see :mod:`repro.nn.passes`).
+        """
         profiler = _PROFILER[0]
         if profiler is not None:
             return self._forward_profiled(profiler)
         values = self._values
         saved = self._saved
+        steps = self.structure.steps
+        metas = self.metas
+        plan = self.memory_plan
+        alias = plan.step_alias
+        step_buffer = plan.step_buffer
+        arena = self._arena
+        if arena is None:
+            arena = self._materialize_arena()
         for slot, param in self._params:
             values[slot] = param.data
-        for i, step in enumerate(self.structure.steps):
+        for i, step in enumerate(steps):
+            rep = alias[i]
+            if rep >= 0:
+                values[step.out] = values[steps[rep].out]
+                saved[i] = saved[rep]
+                continue
             arrays = tuple(values[j] for j in step.ins)
-            out, sv = step.forward(self.metas[i], arrays)
+            buf = step_buffer[i]
+            kernel = self._kernels[i]
+            if buf >= 0:
+                out, sv = kernel.forward_out(metas[i], arrays, arena[buf])
+            else:
+                out, sv = kernel.forward(metas[i], arrays)
             values[step.out] = out
             saved[i] = sv
         return float(values[self.structure.root_slot])
@@ -1511,6 +1979,7 @@ class ExecutionPlan:
                 cost = costs[i] = estimate_cost(
                     step.op, tuple(shapes[j] for j in step.ins),
                     shapes[step.out], metas[i], phase="forward",
+                    itemsize=self._dtype.itemsize,
                 )
             now = clock()
             elapsed = now - boundary
@@ -1559,7 +2028,7 @@ class ExecutionPlan:
                 if pgrad is None or not needs[j]:
                     continue
                 pgrad = unbroadcast(
-                    np.asarray(pgrad, dtype=np.float64),
+                    np.asarray(pgrad, dtype=self._dtype),
                     structure.slot_shapes[j],
                 )
                 if grads[j] is None:
@@ -1620,7 +2089,7 @@ class ExecutionPlan:
                 if pgrad is None or not needs[j]:
                     continue
                 pgrad = unbroadcast(
-                    np.asarray(pgrad, dtype=np.float64),
+                    np.asarray(pgrad, dtype=self._dtype),
                     shapes[j],
                 )
                 if grads[j] is None:
@@ -1632,6 +2101,7 @@ class ExecutionPlan:
                 cost = costs[i] = estimate_cost(
                     step.op, tuple(shapes[j] for j in step.ins),
                     shapes[step.out], metas[i], phase="backward",
+                    itemsize=self._dtype.itemsize,
                 )
             now = clock()
             elapsed = now - boundary
@@ -1656,10 +2126,13 @@ class ExecutionPlan:
         """Drop activations / saved forward buffers after a step.
 
         Trainers hold one plan per train batch for their lifetime;
-        without this, every *cold* plan would pin a full set of float64
+        without this, every *cold* plan would pin a full set of
         activations (including im2col buffers) between steps.  Constant
         leaf bindings are kept — they are references to long-lived batch
-        arrays, not copies.
+        arrays, not copies.  Arena buffers are *not* released: they
+        live in ``self._arena`` for the plan's lifetime (that is the
+        fixed preallocated footprint); only unmanaged outputs, saved
+        tensors, and gradients are dropped here.
         """
         values = self._values
         grads = self._grads
@@ -1675,6 +2148,7 @@ class ExecutionPlan:
 
     def run(self) -> float:
         """One full planned training step: forward + backward."""
+        ensure_allocator_tuned(self._arena_covered)
         _bump("plan_replays")
         loss = self.forward()
         self.backward()
@@ -1722,7 +2196,13 @@ class CompiledLoss:
         sorted by cumulative time with calls/seconds/flops/bytes,
         totals, and ``coverage`` (fraction of measured replay wall time
         the kernel timings account for) — plus ``planned`` and
-        ``fallback_reason`` for losses that never compiled.
+        ``fallback_reason`` for losses that never compiled.  Planned
+        losses additionally report the pass pipeline's memory plan:
+        ``arena`` (the :meth:`MemoryPlan.report
+        <repro.nn.passes.MemoryPlan.report>` summary — arena bytes,
+        buffer count, reuse, CSE eliminations) and a per-kernel
+        ``arena_bytes`` column attributing each forward kernel's
+        arena-managed output bytes.
         """
         from ..obs.profiling import KernelProfiler
 
@@ -1736,6 +2216,17 @@ class CompiledLoss:
         report = scratch.report(top)
         report["planned"] = plan is not None
         report["fallback_reason"] = self._reason
+        if plan is not None:
+            memory_plan = plan.memory_plan
+            report["arena"] = memory_plan.report()
+            op_bytes = memory_plan.op_bytes
+            for row in report["kernels"]:
+                row["arena_bytes"] = (
+                    op_bytes.get(row["op"], 0)
+                    if row["phase"] == "forward" else 0
+                )
+        else:
+            report["arena"] = None
         return report
 
     def _eager(self) -> float:
@@ -1746,12 +2237,14 @@ class CompiledLoss:
     def run(self) -> float:
         """Execute one step; returns the loss, populates ``.grad``."""
         if self._dynamic or not fused_enabled():
+            ensure_allocator_tuned()
             _bump("compiled_eager_steps")
             with _obs_span("engine.step"):
                 return self._eager()
         plan = self._plan
         if plan is not None:
             if plan.check_bindings():
+                ensure_allocator_tuned(plan._arena_covered)
                 with _obs_span("engine.step"):
                     loss = plan.forward()
                     plan.backward()

@@ -128,7 +128,12 @@ class Module:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load arrays produced by :meth:`state_dict` (strict matching)."""
+        """Load arrays produced by :meth:`state_dict` (strict matching).
+
+        Values are cast to each parameter's existing dtype, so a model
+        built under ``engine.use_backend("float32")`` loads a float64
+        checkpoint into float32 parameters (and vice versa).
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -137,7 +142,7 @@ class Module:
                 f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
             )
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"

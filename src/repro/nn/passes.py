@@ -1,0 +1,375 @@
+"""Plan-level rewrite passes: prune → CSE → liveness → arena plan.
+
+The engine's compiler (:func:`repro.nn.engine.compile_plan`) lowers a
+traced tape through this module *between trace and schedule*.  Each pass
+rewrites or annotates the plan without ever touching the eager path, so
+the engine's equivalence gate — planned float64 replay bitwise-identical
+to the fused eager walk — survives every rewrite:
+
+1. **Dead-node pruning** (:func:`prune_dead_nodes`): drop recorded
+   nodes that the loss root does not depend on (lifted out of
+   ``compile_plan``; a pass like any other now).
+
+2. **Structural CSE** (:func:`eliminate_common_subexpressions`):
+   detect steps that re-run an identical kernel — same op name, same
+   (alias-resolved) input slots, value-equal meta — and alias the
+   duplicate's output to the first occurrence.  The rewrite only skips
+   the duplicate's *forward* kernel call; its VJP still runs in the
+   original schedule position, so backward accumulation order — and
+   therefore every gradient bit — is unchanged.  (Merging nodes
+   outright would turn ``vjp(g1) + vjp(g2)`` into ``vjp(g1 + g2)``,
+   which is not bitwise-stable; aliasing forwards is.)
+
+3. **Liveness + arena planning** (:func:`plan_memory`): compute the
+   last use of every value slot over the linear schedule — including
+   backward reads, via the per-kernel :attr:`OpKernel.vjp_uses
+   <repro.nn.engine.OpKernel>` contract — and assign output buffers
+   from a reusable arena pool so steady-state replay allocates
+   nothing for the outputs it manages.  View-producing kernels
+   (:data:`VIEW_OPS`) alias their input's storage, so their base
+   buffer's lifetime is the union over all views.
+
+The result is a :class:`MemoryPlan` consumed by
+:class:`repro.nn.engine.ExecutionPlan`; see ``docs/ARCHITECTURE.md``
+("Pass pipeline & backends") for the ordering/equivalence contract and
+``tests/test_passes.py`` for the property tests that pin it down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "VIEW_OPS",
+    "MemoryPlan",
+    "prune_dead_nodes",
+    "eliminate_common_subexpressions",
+    "plan_memory",
+    "run_pipeline",
+]
+
+
+#: Kernels whose output is (or may be) a numpy *view* of their first
+#: input.  A view's storage is its input's storage, so the arena must
+#: never hand the underlying buffer to another step while any view of
+#: it is still live.  ``getitem`` with a fancy index actually copies,
+#: but classifying every ``getitem`` as a view only over-extends a
+#: lifetime — safe, never corrupting.
+VIEW_OPS = frozenset({"reshape", "transpose", "getitem"})
+
+
+def prune_dead_nodes(root, recorded_nodes: Sequence) -> Tuple[Dict[int, object], List]:
+    """Dead-node pruning: keep only ancestors of the loss root.
+
+    Returns ``(ancestors, op_nodes)`` where ``ancestors`` maps
+    ``id(node) -> node`` for every node the root depends on and
+    ``op_nodes`` is the recorded tape filtered to those ancestors (in
+    creation order, which is a topological order by construction).
+    """
+    ancestors: Dict[int, object] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        key = id(node)
+        if key in ancestors:
+            continue
+        ancestors[key] = node
+        stack.extend(node._parents)
+    op_nodes = [t for t in recorded_nodes if id(t) in ancestors]
+    return ancestors, op_nodes
+
+
+def _values_equal(a, b) -> bool:
+    """Structural value equality for meta entries (arrays compare by
+    shape, dtype and contents; sequences recurse; slices by fields)."""
+    if a is b:
+        return True
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+            return False
+        return (a.shape == b.shape and a.dtype == b.dtype
+                and bool(np.array_equal(a, b)))
+    if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+        return (len(a) == len(b)
+                and all(_values_equal(x, y) for x, y in zip(a, b)))
+    if isinstance(a, slice) and isinstance(b, slice):
+        return (a.start, a.stop, a.step) == (b.start, b.stop, b.step)
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def _metas_equal(a: Optional[dict], b: Optional[dict]) -> bool:
+    """Value equality over plan metas, ignoring kernel-private ``_``
+    cache keys (scatter layouts, cast caches)."""
+    if a is b:
+        return True
+    keys_a = sorted(k for k in (a or {}) if not k.startswith("_"))
+    keys_b = sorted(k for k in (b or {}) if not k.startswith("_"))
+    if keys_a != keys_b:
+        return False
+    return all(_values_equal(a[k], b[k]) for k in keys_a)
+
+
+def eliminate_common_subexpressions(
+    steps: Sequence, metas: Sequence[Optional[dict]]
+) -> List[int]:
+    """Structural CSE over one bound plan.
+
+    Returns ``alias`` with one entry per step: ``-1`` for steps that
+    execute their forward kernel, or the index of an earlier step whose
+    output (and saved tensors) this step reuses.  Two steps merge when
+    they run the same op over the same *alias-resolved* input slots
+    with value-equal meta — every kernel in the registry is a pure
+    function of ``(meta, arrays)``, so the duplicate's forward is
+    guaranteed to reproduce the original bit-for-bit, and skipping it
+    changes nothing but the wall clock.
+
+    Runs per :class:`~repro.nn.engine.ExecutionPlan` (not per cached
+    structure): structure signatures fingerprint meta by *shape* only,
+    so two plans sharing a structure may still differ in meta values.
+    """
+    alias = [-1] * len(steps)
+    slot_rep: Dict[int, int] = {}
+    seen: Dict[Tuple[str, Tuple[int, ...]], List[int]] = {}
+    for i, step in enumerate(steps):
+        resolved = tuple(slot_rep.get(j, j) for j in step.ins)
+        candidates = seen.setdefault((step.op, resolved), [])
+        for c in candidates:
+            if _metas_equal(metas[i], metas[c]):
+                alias[i] = c
+                slot_rep[step.out] = steps[c].out
+                break
+        else:
+            candidates.append(i)
+    return alias
+
+
+class MemoryPlan:
+    """Arena memory plan for one bound :class:`ExecutionPlan`.
+
+    Produced by :func:`plan_memory`; consumed by the planned forward
+    loop.  ``step_alias[i] >= 0`` marks a CSE'd step (reuse that step's
+    output/saved); ``step_buffer[i] >= 0`` names the arena buffer the
+    step's ``forward_out`` kernel writes into (``-1`` = unmanaged:
+    view-producing, CSE'd, or no out-variant kernel — the step
+    allocates its output as before).
+    """
+
+    __slots__ = ("step_alias", "step_buffer", "buffer_shapes", "dtype",
+                 "managed_steps", "unmanaged_steps", "view_steps",
+                 "cse_eliminated", "reused_buffers", "arena_bytes",
+                 "backward_live", "buffer_occupancy", "op_bytes")
+
+    def __init__(self, step_alias: List[int], step_buffer: List[int],
+                 buffer_shapes: List[tuple], dtype: np.dtype,
+                 managed_steps: int, unmanaged_steps: int, view_steps: int,
+                 cse_eliminated: int, reused_buffers: int,
+                 backward_live: int,
+                 buffer_occupancy: List[List[Tuple[int, int, int]]],
+                 op_bytes: Dict[str, int]) -> None:
+        self.step_alias = step_alias
+        self.step_buffer = step_buffer
+        self.buffer_shapes = buffer_shapes
+        self.dtype = dtype
+        self.managed_steps = managed_steps
+        self.unmanaged_steps = unmanaged_steps
+        self.view_steps = view_steps
+        self.cse_eliminated = cse_eliminated
+        self.reused_buffers = reused_buffers
+        self.arena_bytes = sum(
+            int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            for shape in buffer_shapes
+        )
+        self.backward_live = backward_live
+        self.buffer_occupancy = buffer_occupancy
+        self.op_bytes = op_bytes
+
+    @property
+    def num_buffers(self) -> int:
+        """Number of distinct arena buffers the plan preallocates."""
+        return len(self.buffer_shapes)
+
+    @property
+    def fully_managed(self) -> bool:
+        """Whether every executing non-view step writes into the arena."""
+        return self.unmanaged_steps == 0
+
+    def report(self) -> Dict[str, object]:
+        """Summary dict (surfaced through ``profile_report()`` and the
+        engine benchmarks)."""
+        return {
+            "arena_bytes": self.arena_bytes,
+            "buffers": self.num_buffers,
+            "managed_outputs": self.managed_steps,
+            "unmanaged_outputs": self.unmanaged_steps,
+            "view_outputs": self.view_steps,
+            "cse_eliminated": self.cse_eliminated,
+            "buffer_reuse": self.reused_buffers,
+            "backward_live": self.backward_live,
+            "fully_managed": self.fully_managed,
+        }
+
+
+def plan_memory(structure, metas: Sequence[Optional[dict]],
+                alias: Sequence[int], kernel_table: Dict,
+                dtype: np.dtype) -> MemoryPlan:
+    """Liveness analysis + arena buffer assignment over one plan.
+
+    Walks the schedule once to find each value slot's last use —
+    forward reads at consumer steps, the root read at schedule end, and
+    backward reads per the producing/consuming kernels'
+    ``vjp_uses`` contracts — then linear-scans the managed steps,
+    recycling exactly-matching ``(shape, dtype)`` buffers whose
+    occupants' lifetimes have ended.  A buffer last read at step ``t``
+    only re-enters the pool at step ``t + 1``, so an output buffer can
+    never alias any input of the step writing it.
+
+    View outputs (:data:`VIEW_OPS`) and CSE'd outputs alias an earlier
+    slot's storage; their reads extend that base slot's lifetime
+    transitively.  Steps whose kernel has no ``forward_out`` variant
+    stay unmanaged (counted, reported, and gated in the benchmarks).
+    """
+    steps = structure.steps
+    num_steps = len(steps)
+    num_slots = structure.num_slots
+    # -1 sentinel times: S = root read boundary, S + 1 = backward.
+    root_read = num_steps
+    backward = num_steps + 1
+
+    base = list(range(num_slots))
+
+    def resolve(slot: int) -> int:
+        while base[slot] != slot:
+            slot = base[slot]
+        return slot
+
+    for i, step in enumerate(steps):
+        if alias[i] >= 0:
+            base[step.out] = resolve(steps[alias[i]].out)
+        elif step.op in VIEW_OPS:
+            base[step.out] = resolve(step.ins[0])
+
+    last_use = [-1] * num_slots
+
+    def touch(slot: int, t: int) -> None:
+        b = resolve(slot)
+        if t > last_use[b]:
+            last_use[b] = t
+
+    for i, step in enumerate(steps):
+        for j in step.ins:
+            touch(j, i)
+        touch(step.out, i)
+    touch(structure.root_slot, root_read)
+
+    backward_live = 0
+    for i, step in enumerate(steps):
+        # CSE'd steps still run their VJP (aliased values/saved), so
+        # they pin lifetimes exactly like the step they alias.
+        uses = kernel_table[step.op].vjp_uses
+        if "inputs" in uses:
+            for j in step.ins:
+                touch(j, backward)
+        if "output" in uses:
+            touch(step.out, backward)
+    for t in last_use:
+        if t >= backward:
+            backward_live += 1
+
+    step_buffer = [-1] * num_steps
+    buffer_shapes: List[tuple] = []
+    buffer_key: List[tuple] = []
+    occupancy: List[List[Tuple[int, int, int]]] = []
+    free: Dict[tuple, List[int]] = {}
+    releases: Dict[int, List[int]] = {}
+    managed = unmanaged = views = eliminated = reused = 0
+    op_bytes: Dict[str, int] = {}
+    itemsize = dtype.itemsize
+    for i, step in enumerate(steps):
+        for buf in releases.pop(i, ()):
+            free.setdefault(buffer_key[buf], []).append(buf)
+        if alias[i] >= 0:
+            eliminated += 1
+            continue
+        if step.op in VIEW_OPS:
+            views += 1
+            continue
+        kernel = kernel_table.get(step.op)
+        if kernel is None or kernel.forward_out is None:
+            unmanaged += 1
+            continue
+        shape = structure.slot_shapes[step.out]
+        key = (shape,)
+        pool = free.get(key)
+        if pool:
+            buf = pool.pop()
+            reused += 1
+        else:
+            buf = len(buffer_shapes)
+            buffer_shapes.append(shape)
+            buffer_key.append(key)
+            occupancy.append([])
+        step_buffer[i] = buf
+        managed += 1
+        op_bytes[step.op] = op_bytes.get(step.op, 0) + (
+            int(np.prod(shape, dtype=np.int64)) * itemsize
+        )
+        end = last_use[resolve(step.out)]
+        occupancy[buf].append((i, i, end))
+        if end <= root_read:
+            # Free strictly after the last read so this buffer can never
+            # become the output of the step that still reads it.
+            releases.setdefault(end + 1, []).append(buf)
+    return MemoryPlan(
+        step_alias=list(alias),
+        step_buffer=step_buffer,
+        buffer_shapes=buffer_shapes,
+        dtype=dtype,
+        managed_steps=managed,
+        unmanaged_steps=unmanaged,
+        view_steps=views,
+        cse_eliminated=eliminated,
+        reused_buffers=reused,
+        backward_live=backward_live,
+        buffer_occupancy=occupancy,
+        op_bytes=op_bytes,
+    )
+
+
+def run_pipeline(structure, metas: Sequence[Optional[dict]],
+                 backend) -> MemoryPlan:
+    """Run the post-trace pass pipeline for one bound plan.
+
+    Ordering: CSE first (aliased steps drop out of the arena), then
+    liveness + buffer assignment against the backend's kernel table and
+    dtype policy.  With ``backend.arena`` false, CSE still applies but
+    every step stays unmanaged (no preallocated buffers).
+    """
+    alias = eliminate_common_subexpressions(structure.steps, metas)
+    if not backend.arena:
+        return MemoryPlan(
+            step_alias=alias,
+            step_buffer=[-1] * len(structure.steps),
+            buffer_shapes=[],
+            dtype=backend.dtype,
+            managed_steps=0,
+            unmanaged_steps=sum(
+                1 for i, s in enumerate(structure.steps)
+                if alias[i] < 0 and s.op not in VIEW_OPS
+            ),
+            view_steps=sum(
+                1 for i, s in enumerate(structure.steps)
+                if alias[i] < 0 and s.op in VIEW_OPS
+            ),
+            cse_eliminated=sum(1 for a in alias if a >= 0),
+            reused_buffers=0,
+            backward_live=0,
+            buffer_occupancy=[],
+            op_bytes={},
+        )
+    return plan_memory(structure, metas, alias, backend.kernels,
+                       backend.dtype)

@@ -7,9 +7,10 @@ model in this repository (Gaia and all eight baselines) is built on the
 
 Design notes
 ------------
-* ``Tensor`` wraps a ``numpy.ndarray`` (always ``float64``) together with
-  an optional gradient buffer and a reference to the registered kernel
-  that produced it.  Ops are *data, not closures*: every primitive is an
+* ``Tensor`` wraps a ``numpy.ndarray`` (in the active execution
+  backend's dtype — ``float64`` by default; see
+  :mod:`repro.nn.backends`) together with an optional gradient buffer
+  and a reference to the registered kernel that produced it.  Ops are *data, not closures*: every primitive is an
   :class:`repro.nn.engine.OpKernel` — a pure ``forward(meta, arrays)`` /
   ``vjp(meta, grad, arrays, out, saved)`` pair — dispatched through
   :func:`_apply_op`.  Because kernels are addressable by name, the same
@@ -116,7 +117,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array data; converted to ``float64``.
+        Array data; converted to the active backend's dtype
+        (``float64`` unless inside ``engine.use_backend("float32")``).
     requires_grad:
         Whether gradients should flow into this tensor.  Leaf tensors
         with ``requires_grad=True`` accumulate into :attr:`grad`.
@@ -143,7 +145,7 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=engine.active_dtype())
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._parents: tuple = tuple(parents) if self.requires_grad else ()
@@ -206,7 +208,7 @@ class Tensor:
     # autograd machinery
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        grad = unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -234,7 +236,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("backward() without a gradient requires a scalar output")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             raise ValueError(f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}")
 
@@ -253,7 +255,7 @@ class Tensor:
             for parent, pgrad in zip(node._parents, parent_grads):
                 if pgrad is None or not parent.requires_grad:
                     continue
-                pgrad = unbroadcast(np.asarray(pgrad, dtype=np.float64), parent.data.shape)
+                pgrad = unbroadcast(np.asarray(pgrad, dtype=parent.data.dtype), parent.data.shape)
                 key = id(parent)
                 if key in grads:
                     grads[key] = grads[key] + pgrad

@@ -44,22 +44,26 @@ def _size(shape: Sequence[int]) -> int:
 def estimate_cost(op: str, in_shapes: Sequence[Sequence[int]],
                   out_shape: Sequence[int],
                   meta: Optional[dict] = None,
-                  phase: str = "forward") -> Tuple[float, float]:
+                  phase: str = "forward",
+                  itemsize: float = 8.0) -> Tuple[float, float]:
     """Analytic ``(flops, bytes)`` estimate for one kernel call.
 
     FLOPs follow the textbook formulas (``2*M*N*K`` for GEMM-shaped
     ops, ``2 * out * width * c_in`` for convolutions, a few ops per
     element for the pointwise/softmax families, zero for pure data
-    movement); bytes is the float64 traffic of reading every input and
-    writing the output.  ``phase="backward"`` doubles both — the VJP of
-    each op runs the mirrored computation over gradients of the same
-    shapes.  Estimates are *model* numbers for ranking and
-    backend-planning, not measurements.
+    movement); bytes is the traffic of reading every input and writing
+    the output at ``itemsize`` bytes per element — the executing
+    backend's dtype width (float64 by default; the engine passes the
+    plan's actual itemsize, so float32 plans report half the traffic).
+    ``phase="backward"`` doubles both — the VJP of each op runs the
+    mirrored computation over gradients of the same shapes.  Estimates
+    are *model* numbers for ranking and backend-planning, not
+    measurements.
     """
     meta = meta or {}
     out = _size(out_shape)
     in_total = sum(_size(s) for s in in_shapes)
-    bytes_moved = 8.0 * (in_total + out)
+    bytes_moved = float(itemsize) * (in_total + out)
     if op in ("matmul", "linear", "linear_relu", "linear_tanh",
               "linear_sigmoid"):
         k = int(in_shapes[0][-1]) if in_shapes and len(in_shapes[0]) else 1

@@ -78,6 +78,13 @@ class GatewayConfig:
     result_cache_size: int = 8192
     num_replicas: int = 1
     routing: str = "hash"  # "hash" | "load" | "partition" (needs partition_map)
+    #: Execution backend replica models run under — any key of
+    #: ``repro.nn.engine.BACKENDS``.  ``"float64"`` (default) serves the
+    #: exact training-precision forward; ``"float32"`` halves replica
+    #: memory traffic at a documented accuracy budget
+    #: (``engine.FLOAT32_ACCURACY_BUDGET``; responses are cast back to
+    #: float64 at the gateway boundary either way).
+    precision: str = "float64"
     metrics_window: int = 4096
     #: With an attached stream, invalidate caches delta-aware (evict
     #: only entries intersecting each mutation's touched frontier).
@@ -106,6 +113,11 @@ class GatewayConfig:
         if self.num_replicas <= 0:
             raise ValueError(
                 f"num_replicas must be positive, got {self.num_replicas}"
+            )
+        if self.precision not in engine.BACKENDS:
+            raise ValueError(
+                f"unknown precision {self.precision!r}; "
+                f"registered backends: {sorted(engine.BACKENDS)}"
             )
         if self.max_staleness_months is not None \
                 and self.max_staleness_months < 0:
@@ -182,6 +194,7 @@ class ServingGateway:
             num_replicas=self.config.num_replicas,
             policy=self.config.routing,
             partition_map=partition_map,
+            precision=self.config.precision,
         )
         self.batcher = MicroBatcher(
             max_batch_size=self.config.max_batch_size,
@@ -612,11 +625,15 @@ class ServingGateway:
             # Inference mode = no autograd metadata + the engine's
             # optimized kernel set (GEMM convolutions, reduceat
             # scatter-adds, in-place masked softmax) for the stitched
-            # block-diagonal forward.
+            # block-diagonal forward.  The configured backend pins the
+            # replica's dtype policy (float32 serving); forecasts cross
+            # back to float64 at the gateway boundary below.
             with obs_tracing.span("gateway.forward"):
-                with engine.inference_mode():
-                    scaled = replica.model(union.batch, union.graph)
-            raw = union.batch.inverse_scale(scaled.data)
+                with engine.use_backend(self.config.precision):
+                    with engine.inference_mode():
+                        scaled = replica.model(union.batch, union.graph)
+            raw = np.asarray(
+                union.batch.inverse_scale(scaled.data), dtype=np.float64)
         finally:
             replica.inflight -= num_requests
         served = sum(len(by_shop[s]) for s in shops)
@@ -679,6 +696,7 @@ class ServingGateway:
             }
         report["engine"] = {
             "mode": engine.engine_mode(),
+            "precision": self.config.precision,
             **engine.stats_snapshot(),
         }
         return report

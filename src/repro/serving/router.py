@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..deploy.model_server import ModelRegistry
+from ..nn import engine
 from ..nn.module import Module
 
 __all__ = ["ModelReplica", "ReplicaRouter"]
@@ -78,6 +79,13 @@ class ReplicaRouter:
         :class:`~repro.partition.partition.GraphPartition`).  Keys
         beyond the map (shops added after partitioning) fall back to
         plain rendezvous hashing on the key itself.
+    precision:
+        Execution-backend name replica models are built and reloaded
+        under (``"float64"`` default, ``"float32"`` for the serving
+        backend).  The factory runs inside
+        ``engine.use_backend(precision)`` so parameters are created in
+        the backend's dtype, and weight reloads hand
+        ``load_state_dict`` the registry's matching precision twin.
     """
 
     def __init__(
@@ -87,14 +95,17 @@ class ReplicaRouter:
         num_replicas: int = 1,
         policy: str = "hash",
         partition_map=None,
+        precision: str = "float64",
     ) -> None:
         if num_replicas <= 0:
             raise ValueError(f"num_replicas must be positive, got {num_replicas}")
         if policy not in ("hash", "load", "partition"):
             raise ValueError(f"unknown routing policy {policy!r}")
+        engine.get_backend(precision)  # validate early (raises ValueError)
         self.model_factory = model_factory
         self.registry = registry
         self.policy = policy
+        self.precision = precision
         self._partition_map: Optional[np.ndarray] = None
         if partition_map is not None:
             self.set_partition_map(partition_map)
@@ -138,9 +149,12 @@ class ReplicaRouter:
         self._next_id += 1
         if replica_id in self._replicas:
             raise ValueError(f"duplicate replica id {replica_id!r}")
-        replica = ModelReplica(replica_id=replica_id, model=self.model_factory())
+        with engine.use_backend(self.precision):
+            replica = ModelReplica(
+                replica_id=replica_id, model=self.model_factory())
         if self.registry is not None and self.registry.num_versions:
-            record = self.registry.load_into(replica.model)
+            record = self.registry.load_into(
+                replica.model, precision=self.precision)
             replica.version = record.version
         self._replicas[replica_id] = replica
         return replica
@@ -195,7 +209,8 @@ class ReplicaRouter:
             raise RuntimeError("router has no registry to sync from")
         synced = 0
         for replica in self.replicas:
-            record = self.registry.load_into(replica.model, version)
+            record = self.registry.load_into(
+                replica.model, version, precision=self.precision)
             replica.version = record.version
             synced = record.version
         return synced

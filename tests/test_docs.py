@@ -1,6 +1,6 @@
-"""Docs-consistency gates: the documentation layer cannot silently rot.
+"""Docs-and-policy gates: documented invariants cannot silently rot.
 
-Three invariants, all cheap enough for tier-1:
+Four invariants, all cheap enough for tier-1:
 
 * every symbol a ``repro.*`` module exports through ``__all__`` resolves
   and carries a docstring (modules, classes, functions — the public API
@@ -9,9 +9,14 @@ Three invariants, all cheap enough for tier-1:
   ``README.md`` (an example nobody can find is an example that rots);
 * the documentation files the README points at actually exist, and the
   ROADMAP keeps pointing at the versioned design docs it delegated its
-  per-subsystem guides to.
+  per-subsystem guides to;
+* the engine's **dtype policy** holds at the source level: kernel
+  forward/VJP bodies never hard-code ``np.float64`` (AST lint), which is
+  what lets one kernel table serve both the float64 and float32
+  execution backends.
 """
 
+import ast
 import importlib
 import inspect
 import pkgutil
@@ -92,6 +97,51 @@ def test_readme_documents_the_test_matrix_and_benchmarks():
     assert not missing, (
         f"benchmarks/README.md never documents artifacts: {missing}"
     )
+
+
+# Kernel-adjacent helpers that compute on kernel arrays and therefore
+# fall under the same dtype policy as the ``_fw_*``/``_bw_*``/``_fwo_*``
+# bodies themselves.
+KERNEL_HELPERS = {
+    "_scatter_rows", "_matmul_vjp_arrays", "_mul_operand_grad",
+    "_expand_reduced_grad", "_softmax_dot", "_denom_floor", "_mask_like",
+    "_im2col", "_conv_input_grad", "_block_weight", "_make_linear_act",
+    "_relu_act", "_sigmoid_act",
+}
+
+
+def test_engine_kernels_never_hardcode_float64():
+    """Dtype-policy lint (tier-1): kernels derive their working dtype
+    from their input arrays.  A bare ``np.float64`` inside a kernel
+    forward/VJP body would silently up-cast the float32 serving
+    backend's arrays back to double precision."""
+    source = (REPO_ROOT / "src" / "repro" / "nn" / "engine.py").read_text()
+    tree = ast.parse(source)
+    offenders = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        name = node.name
+        if not (name.startswith(("_fw_", "_bw_", "_fwo_"))
+                or name in KERNEL_HELPERS):
+            continue
+        for sub in ast.walk(node):
+            if (isinstance(sub, ast.Attribute) and sub.attr == "float64"
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "np"):
+                offenders.append(f"{name} (engine.py:{sub.lineno})")
+    assert not offenders, (
+        "np.float64 hard-coded inside kernel bodies (derive the dtype "
+        f"from the input arrays instead): {sorted(set(offenders))}"
+    )
+    # The lint must actually be scanning something: if the kernel naming
+    # convention changes this gate should fail loudly, not pass vacuously.
+    scanned = [
+        node.name for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef)
+        and node.name.startswith(("_fw_", "_bw_", "_fwo_"))
+    ]
+    assert len(scanned) > 50, f"kernel scan looks vacuous: {len(scanned)}"
 
 
 def test_roadmap_points_at_versioned_design_docs():

@@ -1,4 +1,4 @@
-"""Gradient correctness and equivalence tests for the execution engine.
+"""Gradient correctness, equivalence and stats tests for the engine.
 
 Three layers of guarantees, strongest first:
 
@@ -10,6 +10,9 @@ Three layers of guarantees, strongest first:
   <= 1e-12 over whole training trajectories (Trainer and
   ParallelTrainer).
 """
+
+import sys
+import threading
 
 import numpy as np
 import pytest
@@ -388,6 +391,35 @@ class TestTrainerEquivalence:
         history = Trainer(model, dataset, config).fit()
         assert len(history.train_loss) == 2
         assert np.isfinite(history.train_loss).all()
+
+
+class TestStatsThreadSafety:
+    """The gateway's replicas replay plans from worker threads, so the
+    engine stats counters must not lose increments under contention."""
+
+    def test_concurrent_bumps_never_lose_increments(self):
+        engine.reset_stats()
+        threads, per_thread = 8, 2000
+        key = "test_concurrent_bumps"
+        # Force frequent preemption so torn read-modify-write sequences
+        # actually interleave if the counter update is unguarded.
+        previous = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            def worker():
+                for _ in range(per_thread):
+                    engine._bump(key)
+
+            pool = [threading.Thread(target=worker) for _ in range(threads)]
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join()
+        finally:
+            sys.setswitchinterval(previous)
+        assert engine.stats_snapshot()[key] == threads * per_thread
+        engine.reset_stats()
+        assert key not in engine.stats_snapshot()
 
 
 class TestFusedRegressions:

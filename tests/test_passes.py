@@ -1,0 +1,461 @@
+"""Property tests for the plan-compiler pass pipeline and backends.
+
+Pins down the three contracts ``repro.nn.passes`` makes:
+
+* **CSE is bitwise-neutral** — a planned float64 replay whose trace
+  contains duplicated subexpressions (so CSE actually fires) returns
+  the exact bits of the eager walk, loss and gradients, for every
+  fused-kernel family;
+* **liveness never aliases two simultaneously-live slots** — randomized
+  plan shapes, with an independent interval-overlap check per arena
+  buffer;
+* **the arena reaches steady state** — the first replay materialises
+  the buffers, further replays allocate nothing for managed outputs.
+
+Plus the backend seam: dtype policy of leaf tensors, ``use_backend``
+nesting, ``load_state_dict`` cross-precision casts, and the registry's
+float32 state twins.
+"""
+
+import numpy as np
+import pytest
+
+from helpers import forall
+
+from repro.deploy.model_server import ModelRegistry
+from repro.nn import engine
+from repro.nn import functional as F
+from repro.nn import passes
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+pytestmark = pytest.mark.engine
+
+
+@pytest.fixture(autouse=True)
+def _restore_mode():
+    previous = engine.engine_mode()
+    yield
+    engine.set_engine_mode(previous)
+
+
+# ----------------------------------------------------------------------
+# CSE + arena replay is bitwise-identical to eager, per kernel family
+# ----------------------------------------------------------------------
+def _builders():
+    """One ``(loss_fn, params)`` factory per fused-kernel family.
+
+    Each closure rebuilds the identical graph from *stable* leaves on
+    every call (the ``CompiledLoss`` contract) and contains duplicated
+    subexpressions, so structural CSE is guaranteed to fire.
+    """
+    rng = np.random.default_rng(17)
+    x = rng.normal(size=(4, 6, 3))
+    m = rng.normal(size=(5, 4))
+    mask = F.causal_mask(6)
+    index = rng.integers(0, 5, size=9)
+
+    def linear():
+        xs = Tensor(m)
+        w = Parameter(rng.normal(size=(4, 3)), name="w")
+        b = Parameter(rng.normal(size=3), name="b")
+        return lambda: ((xs @ w + b) + (xs @ w + b)).sum(), [w, b]
+
+    def linear_act():
+        xs = Tensor(m)
+        w = Parameter(rng.normal(size=(4, 3)), name="w")
+        b = Parameter(rng.normal(size=3), name="b")
+
+        def fn():
+            h = (F.relu(xs @ w + b) + F.relu(xs @ w + b)
+                 + F.tanh(xs @ w + b) + F.sigmoid(xs @ w + b))
+            return (h * h).sum()
+
+        return fn, [w, b]
+
+    def elementwise():
+        xs = Tensor(m)
+        w = Parameter(rng.normal(size=(4, 3)), name="w")
+
+        def fn():
+            h = xs @ w
+            e = F.exp(h * Tensor(0.1)) + F.exp(h * Tensor(0.1))
+            s = (F.sqrt(F.absolute(h) + Tensor(1.0))
+                 + F.sqrt(F.absolute(h) + Tensor(1.0)))
+            return (e * s).sum()
+
+        return fn, [w]
+
+    def conv():
+        xs = Tensor(x)
+        w = Parameter(rng.normal(size=(3, 3, 2)), name="cw")
+        b = Parameter(rng.normal(size=2), name="cb")
+        return (lambda: ((F.conv1d(xs, w, b) + F.conv1d(xs, w, b)) ** 2.0)
+                .sum()), [w, b]
+
+    def conv_bank():
+        xs = Tensor(x)
+        w1 = Parameter(rng.normal(size=(1, 3, 2)), name="w1")
+        w2 = Parameter(rng.normal(size=(4, 3, 2)), name="w2")
+        b1 = Parameter(rng.normal(size=2), name="b1")
+        b2 = Parameter(rng.normal(size=2), name="b2")
+
+        def bank():
+            return F.concat([F.conv1d(xs, w1, b1), F.conv1d(xs, w2, b2)],
+                            axis=-1)
+
+        return lambda: (bank() + bank()).sum(), [w1, w2, b1, b2]
+
+    def softmax_family():
+        xs = Tensor(x)
+        w = Parameter(rng.normal(size=(3, 6)), name="w")
+
+        def fn():
+            scores = xs @ w  # (4, 6, 6)
+            att = (F.masked_softmax(scores * Tensor(0.5), mask)
+                   + F.masked_softmax(scores * Tensor(0.5), mask))
+            return (att * att).sum()
+
+        return fn, [w]
+
+    def graph_ops():
+        h = Parameter(rng.normal(size=(5, 3)), name="h")
+
+        def seg():
+            return F.segment_sum(F.gather_rows(h, index), index, 5)
+
+        return lambda: ((seg() + seg()) ** 2.0).sum(), [h]
+
+    def mul_sum():
+        a = Parameter(rng.normal(size=(4, 5)), name="a")
+        b = Parameter(rng.normal(size=(4, 5)), name="b")
+        return lambda: (a * b).sum() + (a * b).sum(), [a, b]
+
+    return [(f.__name__, f) for f in [
+        linear, linear_act, elementwise, conv, conv_bank,
+        softmax_family, graph_ops, mul_sum,
+    ]]
+
+
+@pytest.mark.parametrize("family,make", _builders(), ids=lambda v: v
+                         if isinstance(v, str) else "")
+def test_cse_arena_replay_bitwise_equals_eager(family, make):
+    loss_fn, params = make()
+
+    # Eager reference bits (fused kernels, no plan).
+    eager = loss_fn()
+    eager.backward()
+    ref_loss = float(eager.data)
+    ref_grads = [p.grad.copy() for p in params]
+
+    compiled = engine.CompiledLoss(loss_fn)
+    for replay in range(3):
+        for p in params:
+            p.zero_grad()
+        value = compiled.run()
+        assert compiled.fallback_reason == "", compiled.fallback_reason
+        assert value == ref_loss, f"{family}: loss bits differ at {replay}"
+        for p, ref in zip(params, ref_grads):
+            assert np.array_equal(p.grad, ref), (
+                f"{family}: grad bits differ at replay {replay}"
+            )
+    plan = compiled._plan
+    assert plan is not None
+    report = plan.memory_plan.report()
+    assert report["cse_eliminated"] > 0, f"{family}: CSE never fired"
+    assert report["managed_outputs"] > 0, f"{family}: arena never engaged"
+
+
+def test_float32_planned_replay_matches_float32_eager_bitwise():
+    """The equivalence gate is stated for float64, but the pass pipeline
+    is precision-agnostic: the same bitwise property holds under the
+    float32 backend (same kernels, same schedule, float32 arrays)."""
+    with engine.use_backend("float32"):
+        rng = np.random.default_rng(3)
+        xs = Tensor(rng.normal(size=(6, 4)))
+        w = Parameter(rng.normal(size=(4, 3)), name="w")
+
+        def loss_fn():
+            h = F.tanh(xs @ w) + F.tanh(xs @ w)
+            return (h * h).mean()
+
+        eager = loss_fn()
+        eager.backward()
+        ref_loss, ref_grad = float(eager.data), w.grad.copy()
+        assert w.grad.dtype == np.float32
+
+        compiled = engine.CompiledLoss(loss_fn)
+        for _ in range(3):
+            w.zero_grad()
+            assert compiled.run() == ref_loss
+            assert np.array_equal(w.grad, ref_grad)
+        assert compiled._plan is not None
+        assert compiled._plan.memory_plan.dtype == np.float32
+
+
+# ----------------------------------------------------------------------
+# liveness: no two simultaneously-live slots share an arena buffer
+# ----------------------------------------------------------------------
+class _RandomStructure:
+    """A randomly wired schedule quacking like ``PlanStructure`` for the
+    static passes (steps / num_slots / slot_shapes / root_slot)."""
+
+    UNARY = ("exp", "tanh", "relu", "abs", "sqrt", "log", "sigmoid")
+    BINARY = ("add", "mul", "div")
+    VIEW = ("reshape", "transpose")
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        num_leaves = int(rng.integers(1, 4))
+        num_steps = int(rng.integers(1, 30))
+        shapes = [(4,), (2, 3), (3, 2), (8,)]
+        self.slot_shapes = [shapes[int(rng.integers(0, len(shapes)))]
+                            for _ in range(num_leaves)]
+        self.steps = []
+        for _ in range(num_steps):
+            live = num_leaves + len(self.steps)
+            kind = rng.random()
+            if kind < 0.2:
+                op = self.VIEW[int(rng.integers(0, len(self.VIEW)))]
+                ins = (int(rng.integers(0, live)),)
+            elif kind < 0.6:
+                op = self.UNARY[int(rng.integers(0, len(self.UNARY)))]
+                ins = (int(rng.integers(0, live)),)
+            else:
+                op = self.BINARY[int(rng.integers(0, len(self.BINARY)))]
+                ins = (int(rng.integers(0, live)),
+                       int(rng.integers(0, live)))
+            out = live
+            self.steps.append(engine._Step(op, ins, out))
+            if op in self.VIEW:
+                self.slot_shapes.append(self.slot_shapes[ins[0]])
+            else:
+                self.slot_shapes.append(
+                    shapes[int(rng.integers(0, len(shapes)))])
+        self.num_slots = num_leaves + num_steps
+        self.root_slot = self.steps[-1].out
+        self.slot_shapes = tuple(self.slot_shapes)
+
+    def __repr__(self) -> str:
+        ops = [(s.op, s.ins, s.out) for s in self.steps]
+        return f"_RandomStructure(root={self.root_slot}, steps={ops})"
+
+
+def _naive_storage_last_read(structure, alias):
+    """Independent recomputation of each base slot's last read time.
+
+    Deliberately written as a per-slot scan (not the planner's single
+    forward walk) so a planner bug cannot hide in shared code.
+    """
+    steps = structure.steps
+    horizon = len(steps)
+
+    base = {}
+
+    def resolve(slot):
+        while slot in base:
+            slot = base[slot]
+        return slot
+
+    for i, step in enumerate(steps):
+        if alias[i] >= 0:
+            base[step.out] = resolve(steps[alias[i]].out)
+        elif step.op in passes.VIEW_OPS:
+            base[step.out] = resolve(step.ins[0])
+
+    last = {}
+    for b in range(structure.num_slots):
+        if resolve(b) != b:
+            continue
+        reads = [-1]
+        for i, step in enumerate(steps):
+            if any(resolve(j) == b for j in step.ins) or resolve(step.out) == b:
+                reads.append(i)
+            uses = engine.KERNELS[step.op].vjp_uses
+            if "inputs" in uses and any(resolve(j) == b for j in step.ins):
+                reads.append(horizon + 1)
+            if "output" in uses and resolve(step.out) == b:
+                reads.append(horizon + 1)
+        if resolve(structure.root_slot) == b:
+            reads.append(horizon)
+        last[b] = max(reads)
+    return resolve, last
+
+
+def test_liveness_never_overlaps_buffer_occupants():
+    def prop(structure):
+        metas = [None] * len(structure.steps)
+        alias = passes.eliminate_common_subexpressions(structure.steps, metas)
+        plan = passes.plan_memory(structure, metas, alias, engine.KERNELS,
+                                  np.dtype(np.float64))
+        resolve, naive_last = _naive_storage_last_read(structure, alias)
+        for i, step in enumerate(structure.steps):
+            buf = plan.step_buffer[i]
+            if alias[i] >= 0 or step.op in passes.VIEW_OPS:
+                assert buf == -1, f"aliased step {i} got a buffer"
+                continue
+            if buf >= 0:
+                assert plan.buffer_shapes[buf] == \
+                    structure.slot_shapes[step.out]
+        for buf, occupants in enumerate(plan.buffer_occupancy):
+            ordered = sorted(occupants, key=lambda o: o[1])
+            for (si, di, _ei), (sj, dj, _ej) in zip(ordered, ordered[1:]):
+                true_end = naive_last[resolve(structure.steps[si].out)]
+                assert true_end < dj, (
+                    f"buffer {buf}: step {si} storage live through "
+                    f"{true_end} but step {sj} overwrites it at {dj}"
+                )
+
+    forall(_RandomStructure, prop, trials=150,
+           name="arena liveness non-overlap")
+
+
+def test_view_lifetimes_extend_their_base_buffer():
+    """A reshape read late in the schedule must pin the base buffer."""
+    rng = np.random.default_rng(0)
+
+    def prop(seed):
+        case_rng = np.random.default_rng(seed)
+        structure = _RandomStructure(case_rng)
+        metas = [None] * len(structure.steps)
+        alias = passes.eliminate_common_subexpressions(structure.steps, metas)
+        plan = passes.plan_memory(structure, metas, alias, engine.KERNELS,
+                                  np.dtype(np.float64))
+        resolve, naive_last = _naive_storage_last_read(structure, alias)
+        # The planner's recorded end for every occupant covers the
+        # independently computed last read (views included).
+        for buf, occupants in enumerate(plan.buffer_occupancy):
+            for (si, _di, ei) in occupants:
+                base = resolve(structure.steps[si].out)
+                assert ei >= naive_last[base], (
+                    f"step {si}: planner end {ei} < true last read "
+                    f"{naive_last[base]}"
+                )
+
+    forall(lambda r: int(r.integers(0, 2**31)), prop, trials=100,
+           name="view lifetime union")
+    del rng
+
+
+# ----------------------------------------------------------------------
+# arena steady state: zero allocations per replay after materialisation
+# ----------------------------------------------------------------------
+def test_arena_allocates_once_then_never_again():
+    rng = np.random.default_rng(5)
+    xs = Tensor(rng.normal(size=(8, 6)))
+    w = Parameter(rng.normal(size=(6, 4)), name="w")
+    target = Tensor(rng.normal(size=(8, 4)))
+
+    def loss_fn():
+        diff = F.tanh(xs @ w) - target
+        return (diff * diff).mean()
+
+    compiled = engine.CompiledLoss(loss_fn)
+    w.zero_grad()
+    compiled.run()   # trace
+    w.zero_grad()
+    compiled.run()   # first replay materialises the arena
+    plan = compiled._plan
+    assert plan is not None
+    assert plan._arena is not None
+    assert len(plan._arena) == plan.memory_plan.num_buffers
+    before = engine.stats_snapshot()
+    buffer_ids = [id(buf) for buf in plan._arena]
+    for _ in range(5):
+        w.zero_grad()
+        compiled.run()
+    after = engine.stats_snapshot()
+    assert after["arena_buffers_allocated"] == \
+        before["arena_buffers_allocated"]
+    assert after["arena_bytes_allocated"] == before["arena_bytes_allocated"]
+    # Same physical buffers across replays, not equal-sized reallocations.
+    assert [id(buf) for buf in plan._arena] == buffer_ids
+
+
+# ----------------------------------------------------------------------
+# backend seam
+# ----------------------------------------------------------------------
+class _TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(9)
+        self.fc1 = Linear(6, 8, rng=rng)
+        self.fc2 = Linear(8, 3, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(F.tanh(self.fc1(x)))
+
+
+class TestBackends:
+    def test_use_backend_nests_and_restores(self):
+        assert engine.active_backend().name == "float64"
+        with engine.use_backend("float32") as backend:
+            assert backend is engine.BACKENDS["float32"]
+            assert engine.active_dtype() == np.float32
+            with engine.use_backend("float64"):
+                assert engine.active_dtype() == np.float64
+            assert engine.active_dtype() == np.float32
+        assert engine.active_backend().name == "float64"
+
+    def test_get_backend_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            engine.get_backend("bfloat16")
+        with pytest.raises(TypeError):
+            engine.use_backend(42)
+
+    def test_leaf_tensors_follow_backend_dtype(self):
+        data = [1.0, 2.0, 3.0]
+        assert Tensor(data).data.dtype == np.float64
+        with engine.use_backend("float32"):
+            assert Tensor(data).data.dtype == np.float32
+            assert Parameter(np.ones(3), name="p").data.dtype == np.float32
+
+    def test_load_state_dict_casts_to_param_dtype(self):
+        reference = _TwoLayer()
+        state = reference.state_dict()
+        with engine.use_backend("float32"):
+            model = _TwoLayer()
+        model.load_state_dict(state)  # float64 checkpoint -> float32 params
+        for _name, param in model.named_parameters():
+            assert param.data.dtype == np.float32
+        restored = _TwoLayer()
+        restored.load_state_dict(model.state_dict())
+        for name, param in restored.named_parameters():
+            assert param.data.dtype == np.float64
+
+    def test_float32_forward_within_accuracy_budget(self):
+        reference = _TwoLayer()
+        state = reference.state_dict()
+        with engine.use_backend("float32"):
+            serving = _TwoLayer()
+        serving.load_state_dict(state)
+        x64 = np.random.default_rng(11).normal(size=(32, 6))
+        out64 = reference(Tensor(x64)).data
+        with engine.use_backend("float32"):
+            out32 = serving(Tensor(x64)).data
+        assert out32.dtype == np.float32
+        deviation = np.max(np.abs(out32.astype(np.float64) - out64)
+                           / (np.abs(out64) + 1.0))
+        assert deviation <= engine.FLOAT32_ACCURACY_BUDGET, deviation
+
+    def test_model_version_carries_float32_twin(self):
+        registry = ModelRegistry()
+        version = registry.publish(_TwoLayer(), trained_at_month=12)
+        assert "float32" in version.state_twins  # pre-warmed at publish
+        twin = version.state_for("float32")
+        assert twin is version.state_twins["float32"]  # memoised
+        for name, value in twin.items():
+            assert value.dtype == np.float32
+            np.testing.assert_allclose(value, version.state[name],
+                                       rtol=1e-6)
+        assert version.state_for("float64") is version.state
+
+    def test_registry_load_into_respects_precision(self):
+        registry = ModelRegistry()
+        registry.publish(_TwoLayer(), trained_at_month=12)
+        with engine.use_backend("float32"):
+            serving = _TwoLayer()
+        record = registry.load_into(serving, precision="float32")
+        assert record.version == 1
+        for _name, param in serving.named_parameters():
+            assert param.data.dtype == np.float32

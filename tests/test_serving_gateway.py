@@ -601,6 +601,52 @@ class TestSubsetDuplicateRows:
             batch.subset(np.array([-1]))
 
 
+class TestServingPrecision:
+    """The float32 serving backend, threaded through GatewayConfig."""
+
+    def test_config_rejects_unknown_precision(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            GatewayConfig(precision="bfloat16").validate()
+
+    def test_float32_replicas_hold_float32_weights(self, factory, registry):
+        router = ReplicaRouter(factory, registry=registry, num_replicas=2,
+                               precision="float32")
+        for replica in router.replicas:
+            assert replica.version == registry.latest().version
+            for _name, param in replica.model.named_parameters():
+                assert param.data.dtype == np.float32
+        router.sync()  # hot swap keeps the precision
+        for replica in router.replicas:
+            for _name, param in replica.model.named_parameters():
+                assert param.data.dtype == np.float32
+
+    def test_float32_forecasts_within_budget_and_cast_back(
+            self, factory, dataset, registry):
+        from repro.nn import engine
+
+        reference = make_gateway(factory, dataset, registry)
+        serving = make_gateway(factory, dataset, registry,
+                               precision="float32")
+        shops = list(range(12))
+        want = reference.predict_many(shops)
+        got = serving.predict_many(shops)
+        for response in got:
+            # The precision seam ends at the gateway boundary: callers
+            # always see float64 forecasts.
+            assert response.forecast.dtype == np.float64
+        deviation = max(
+            np.max(np.abs(g.forecast - w.forecast)
+                   / (np.abs(w.forecast) + 1.0))
+            for g, w in zip(got, want)
+        )
+        assert deviation <= engine.FLOAT32_ACCURACY_BUDGET, deviation
+        report = serving.metrics_report()
+        assert report["engine"]["precision"] == "float32"
+        assert reference.metrics_report()["engine"]["precision"] == "float64"
+        reference.close()
+        serving.close()
+
+
 class TestPartitionRouting:
     def test_partition_policy_groups_by_owner(self, factory, dataset, registry):
         from repro.partition import partition_graph
