@@ -109,6 +109,24 @@ class ModelRegistry:
         """Number of published versions."""
         return len(self._versions)
 
+    def health(self) -> Dict[str, object]:
+        """Registry liveness view for the health plane.
+
+        A registry with zero versions cannot serve (every replica load
+        would fail), so ``servable`` gates liveness in
+        :func:`repro.obs.health.registry_probe`.
+        """
+        latest = self._versions[-1] if self._versions else None
+        return {
+            "servable": bool(self._versions),
+            "num_versions": len(self._versions),
+            "latest_version": 0 if latest is None else latest.version,
+            "published_at": None if latest is None else latest.published_at,
+            "trained_at_month": (None if latest is None
+                                 else latest.trained_at_month),
+            "subscribers": len(self._subscribers),
+        }
+
     def latest(self) -> ModelVersion:
         """Most recently published version."""
         if not self._versions:

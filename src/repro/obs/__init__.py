@@ -37,10 +37,31 @@ this package is the cross-cutting layer that makes them observable as
   federate under namespaced counter/gauge/histogram series with
   Prometheus-text and JSONL exporters.
 
+On top of the passive planes sits the **active health plane**:
+
+* **SLO engine** (:mod:`repro.obs.slo`) — declarative :class:`SLO`
+  objectives over hub series with error budgets and SRE-style
+  multi-window burn-rate alerting (fast 5m/1h page + slow 6h/3d
+  ticket pairs), deterministic under :class:`FakeClock`.
+* **Anomaly detection** (:mod:`repro.obs.anomaly`) — EWMA
+  mean/variance z-score detectors over hub series (ingest-rate
+  collapse, p95 step-changes, cache hit-rate cliffs) with warm-up
+  suppression, baseline freezing and hysteresis.
+* **Health probes** (:mod:`repro.obs.health`) — per-subsystem
+  liveness/readiness (gateway, streaming, online adapter, durable
+  journal, model registry) aggregated by a :class:`HealthServer`.
+* **Flight recorder** (:mod:`repro.obs.recorder`) — bounded ring
+  buffers of recent trace roots, metric samples and alert/probe
+  transitions; ``dump()`` freezes them into one JSON diagnostic
+  bundle, automatically on alert firing, probe flips and
+  durability incidents.
+
 See ``docs/observability.md`` for the design guide and
-``examples/observability.py`` for an end-to-end tour.
+``examples/observability.py`` / ``examples/health_plane.py`` for
+end-to-end tours.
 """
 
+from .anomaly import AnomalyMonitor, EwmaZScoreDetector
 from .clock import (
     Clock,
     FakeClock,
@@ -51,8 +72,25 @@ from .clock import (
     use_clock,
     wall_time,
 )
+from .health import (
+    HealthServer,
+    ProbeResult,
+    durable_probe,
+    gateway_probe,
+    online_probe,
+    registry_probe,
+    streaming_probe,
+)
 from .hub import MetricsHub
 from .profiling import KernelProfiler, estimate_cost, profile_kernels
+from .recorder import (
+    FlightRecorder,
+    get_recorder,
+    note,
+    set_recorder,
+    use_recorder,
+)
+from .slo import DEFAULT_BURN_WINDOWS, SLO, BurnWindow, SLOEngine, Transition
 from .tracing import (
     NULL_TRACER,
     NullTracer,
@@ -87,4 +125,23 @@ __all__ = [
     "estimate_cost",
     "profile_kernels",
     "MetricsHub",
+    "Transition",
+    "BurnWindow",
+    "DEFAULT_BURN_WINDOWS",
+    "SLO",
+    "SLOEngine",
+    "EwmaZScoreDetector",
+    "AnomalyMonitor",
+    "ProbeResult",
+    "HealthServer",
+    "gateway_probe",
+    "streaming_probe",
+    "online_probe",
+    "durable_probe",
+    "registry_probe",
+    "FlightRecorder",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "note",
 ]

@@ -71,10 +71,14 @@ def _normalise_spec(namespace: str, name: str, spec: object) -> Dict[str, object
                 raise ValueError(
                     f"histogram series {namespace}.{name} needs a 'summary' dict"
                 )
-            return {"namespace": namespace, "name": name, "kind": "histogram",
-                    "value": {key: float(val) for key, val in summary.items()}}
-        return {"namespace": namespace, "name": name, "kind": kind,
-                "value": float(spec.get("value", 0.0))}
+            row = {"namespace": namespace, "name": name, "kind": "histogram",
+                   "value": {key: float(val) for key, val in summary.items()}}
+        else:
+            row = {"namespace": namespace, "name": name, "kind": kind,
+                   "value": float(spec.get("value", 0.0))}
+        if spec.get("help"):
+            row["help"] = str(spec["help"])
+        return row
     raise ValueError(
         f"series {namespace}.{name} has unsupported spec type "
         f"{type(spec).__name__}"
@@ -104,6 +108,16 @@ class MetricsHub:
         self._histograms: Dict[str, Dict[str, List[float]]] = {}
         self._histogram_totals: Dict[str, Dict[str, int]] = {}
         self._histogram_window = int(histogram_window)
+        # "namespace.name" -> HELP text (exporter metadata only)
+        self._help: Dict[str, str] = {}
+
+    def describe(self, namespace: str, name: str, text: str) -> None:
+        """Attach HELP text to a series for the Prometheus exporter.
+
+        Works for hub-owned instruments and source series alike; a
+        source spec's own ``"help"`` key takes precedence.
+        """
+        self._help[f"{namespace}.{name}"] = str(text)
 
     # ------------------------------------------------------------------
     # namespaces
@@ -156,6 +170,16 @@ class MetricsHub:
         The retained series is bounded (``histogram_window``); a
         lifetime total is tracked separately so the summary can report
         both window-scoped ``count`` and monotone ``total``.
+
+        On a 1-element window every percentile is that element (the
+        nearest-rank index ``round(q * (n - 1))`` is 0 for all ``q``),
+        so SLO evaluation against a sparse histogram is well-defined:
+
+        >>> hub = MetricsHub()
+        >>> hub.observe("app", "latency", 0.125)
+        >>> summary = hub.collect()[0]["value"]
+        >>> summary["p50"] == summary["p95"] == summary["p99"] == 0.125
+        True
         """
         self._check_free(namespace)
         series = self._histograms.setdefault(namespace, {}).setdefault(name, [])
@@ -204,20 +228,62 @@ class MetricsHub:
         for namespace, collect_fn in self._sources.items():
             for name, spec in collect_fn().items():
                 rows.append(_normalise_spec(namespace, name, spec))
+        for row in rows:
+            if "help" not in row:
+                text = self._help.get(f"{row['namespace']}.{row['name']}")
+                if text is not None:
+                    row["help"] = text
         rows.sort(key=lambda row: (row["namespace"], row["name"]))
         return rows
 
     # ------------------------------------------------------------------
     # exporters
     # ------------------------------------------------------------------
+    @staticmethod
+    def _escape_help(text: str) -> str:
+        r"""Prometheus HELP escaping: backslash and newline only.
+
+        >>> MetricsHub._escape_help('a\\b\nc')
+        'a\\\\b\\nc'
+        """
+        return text.replace("\\", "\\\\").replace("\n", "\\n")
+
     def to_prometheus(self) -> str:
-        """Prometheus text exposition (histograms as quantile summaries)."""
+        """Prometheus text exposition (histograms as quantile summaries).
+
+        Hardened for hostile series names: HELP text is escaped
+        (backslashes, newlines), each metric family's ``# TYPE`` (and
+        ``# HELP``) is emitted exactly once, and two distinct series
+        whose names collide *after* :func:`_sanitize` (``"a.b"`` vs
+        ``"a_b"``) raise ``ValueError`` instead of silently exporting
+        conflicting samples under one name — including collisions with
+        the ``_sum`` / ``_count`` / ``_observations_total`` families a
+        summary series derives.
+        """
         lines: List[str] = []
+        claimed: Dict[str, str] = {}  # sanitized family -> source series
+
+        def _claim(family: str, source: str) -> None:
+            prior = claimed.get(family)
+            if prior is not None:
+                raise ValueError(
+                    f"metric name collision after sanitisation: series "
+                    f"{source!r} and {prior!r} both export family {family!r}"
+                )
+            claimed[family] = source
+
         for row in self.collect():
             metric = _sanitize(f"{row['namespace']}_{row['name']}")
+            source = f"{row['namespace']}.{row['name']}"
             kind = row["kind"]
+            help_text = row.get("help")
+            _claim(metric, source)
+            if help_text:
+                lines.append(f"# HELP {metric} {self._escape_help(help_text)}")
             if kind == "histogram":
                 summary = row["value"]
+                for derived in (f"{metric}_sum", f"{metric}_count"):
+                    _claim(derived, source)
                 lines.append(f"# TYPE {metric} summary")
                 for quantile, key in (("0.5", "p50"), ("0.95", "p95"),
                                       ("0.99", "p99")):
@@ -236,6 +302,7 @@ class MetricsHub:
                 lines.append(f"{metric}_count {count:.9g}")
                 total = summary.get("total")
                 if total is not None:
+                    _claim(f"{metric}_observations_total", source)
                     lines.append(
                         f"# TYPE {metric}_observations_total counter"
                     )

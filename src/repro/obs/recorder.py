@@ -1,0 +1,231 @@
+"""The flight recorder: bounded black box + JSON diagnostic bundles.
+
+Alerting (:mod:`repro.obs.slo`, :mod:`~repro.obs.anomaly`,
+:mod:`~repro.obs.health`) tells you *that* something broke; the flight
+recorder preserves *what the moments before looked like*.  It keeps
+bounded ring buffers of
+
+* recently completed **trace roots** (hooked into a
+  :class:`~repro.obs.tracing.Tracer` via ``watch_tracer``),
+* recent **metric samples** (hub snapshots taken by ``sample()``),
+* recent **alert/probe transitions** (every engine/monitor/server
+  with ``recorder=`` attached forwards them), and
+* free-form **notes** (durability events: torn-tail truncation,
+  corruption, recovery).
+
+``dump(trigger)`` freezes all four — plus the SLO budget state and a
+caller-supplied config block — into one JSON bundle.  With
+``dump_dir`` set, bundles are written automatically on the events that
+matter for a postmortem: an alert firing, a probe going degraded/dead,
+an anomaly opening, or a corruption/recovery note.
+
+A module-level recorder can be installed (``set_recorder`` /
+``use_recorder``) so deep subsystems — the durable journal, recovery —
+can drop notes through the module-level :func:`note` without holding a
+reference; with no recorder installed, :func:`note` is a cheap no-op.
+
+>>> from repro.obs.clock import FakeClock, use_clock
+>>> with use_clock(FakeClock()):
+...     recorder = FlightRecorder(max_notes=2)
+...     for kind in ("a", "b", "c"):
+...         recorder.note(kind)
+...     [n["kind"] for n in recorder.dump("demo")["notes"]]
+['b', 'c']
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional
+
+from . import clock as _clock
+from .slo import Transition
+
+__all__ = [
+    "FlightRecorder",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "note",
+]
+
+#: Transition states that auto-trigger a dump when ``dump_dir`` is set.
+_DUMP_STATES = frozenset({"firing", "anomalous", "degraded", "dead"})
+#: Note kinds that auto-trigger a dump when ``dump_dir`` is set.
+_DUMP_NOTE_KINDS = frozenset({"log_corruption", "torn_tail_truncated",
+                              "recovery"})
+
+
+def _span_to_dict(span) -> Dict[str, object]:
+    return {
+        "name": span.name,
+        "start": span.start,
+        "end": span.end,
+        "meta": dict(span.meta) if span.meta else {},
+        "children": [_span_to_dict(child) for child in span.children],
+    }
+
+
+class FlightRecorder:
+    """Bounded black box over spans, samples, transitions and notes.
+
+    Parameters
+    ----------
+    hub:
+        Optional :class:`~repro.obs.hub.MetricsHub`; ``sample()`` pulls
+        one collection snapshot from it into the sample ring.
+    dump_dir:
+        When set, diagnostic bundles are written here automatically on
+        firing/anomalous/degraded/dead transitions and on
+        corruption/recovery notes (one file per trigger, named by
+        sequence number so FakeClock runs stay collision-free).
+    config:
+        Arbitrary JSON-serialisable block embedded verbatim in every
+        bundle (deployment config, SLO definitions, git rev — whatever
+        the postmortem needs).
+    max_spans / max_samples / max_transitions / max_notes:
+        Ring-buffer bounds; oldest entries evicted first.
+    """
+
+    def __init__(self, hub=None, dump_dir=None, config=None, clock=None,
+                 max_spans: int = 64, max_samples: int = 256,
+                 max_transitions: int = 512, max_notes: int = 256) -> None:
+        self.hub = hub
+        self.dump_dir = Path(dump_dir) if dump_dir is not None else None
+        self.config = config or {}
+        self._clock = clock or _clock.now
+        self.spans: Deque[dict] = deque(maxlen=int(max_spans))
+        self.samples: Deque[dict] = deque(maxlen=int(max_samples))
+        self.transitions: Deque[Transition] = deque(maxlen=int(max_transitions))
+        self.notes: Deque[dict] = deque(maxlen=int(max_notes))
+        self._slo_engine = None
+        self._watched_tracers: list = []
+        self.dumps_written = 0
+
+    # ------------------------------------------------------------------
+    # feeds
+    # ------------------------------------------------------------------
+    def watch_tracer(self, tracer) -> None:
+        """Capture every trace root ``tracer`` completes from now on."""
+        tracer.on_root(self._capture_root)
+        self._watched_tracers.append(tracer)
+
+    def _capture_root(self, span) -> None:
+        self.spans.append(_span_to_dict(span))
+
+    def attach_slo(self, engine) -> None:
+        """Embed ``engine``'s budget state in every future bundle."""
+        self._slo_engine = engine
+
+    def sample(self) -> None:
+        """Snapshot the hub's current collection into the sample ring."""
+        if self.hub is None:
+            return
+        self.samples.append({
+            "at": _clock.wall_time(),
+            "series": self.hub.collect(),
+        })
+
+    def record_transition(self, transition: Transition) -> None:
+        """Ring-buffer one transition; auto-dump if it warrants one."""
+        self.transitions.append(transition)
+        if self.dump_dir is not None and transition.state in _DUMP_STATES:
+            self.dump(f"{transition.source}:{transition.name}"
+                      f":{transition.state}")
+
+    def note(self, kind: str, **details) -> None:
+        """Record a free-form event (durability incidents, recoveries)."""
+        self.notes.append({
+            "at": _clock.wall_time(),
+            "kind": kind,
+            "details": details,
+        })
+        if self.dump_dir is not None and kind in _DUMP_NOTE_KINDS:
+            self.dump(f"note:{kind}")
+
+    # ------------------------------------------------------------------
+    # bundles
+    # ------------------------------------------------------------------
+    def bundle(self, trigger: str) -> Dict[str, object]:
+        """Assemble the diagnostic bundle (a plain JSON-ready dict)."""
+        return {
+            "trigger": trigger,
+            "at": _clock.wall_time(),
+            "elapsed": self._clock(),
+            "config": self.config,
+            "spans": list(self.spans),
+            "samples": list(self.samples),
+            "transitions": [t.to_dict() for t in self.transitions],
+            "notes": list(self.notes),
+            "slo_budgets": (self._slo_engine.budget_report()
+                            if self._slo_engine is not None else None),
+        }
+
+    def dump(self, trigger: str, path=None) -> Dict[str, object]:
+        """Emit one bundle; write it to ``path`` or ``dump_dir`` if set."""
+        bundle = self.bundle(trigger)
+        target = Path(path) if path is not None else None
+        if target is None and self.dump_dir is not None:
+            self.dump_dir.mkdir(parents=True, exist_ok=True)
+            safe = "".join(c if c.isalnum() or c in "-_" else "-"
+                           for c in trigger)
+            target = self.dump_dir / f"dump-{self.dumps_written:05d}-{safe}.json"
+        if target is not None:
+            target.write_text(json.dumps(bundle, indent=2, sort_keys=True,
+                                         default=str))
+        self.dumps_written += 1
+        return bundle
+
+
+# ----------------------------------------------------------------------
+# module-level recorder (same install pattern as clock / tracing)
+# ----------------------------------------------------------------------
+
+_RECORDER: List[Optional[FlightRecorder]] = [None]
+
+
+def get_recorder() -> Optional[FlightRecorder]:
+    """The installed recorder, or ``None`` when the plane is off."""
+    return _RECORDER[0]
+
+
+def set_recorder(recorder: Optional[FlightRecorder]) -> Optional[FlightRecorder]:
+    """Install ``recorder`` process-wide; returns the previous one."""
+    previous = _RECORDER[0]
+    _RECORDER[0] = recorder
+    return previous
+
+
+class use_recorder:
+    """Context manager installing a recorder for the ``with`` block.
+
+    >>> rec = FlightRecorder()
+    >>> with use_recorder(rec):
+    ...     note("demo_event", detail=1)
+    >>> rec.notes[0]["kind"]
+    'demo_event'
+    """
+
+    def __init__(self, recorder: Optional[FlightRecorder]) -> None:
+        self._recorder = recorder
+        self._previous: Optional[FlightRecorder] = None
+
+    def __enter__(self) -> Optional[FlightRecorder]:
+        self._previous = set_recorder(self._recorder)
+        return self._recorder
+
+    def __exit__(self, *exc_info) -> None:
+        set_recorder(self._previous)
+
+
+def note(kind: str, **details) -> None:
+    """Drop a note on the installed recorder; no-op when none is.
+
+    This is the hook deep subsystems call (durable journal truncation,
+    corruption, recovery) — one list read when the plane is off.
+    """
+    recorder = _RECORDER[0]
+    if recorder is not None:
+        recorder.note(kind, **details)

@@ -129,6 +129,7 @@ class Tracer:
         self.max_roots = int(max_roots)
         self.roots: List[Span] = []
         self._stack: List[Span] = []
+        self._root_hooks: List[Callable[[Span], None]] = []
 
     # ------------------------------------------------------------------
     # recording
@@ -141,6 +142,22 @@ class Tracer:
         self._stack.append(span_)
         return _OpenSpan(self, span_)
 
+    def _retain_root(self, span_: Span) -> None:
+        """Keep one completed tree: append, trim to ``max_roots``, and
+        notify root hooks.  The single path every completed root — live
+        or retroactive — goes through, so the two can never diverge on
+        ``max_roots`` behaviour."""
+        self.roots.append(span_)
+        if len(self.roots) > self.max_roots:
+            del self.roots[: len(self.roots) - self.max_roots]
+        for hook in self._root_hooks:
+            hook(span_)
+
+    def on_root(self, hook: Callable[[Span], None]) -> None:
+        """Call ``hook(span)`` whenever a tree completes (flight
+        recorders subscribe here to capture recent roots)."""
+        self._root_hooks.append(hook)
+
     def _close(self, span_: Span) -> None:
         span_.end = self._clock()
         # Pop through any unclosed descendants (an exception may have
@@ -150,9 +167,7 @@ class Tracer:
             if top is span_:
                 break
         if not self._stack:
-            self.roots.append(span_)
-            if len(self.roots) > self.max_roots:
-                del self.roots[: len(self.roots) - self.max_roots]
+            self._retain_root(span_)
 
     def record(self, name: str, start: float, end: float, **meta) -> Span:
         """Attach an already-measured interval as a span.
@@ -167,9 +182,7 @@ class Tracer:
         if self._stack:
             self._stack[-1].children.append(span_)
         else:
-            self.roots.append(span_)
-            if len(self.roots) > self.max_roots:
-                del self.roots[: len(self.roots) - self.max_roots]
+            self._retain_root(span_)
         return span_
 
     def wrap(self, name: Optional[str] = None) -> Callable:
@@ -256,6 +269,10 @@ class NullTracer:
 
     def record(self, name: str, start: float, end: float, **meta) -> None:
         """Discard the interval."""
+        return None
+
+    def on_root(self, hook: Callable[[Span], None]) -> None:
+        """Discard the hook — no roots ever complete here."""
         return None
 
     def wrap(self, name: Optional[str] = None) -> Callable:

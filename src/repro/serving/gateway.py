@@ -59,6 +59,12 @@ from ..nn import engine
 from ..nn.module import Module
 from ..obs import clock as obs_clock
 from ..obs import tracing as obs_tracing
+from ..obs.health import (
+    HealthServer,
+    gateway_probe,
+    registry_probe,
+    streaming_probe,
+)
 from .batching import MicroBatcher, PendingRequest, build_disjoint_batch
 from .cache import ResultCache, SubgraphCache
 from .metrics import MetricsRegistry
@@ -213,6 +219,12 @@ class ServingGateway:
         self._subscribed = registry is not None
         if registry is not None:
             registry.subscribe(self._on_publish)
+        # The health plane: gateway (and registry, when present) probes
+        # are registered at construction; attach_stream adds streaming.
+        self.health_server = HealthServer(clock=clock)
+        self.health_server.register("gateway", gateway_probe(self))
+        if registry is not None:
+            self.health_server.register("registry", registry_probe(registry))
 
     @property
     def graph(self):
@@ -338,11 +350,19 @@ class ServingGateway:
         self._stream_graph = dynamic_graph
         self._stream_callback = callback
         dynamic_graph.subscribe(callback)
+        self.health_server.unregister("streaming")
         if store is not None:
             self._data_store = store
             self._data_frontier = int(store.frontier)
             self._ticks_seen = int(store.ticks_applied)
             store.subscribe(self._on_ticks)
+            self.health_server.register(
+                "streaming",
+                streaming_probe(
+                    store,
+                    max_lag_months=self.config.max_staleness_months,
+                ),
+            )
         if not keep_caches:
             self.notify_graph_changed()
 
@@ -658,6 +678,22 @@ class ServingGateway:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
+    def queue_depth(self) -> int:
+        """Requests currently parked in the micro-batcher."""
+        return len(self.batcher)
+
+    def health(self) -> Dict[str, object]:
+        """Aggregated liveness/readiness across the attached subsystems.
+
+        Runs every probe on :attr:`health_server` — the gateway probe
+        (replica availability + queue depth), the registry probe when a
+        :class:`~repro.deploy.model_server.ModelRegistry` is attached,
+        and the streaming probe once :meth:`attach_stream` connected a
+        feature store.  External components (online adapter, durable
+        journal) register through ``gateway.health_server.register``.
+        """
+        return self.health_server.check()
+
     def metrics_report(self) -> Dict[str, object]:
         """Serialisable snapshot of gateway health and traffic."""
         report = self.metrics.snapshot(max_batch_size=self.config.max_batch_size)

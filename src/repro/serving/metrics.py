@@ -61,6 +61,19 @@ class RollingWindow:
         is internally consistent (``mean * count`` really is the window
         sum).  ``total`` is the lifetime observation count, which keeps
         growing after the ring starts evicting.
+
+        Sparse-window semantics are pinned down because SLO evaluation
+        reads these percentiles on windows of any size: with a single
+        retained observation every percentile *is* that observation —
+        there is exactly one empirical quantile — so an SLO judged
+        against ``p95`` of a 1-element window is judged against the
+        one latency the gateway actually served.
+
+        >>> window = RollingWindow(capacity=8)
+        >>> window.observe(0.25)
+        >>> summary = window.summary()
+        >>> summary["p50"] == summary["p95"] == summary["p99"] == 0.25
+        True
         """
         if self._count == 0:
             return {"count": 0.0, "total": float(self.total_observations),

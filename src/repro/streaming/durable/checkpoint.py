@@ -39,6 +39,7 @@ from typing import Iterator, List, Optional
 import numpy as np
 
 from ...graph.graph import ESellerGraph
+from ...obs import recorder as obs_recorder
 from ..dynamic_graph import DynamicGraph
 from ..events import ShopEvent
 from ..features import StreamingFeatureStore
@@ -381,6 +382,13 @@ def recover(
         if adapter is not None:
             adapter.ingest(event)
         replayed += 1
+    obs_recorder.note(
+        "recovery",
+        checkpoint_offset=int(offset),
+        replayed_events=replayed,
+        high_water=int(offset) + replayed,
+        cold_start=ckpt_path is None,
+    )
     return RecoveredState(
         dynamic_graph=dyn,
         store=store,

@@ -52,6 +52,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
 
+from ...obs import recorder as obs_recorder
 from ..events import (
     EdgeAdded,
     EdgeRetired,
@@ -187,7 +188,15 @@ class DurableEventLog:
         # (first_offset, record_count) per segment, in offset order.
         self._segments: List[Tuple[int, int]] = []
         self._handle = None
-        self._recover_segments()
+        self._closed = False
+        try:
+            self._recover_segments()
+        except LogCorruptionError as exc:
+            # Black-box the incident before surfacing it: the installed
+            # flight recorder (if any) dumps the moments before.
+            obs_recorder.note("log_corruption", directory=str(self.directory),
+                              error=str(exc))
+            raise
 
     # ------------------------------------------------------------------
     # startup scan / crash recovery
@@ -250,6 +259,8 @@ class DurableEventLog:
             with open(path, "r+b") as handle:
                 handle.truncate(good_bytes)
             self.torn_records_truncated += 1
+            obs_recorder.note("torn_tail_truncated", segment=path.name,
+                              kept_records=count, kept_bytes=good_bytes)
         return count
 
     def _fold_event_time(self, event: ShopEvent) -> None:
@@ -268,6 +279,7 @@ class DurableEventLog:
                 self._segments.append((0, 0))
             start, _count = self._segments[-1]
             self._handle = open(self._segment_path(start), "ab")
+            self._closed = False
         return self._handle
 
     def append(self, event: ShopEvent) -> int:
@@ -317,6 +329,17 @@ class DurableEventLog:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` ran with no append reopening it since.
+
+        The liveness signal :func:`repro.obs.health.durable_probe`
+        reads: a closed journal is one its owner shut down — appends
+        *would* lazily reopen it, but nothing is writing.
+        """
+        return self._closed
 
     def __enter__(self) -> "DurableEventLog":
         return self

@@ -283,6 +283,23 @@ class StreamingFeatureStore:
         for callback in list(self._tick_listeners):
             callback(shops, frontier)
 
+    @property
+    def ticks_offered(self) -> int:
+        """Every tick that reached the store, accepted or dropped."""
+        return self.ticks_applied + self.ticks_dropped
+
+    def drop_rate(self) -> float:
+        """Lifetime fraction of offered ticks the watermark rejected.
+
+        0.0 on a store that has seen no ticks — a silent stream is a
+        lag problem (the streaming health probe's frontier check), not
+        a drop problem.
+        """
+        offered = self.ticks_offered
+        if offered == 0:
+            return 0.0
+        return self.ticks_dropped / offered
+
     def freshness_report(self) -> dict:
         """Serialisable snapshot of the store's event-time state."""
         return {
@@ -291,6 +308,7 @@ class StreamingFeatureStore:
             "ticks_applied": int(self.ticks_applied),
             "late_ticks_accepted": int(self.late_ticks_accepted),
             "ticks_dropped": int(self.ticks_dropped),
+            "drop_rate": self.drop_rate(),
         }
 
     # ------------------------------------------------------------------

@@ -228,6 +228,7 @@ class OnlineAdapter:
         #: drift evidence can't diverge from the feature tables).
         self.ticks_rejected = 0
         self._last_adapt_month = -(10 ** 9)
+        self._last_observed_month = -(10 ** 9)
 
     # ------------------------------------------------------------------
     # ingestion
@@ -320,6 +321,30 @@ class OnlineAdapter:
         return np.flatnonzero(~np.isnan(ewma)
                               & (ewma > self.config.drift_threshold))
 
+    def drift_report(self) -> dict:
+        """Serialisable drift/fine-tune state (the health-probe view).
+
+        ``in_cooldown`` reflects the last *observed* month against the
+        last adaptation month — during cooldown, fresh drift evidence
+        accumulates without triggering a fine-tune, which a probe must
+        read as "working as designed", not "stuck".
+        """
+        last = self.adaptations[-1] if self.adaptations else None
+        return {
+            "num_drifted": int(self.drifted_shops().size),
+            "adaptations": len(self.adaptations),
+            "ticks_ingested": int(self.ticks_ingested),
+            "ticks_rejected": int(self.ticks_rejected),
+            "last_adapt_month": int(self._last_adapt_month),
+            "in_cooldown": bool(
+                self.adaptations
+                and (self._last_observed_month - self._last_adapt_month
+                     < self.config.cooldown_months)
+            ),
+            "last_post_loss": None if last is None else float(last.post_loss),
+            "model_version": None if last is None else int(last.version),
+        }
+
     # ------------------------------------------------------------------
     # the month-close hook
     # ------------------------------------------------------------------
@@ -331,6 +356,7 @@ class OnlineAdapter:
         """
         cfg = self.config
         self._ensure_shop_capacity()
+        self._last_observed_month = max(self._last_observed_month, month)
         batch = self._fresh_window(month)
         if batch is None:
             return None

@@ -1,6 +1,6 @@
 """Docs-and-policy gates: documented invariants cannot silently rot.
 
-Four invariants, all cheap enough for tier-1:
+Five invariants, all cheap enough for tier-1:
 
 * every symbol a ``repro.*`` module exports through ``__all__`` resolves
   and carries a docstring (modules, classes, functions — the public API
@@ -13,7 +13,11 @@ Four invariants, all cheap enough for tier-1:
 * the engine's **dtype policy** holds at the source level: kernel
   forward/VJP bodies never hard-code ``np.float64`` (AST lint), which is
   what lets one kernel table serve both the float64 and float32
-  execution backends.
+  execution backends;
+* the **clock policy** holds at the source level: no ``repro`` module
+  outside ``repro/obs/clock.py`` calls the stdlib clocks directly (AST
+  lint), which is what keeps SLO/anomaly/health transition sequences
+  replayable under ``FakeClock``.
 """
 
 import ast
@@ -142,6 +146,74 @@ def test_engine_kernels_never_hardcode_float64():
         and node.name.startswith(("_fw_", "_bw_", "_fwo_"))
     ]
     assert len(scanned) > 50, f"kernel scan looks vacuous: {len(scanned)}"
+
+
+# Clock-policy lint.  Everything below repro/ must read time through
+# repro.obs.clock (now()/wall_time()), which is what makes SLO burn
+# rates, anomaly transitions and flight-recorder bundles replayable
+# under a FakeClock.  A direct stdlib clock call is an untestable
+# wall-clock dependency sneaking back in.
+_FORBIDDEN_TIME_FUNCS = {"time", "perf_counter", "monotonic"}
+
+
+def _clock_violations(tree, relative):
+    offenders = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _FORBIDDEN_TIME_FUNCS:
+                    offenders.append(
+                        f"{relative}:{node.lineno} imports "
+                        f"time.{alias.name} directly"
+                    )
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        # time.time() / time.perf_counter() / time.monotonic()
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _FORBIDDEN_TIME_FUNCS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"):
+            offenders.append(
+                f"{relative}:{node.lineno} calls time.{func.attr}()"
+            )
+        # datetime.now() / datetime.datetime.now() with no tz argument
+        if (isinstance(func, ast.Attribute) and func.attr == "now"
+                and not node.args and not node.keywords):
+            root = func.value
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id == "datetime":
+                offenders.append(
+                    f"{relative}:{node.lineno} calls datetime.now() "
+                    "with no tz"
+                )
+    return offenders
+
+
+def test_repro_reads_time_only_through_the_obs_clock():
+    """Clock-policy lint (tier-1): no ``repro`` module outside
+    ``repro/obs/clock.py`` may call ``time.time``, ``time.perf_counter``,
+    ``time.monotonic`` or argless ``datetime.now`` — inject
+    :mod:`repro.obs.clock` instead, so every timestamped code path stays
+    deterministic under ``FakeClock``."""
+    package_root = REPO_ROOT / "src" / "repro"
+    allowed = package_root / "obs" / "clock.py"
+    offenders = []
+    scanned = 0
+    for path in sorted(package_root.rglob("*.py")):
+        if path == allowed:
+            continue
+        scanned += 1
+        relative = path.relative_to(REPO_ROOT)
+        tree = ast.parse(path.read_text())
+        offenders.extend(_clock_violations(tree, relative))
+    assert not offenders, (
+        "direct stdlib clock usage outside repro/obs/clock.py (read "
+        f"time through repro.obs.clock instead): {offenders}"
+    )
+    # Vacuity guard: the walk must actually be covering the package.
+    assert scanned > 50, f"clock lint looks vacuous: scanned {scanned} files"
 
 
 def test_roadmap_points_at_versioned_design_docs():

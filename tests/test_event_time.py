@@ -143,7 +143,8 @@ class TestWatermarkAdmission:
         store = StreamingFeatureStore(2, 10, watermark=2)
         report = store.freshness_report()
         assert report == {"frontier": -1, "watermark": 2, "ticks_applied": 0,
-                          "late_ticks_accepted": 0, "ticks_dropped": 0}
+                          "late_ticks_accepted": 0, "ticks_dropped": 0,
+                          "drop_rate": 0.0}
 
 
 # ----------------------------------------------------------------------
