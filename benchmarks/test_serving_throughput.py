@@ -14,6 +14,15 @@ Scale knobs: ``REPRO_BENCH_SERVING_SHOPS`` (default 500) and
 ``REPRO_BENCH_SERVING_REQUESTS`` (default 600).  Model weights are
 untrained — throughput does not depend on fit quality, and the
 equivalence check compares gateway vs sequential on the same weights.
+
+``test_admission_fault_matrix`` is the admission plane's companion:
+four adversarial traffic scenarios (10x flash-sale spike, hot-key skew,
+diurnal wave, slow-drain replica) replayed through the deadline-aware
+gateway under a ``FakeClock`` + simulated service times, each gated on
+per-class p95-within-budget, zero high-priority starvation, a bounded
+shed fraction and a bitwise-identical decision log on re-run.  It
+appends its own ``{"kind": "admission"}`` record to the same artifact
+(``REPRO_BENCH_ADMISSION_SHOPS``, default 60 shops).
 """
 
 from __future__ import annotations
@@ -28,7 +37,18 @@ import numpy as np
 from repro import Gaia, GaiaConfig
 from repro.data import MarketplaceConfig
 from repro.deploy import ModelRegistry, OnlineModelServer
-from repro.serving import GatewayConfig, LoadGenerator, ServingGateway, run_load
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.obs.clock import FakeClock
+from repro.serving import (
+    GatewayConfig,
+    LoadGenerator,
+    ServiceTimeModel,
+    ServingGateway,
+    admission_report,
+    replay_timed,
+    run_load,
+)
 
 from conftest import bench_dataset, run_once
 import pytest
@@ -37,6 +57,7 @@ pytestmark = pytest.mark.slow
 
 SERVING_SHOPS = int(os.environ.get("REPRO_BENCH_SERVING_SHOPS", "500"))
 SERVING_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVING_REQUESTS", "600"))
+ADMISSION_SHOPS = int(os.environ.get("REPRO_BENCH_ADMISSION_SHOPS", "60"))
 ARTIFACT_PATH = Path(os.environ.get(
     "REPRO_BENCH_SERVING_ARTIFACT",
     Path(__file__).resolve().parent / "BENCH_serving.json",
@@ -150,3 +171,157 @@ def test_serving_throughput(benchmark):
         f"repeating load should hit the result cache; got "
         f"{metrics['cache_hit_rate']:.2%}"
     )
+
+
+# ----------------------------------------------------------------------
+# admission-plane fault-injection scenario matrix
+# ----------------------------------------------------------------------
+#: Per-class deadline budgets (seconds) every scenario declares.
+ADMISSION_BUDGETS = {"high": 0.03, "normal": 0.06, "low": 0.12}
+
+#: scenario name -> (generate_timed kwargs, replica service costs,
+#: max tolerated shed fraction).  Service cost tuples give the
+#: ``per_forward_s`` of each replica — the slow-drain scenario models
+#: one healthy and one degraded replica.
+ADMISSION_SCENARIOS = {
+    "flash_sale": (dict(pattern="flash_sale", base_rps=400.0,
+                        spike_factor=10.0), (0.004,), 0.80),
+    "hot_key": (dict(pattern="hot_key", base_rps=600.0,
+                     hot_fraction=0.8), (0.004,), 0.60),
+    "diurnal": (dict(pattern="diurnal", base_rps=700.0), (0.004,), 0.70),
+    "slow_drain": (dict(pattern="steady", base_rps=300.0),
+                   (0.004, 0.008), 0.50),
+}
+
+
+class _ZeroForecastModel(Module):
+    """Traffic-plane stub: forecasts are irrelevant to admission gates,
+    and a zero forward keeps thousands of simulated requests cheap."""
+
+    def forward(self, batch, graph):
+        return Tensor(np.zeros((batch.num_shops, batch.horizon)))
+
+
+def _simulate_admission(dataset, requests, service_s):
+    """One deterministic replay: fresh gateway, fake clock, simulated
+    per-replica service times.  Returns (responses, decision log)."""
+    clock = FakeClock()
+    gateway = ServingGateway(
+        _ZeroForecastModel, dataset,
+        config=GatewayConfig(
+            admission=True, max_batch_size=8, max_wait=0.01,
+            max_queue_depth=32, default_deadline_s=0.05,
+            num_replicas=len(service_s),
+            # A warm result cache would serve repeats for free and hide
+            # the overload the scenarios inject; capacity 1 keeps every
+            # admitted request on the simulated-service-time path.
+            result_cache_size=1,
+        ),
+        clock=clock.now,
+    )
+    try:
+        for replica, per_forward in zip(gateway.router.replicas, service_s):
+            replica.model = ServiceTimeModel(
+                replica.model, clock,
+                per_forward_s=per_forward, per_row_s=0.0005,
+            )
+        responses = replay_timed(gateway, requests, clock)
+        return responses, gateway.admission.decision_log()
+    finally:
+        gateway.close()
+
+
+def test_admission_fault_matrix():
+    _, dataset = bench_dataset(ADMISSION_SHOPS, seed=11,
+                               config_factory=MarketplaceConfig)
+    generator = LoadGenerator(num_shops=dataset.test.num_shops, seed=23)
+    scenario_rows = {}
+    print()
+    for name, (gen_kwargs, service_s, max_shed) in ADMISSION_SCENARIOS.items():
+        requests = generator.generate_timed(
+            duration_s=1.0, deadline_by_priority=dict(ADMISSION_BUDGETS),
+            **gen_kwargs)
+        responses, log = _simulate_admission(dataset, requests, service_s)
+        replayed, log_replay = _simulate_admission(dataset, requests,
+                                                   service_s)
+        report = admission_report(responses)
+
+        # Gate: replaying the identical arrival sequence reproduces the
+        # full admission decision log (and every response field) bitwise.
+        deterministic = log == log_replay and all(
+            (a.shed, a.retry_after_s, a.priority, a.latency_seconds)
+            == (b.shed, b.retry_after_s, b.priority, b.latency_seconds)
+            for a, b in zip(responses, replayed)
+        )
+
+        # Gate: the scheduler never refused a high-priority request at
+        # the door while lower-priority traffic was holding queue slots.
+        starvation_events = sum(
+            1 for decision in log
+            if decision["action"] == "shed_incoming"
+            and decision["priority"] == "high"
+            and decision["lower_priority_available"]
+        )
+
+        per_class = {}
+        for cls, budget in ADMISSION_BUDGETS.items():
+            row = report["classes"][cls]
+            per_class[cls] = {
+                "offered": row["offered"],
+                "served": row["served"],
+                "shed_fraction": row["shed_fraction"],
+                "latency_p95_s": row["latency_p95_s"],
+                "budget_s": budget,
+            }
+
+        scenario_rows[name] = {
+            "offered": report["offered"],
+            "shed": report["shed"],
+            "shed_fraction": report["shed_fraction"],
+            "max_shed_fraction": max_shed,
+            "starvation_events": starvation_events,
+            "deterministic": deterministic,
+            "decisions": len(log),
+            "classes": per_class,
+        }
+        print(f"{name:12s} offered {report['offered']:5d}  "
+              f"shed {report['shed_fraction']:6.1%} (max {max_shed:.0%})  "
+              f"p95 high/normal/low "
+              f"{per_class['high']['latency_p95_s'] * 1e3:.1f}/"
+              f"{per_class['normal']['latency_p95_s'] * 1e3:.1f}/"
+              f"{per_class['low']['latency_p95_s'] * 1e3:.1f} ms  "
+              f"deterministic={deterministic}")
+
+        # Gate: every served request's p95 sits inside its class budget
+        # — admitted work is work the deadline promise still holds for.
+        for cls, row in per_class.items():
+            assert row["latency_p95_s"] <= row["budget_s"] + 1e-9, (
+                f"{name}: {cls} p95 {row['latency_p95_s']:.4f}s blows "
+                f"its {row['budget_s']}s budget"
+            )
+        assert starvation_events == 0, (
+            f"{name}: {starvation_events} high-priority requests were "
+            "door-shed while lower-priority traffic held queue slots"
+        )
+        assert report["shed_fraction"] <= max_shed, (
+            f"{name}: shed fraction {report['shed_fraction']:.1%} above "
+            f"the {max_shed:.0%} bound"
+        )
+        assert deterministic, (
+            f"{name}: FakeClock replay diverged — admission transitions "
+            "must be bitwise reproducible"
+        )
+
+    # The injected faults must actually bite: overload scenarios shed,
+    # and the degraded replica sheds more than the same steady traffic
+    # on healthy replicas would.
+    assert scenario_rows["flash_sale"]["shed"] > 0
+    assert scenario_rows["slow_drain"]["shed"] > 0
+
+    _append_artifact({
+        "kind": "admission",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "shops": ADMISSION_SHOPS,
+        "budgets_s": dict(ADMISSION_BUDGETS),
+        "scenarios": scenario_rows,
+    })

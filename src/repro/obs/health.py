@@ -166,13 +166,18 @@ class HealthServer:
 # duck-typed probe factories (obs never imports the subsystems)
 # ----------------------------------------------------------------------
 
-def gateway_probe(gateway, max_queue_depth: Optional[int] = None
+def gateway_probe(gateway, max_queue_depth: Optional[int] = None,
+                  max_shed_rate: Optional[float] = None
                   ) -> Callable[[], ProbeResult]:
     """Serving-gateway probe: live = ≥1 replica, ready = queue in bound.
 
     ``max_queue_depth`` defaults to four full micro-batches — deep
     enough that the batcher can be mid-drain, shallow enough that a
-    stuck flush flips readiness fast.
+    stuck flush flips readiness fast.  ``max_shed_rate`` additionally
+    fails readiness when the gateway's admission plane is shedding more
+    than that fraction of offered traffic (needs a gateway exposing
+    ``shed_rate()``; ignored otherwise).  Both reads are lock-consistent
+    with concurrent admission.
     """
     if max_queue_depth is None:
         max_queue_depth = 4 * gateway.config.max_batch_size
@@ -181,17 +186,24 @@ def gateway_probe(gateway, max_queue_depth: Optional[int] = None
         replicas = len(gateway.router.replicas)
         depth = gateway.queue_depth()
         live = replicas > 0
-        ready = live and depth <= max_queue_depth
+        reasons = []
         if not live:
-            reason = "no replicas available"
-        elif not ready:
-            reason = f"queue depth {depth} exceeds bound {max_queue_depth}"
-        else:
-            reason = ""
+            reasons.append("no replicas available")
+        if depth > max_queue_depth:
+            reasons.append(
+                f"queue depth {depth} exceeds bound {max_queue_depth}")
+        details = {"replicas": float(replicas), "queue_depth": float(depth),
+                   "max_queue_depth": float(max_queue_depth)}
+        if max_shed_rate is not None:
+            shed_rate = float(getattr(gateway, "shed_rate", lambda: 0.0)())
+            details["shed_rate"] = shed_rate
+            if shed_rate > max_shed_rate:
+                reasons.append(
+                    f"shed rate {shed_rate:.3f} exceeds {max_shed_rate:.3f}")
+        ready = live and not reasons
         return ProbeResult(
-            "gateway", live=live, ready=ready, reason=reason,
-            details={"replicas": float(replicas), "queue_depth": float(depth),
-                     "max_queue_depth": float(max_queue_depth)},
+            "gateway", live=live, ready=ready, reason="; ".join(reasons),
+            details=details,
         )
 
     return probe

@@ -31,6 +31,19 @@ heavy traffic:
 * :class:`~repro.serving.loadgen.LoadGenerator` / :func:`~repro.serving.loadgen.run_load`
   — deterministic traffic patterns (uniform / zipf / repeating) and a
   timed benchmark harness.
+* **Admission plane** (``GatewayConfig(admission=True)``) — requests
+  carry deadline budgets and priority classes, the batcher becomes a
+  :class:`~repro.serving.batching.DeadlineBatcher` (EDF within strict
+  priority, deadline-risk early flush), the queue is bounded with
+  preemptive load shedding (``GatewayResponse.shed`` /
+  ``retry_after_s``), a
+  :class:`~repro.serving.admission.ReplicaAutoscaler` closes the loop
+  on queue depth + SLO burn, and
+  :meth:`~repro.serving.loadgen.LoadGenerator.generate_timed` /
+  :func:`~repro.serving.loadgen.replay_timed` +
+  :class:`~repro.serving.loadgen.ServiceTimeModel` simulate
+  adversarial traffic (flash-sale spike, hot-key shop, diurnal wave,
+  slow-drain replica) deterministically under a ``FakeClock``.
 
 Quickstart::
 
@@ -46,10 +59,32 @@ Quickstart::
     print(gateway.metrics_report())
 """
 
-from .batching import DisjointBatch, MicroBatcher, PendingRequest, build_disjoint_batch
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AutoscalerConfig,
+    ReplicaAutoscaler,
+    admission_report,
+)
+from .batching import (
+    PRIORITIES,
+    DeadlineBatcher,
+    DisjointBatch,
+    MicroBatcher,
+    PendingRequest,
+    build_disjoint_batch,
+    priority_rank,
+)
 from .cache import CachedResult, LRUCache, ResultCache, SubgraphCache
 from .gateway import GatewayConfig, GatewayResponse, ServingGateway
-from .loadgen import LoadGenerator, LoadReport, run_load
+from .loadgen import (
+    LoadGenerator,
+    LoadReport,
+    ServiceTimeModel,
+    TimedRequest,
+    replay_timed,
+    run_load,
+)
 from .metrics import MetricsRegistry, RollingWindow
 from .router import ModelReplica, ReplicaRouter
 
@@ -58,9 +93,17 @@ __all__ = [
     "GatewayConfig",
     "GatewayResponse",
     "MicroBatcher",
+    "DeadlineBatcher",
     "PendingRequest",
+    "PRIORITIES",
+    "priority_rank",
     "DisjointBatch",
     "build_disjoint_batch",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AutoscalerConfig",
+    "ReplicaAutoscaler",
+    "admission_report",
     "LRUCache",
     "SubgraphCache",
     "ResultCache",
@@ -71,5 +114,8 @@ __all__ = [
     "RollingWindow",
     "LoadGenerator",
     "LoadReport",
+    "TimedRequest",
+    "ServiceTimeModel",
+    "replay_timed",
     "run_load",
 ]

@@ -1,0 +1,359 @@
+"""Admission control: bounded queues, load shedding, simulated autoscaling.
+
+The gateway's traffic-engineering layer.  Micro-batching alone never
+says *no*: under a sustained overload the queue grows without bound and
+every latency percentile follows it.  This module gives the
+:class:`~repro.serving.gateway.ServingGateway` its actuators:
+
+* :class:`AdmissionController` — the bounded-queue policy.  Every
+  offered request is judged at the door: admitted (parked with a
+  deadline budget and priority class), or **shed** with explicit
+  retry-after semantics (``GatewayResponse.shed`` /
+  ``retry_after_s``).  When the queue is full the controller preempts
+  the *worst* parked request strictly below the newcomer's class
+  (:meth:`~repro.serving.batching.DeadlineBatcher.shed_candidate`), so
+  the high-priority class is never starved while lower traffic holds
+  queue slots; a newcomer is only turned away when nothing parked is
+  below it.  Every decision is appended to a bounded
+  :attr:`~AdmissionController.decisions` log — a pure function of the
+  arrival sequence and the injectable clock, so replays under a
+  :class:`~repro.obs.clock.FakeClock` are bitwise identical
+  (property-tested in ``tests/test_admission.py``).
+* :class:`ReplicaAutoscaler` — the closed loop.  ``step()`` reads the
+  gateway queue depth and (optionally) the firing alerts of an
+  :class:`~repro.obs.slo.SLOEngine` and adds/removes router replicas
+  inside ``[min_replicas, max_replicas]``, with a cooldown so scale-down
+  never flaps.  Purely simulated — replicas are in-process model
+  instances — but the control signals (queue depth, SLO burn) are the
+  production ones.
+* :func:`admission_report` — per-priority-class outcome summary
+  (offered / served / shed / p95 latency) over a batch of gateway
+  responses, shared by the fault-injection benchmarks and the example.
+
+Shed semantics: a shed request still *resolves* — its
+:class:`~repro.serving.gateway.GatewayResponse` carries ``shed=True``,
+an empty forecast, and a deterministic pressure-scaled
+``retry_after_s`` hint — so callers never hang and never need
+exception paths for overload.  Expiry is shedding too: a request whose
+deadline passes while parked (or whose batch lands past the budget) is
+counted shed with reason ``"expired"``, never silently served late.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..obs import clock as obs_clock
+from .batching import PRIORITIES, DeadlineBatcher, PendingRequest, priority_rank
+
+__all__ = [
+    "ADMISSION_CONFIG_FIELDS",
+    "AdmissionDecision",
+    "AdmissionController",
+    "AutoscalerConfig",
+    "ReplicaAutoscaler",
+    "admission_report",
+]
+
+#: The :class:`~repro.serving.gateway.GatewayConfig` fields that make up
+#: the admission plane.  ``tests/test_docs.py`` gates that every name
+#: here (a) exists on ``GatewayConfig`` and (b) is documented in
+#: ``docs/ARCHITECTURE.md`` — the knobs cannot drift out of the docs.
+ADMISSION_CONFIG_FIELDS = (
+    "admission",
+    "default_deadline_s",
+    "max_queue_depth",
+    "shed_retry_after_s",
+)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admission verdict, recorded for replay/audit.
+
+    ``action`` is ``"admit"``, ``"shed_incoming"`` (queue full, nothing
+    parked below the newcomer's class), ``"shed_parked"`` (queue full,
+    a lower-class victim was preempted to admit the newcomer) or
+    ``"expire"`` (a parked request's deadline passed before service).
+    ``lower_priority_available`` records whether a strictly lower class
+    was parked at decision time — the starvation-freedom witness: a
+    ``shed_incoming`` of a high request with this flag set would be a
+    policy bug, and the property suite asserts it never happens.
+    """
+
+    seq: int
+    at: float
+    action: str
+    priority: str
+    queue_depth: int
+    reason: str = ""
+    victim_priority: str = ""
+    victim_seq: int = -1
+    lower_priority_available: bool = False
+    retry_after_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for diagnostic bundles and benchmarks."""
+        return {
+            "seq": self.seq,
+            "at": self.at,
+            "action": self.action,
+            "priority": self.priority,
+            "queue_depth": self.queue_depth,
+            "reason": self.reason,
+            "victim_priority": self.victim_priority,
+            "victim_seq": self.victim_seq,
+            "lower_priority_available": self.lower_priority_available,
+            "retry_after_s": self.retry_after_s,
+        }
+
+
+class AdmissionController:
+    """Bounded-queue admission policy for one gateway.
+
+    Pure policy: the controller decides and logs; the gateway owns the
+    queue, resolves shed responses and accounts metrics.  Decisions
+    read time only through the injected clock, making the full decision
+    log deterministic under a :class:`~repro.obs.clock.FakeClock`.
+    """
+
+    def __init__(self, max_queue_depth: int, default_deadline_s: float,
+                 shed_retry_after_s: float, clock=None,
+                 max_decisions: int = 8192) -> None:
+        if max_queue_depth <= 0:
+            raise ValueError(
+                f"max_queue_depth must be positive, got {max_queue_depth}"
+            )
+        if default_deadline_s <= 0:
+            raise ValueError(
+                f"default_deadline_s must be positive, got {default_deadline_s}"
+            )
+        if shed_retry_after_s < 0:
+            raise ValueError(
+                f"shed_retry_after_s must be non-negative, "
+                f"got {shed_retry_after_s}"
+            )
+        self.max_queue_depth = int(max_queue_depth)
+        self.default_deadline_s = float(default_deadline_s)
+        self.shed_retry_after_s = float(shed_retry_after_s)
+        self._clock = clock or obs_clock.now
+        #: Bounded decision log, oldest first.
+        self.decisions: Deque[AdmissionDecision] = deque(
+            maxlen=int(max_decisions))
+        self._decision_seq = 0
+
+    def retry_after(self, queue_depth: int) -> float:
+        """Deterministic pressure-scaled retry hint for a shed response.
+
+        The base hint doubles at a full queue: clients backing off
+        proportionally to the pressure they observed spreads the retry
+        wave instead of synchronizing it.
+
+        >>> controller = AdmissionController(8, 0.05, 0.02,
+        ...                                  clock=lambda: 0.0)
+        >>> controller.retry_after(0), controller.retry_after(8)
+        (0.02, 0.04)
+        """
+        pressure = min(max(queue_depth, 0) / self.max_queue_depth, 1.0)
+        return self.shed_retry_after_s * (1.0 + pressure)
+
+    def record(self, action: str, priority: str, queue_depth: int,
+               reason: str = "", victim: Optional[PendingRequest] = None,
+               lower_priority_available: bool = False,
+               retry_after_s: float = 0.0) -> AdmissionDecision:
+        """Append one decision to the log and return it."""
+        decision = AdmissionDecision(
+            seq=self._decision_seq,
+            at=self._clock(),
+            action=action,
+            priority=priority,
+            queue_depth=int(queue_depth),
+            reason=reason,
+            victim_priority=victim.priority if victim is not None else "",
+            victim_seq=victim.seq if victim is not None else -1,
+            lower_priority_available=lower_priority_available,
+            retry_after_s=float(retry_after_s),
+        )
+        self._decision_seq += 1
+        self.decisions.append(decision)
+        return decision
+
+    def decision_log(self) -> List[Dict[str, object]]:
+        """The retained decisions as plain dicts (replay comparison)."""
+        return [decision.to_dict() for decision in self.decisions]
+
+
+@dataclass
+class AutoscalerConfig:
+    """Tuning knobs for one :class:`ReplicaAutoscaler`."""
+
+    #: Replica-count floor/ceiling the loop may move within.
+    min_replicas: int = 1
+    max_replicas: int = 8
+    #: Queue depth at/above which one replica is added per step
+    #: (``None`` → ``2 x max_batch_size`` of the attached gateway).
+    scale_up_depth: Optional[int] = None
+    #: Queue depth at/below which the queue counts as calm (``None`` →
+    #: ``max_batch_size // 2``).
+    scale_down_depth: Optional[int] = None
+    #: Consecutive calm steps (queue low, no firing SLO alerts) before
+    #: one replica is removed — the anti-flap cooldown.
+    cooldown_steps: int = 3
+
+    def validate(self) -> None:
+        """Reject inconsistent settings early."""
+        if self.min_replicas <= 0:
+            raise ValueError(
+                f"min_replicas must be positive, got {self.min_replicas}"
+            )
+        if self.max_replicas < self.min_replicas:
+            raise ValueError(
+                f"max_replicas {self.max_replicas} below min_replicas "
+                f"{self.min_replicas}"
+            )
+        if self.cooldown_steps <= 0:
+            raise ValueError(
+                f"cooldown_steps must be positive, got {self.cooldown_steps}"
+            )
+
+
+class ReplicaAutoscaler:
+    """Closed-loop replica scaling driven by queue depth and SLO burn.
+
+    ``step()`` is the control tick — call it on whatever cadence the
+    deployment evaluates health (the benchmarks tick it between load
+    slices).  Scale-up is immediate on either signal (queue depth at
+    bound, or any firing burn-rate alert on the attached
+    :class:`~repro.obs.slo.SLOEngine`); scale-down needs
+    ``cooldown_steps`` consecutive calm ticks, so a recovering spike
+    never oscillates the fleet.  Every decision lands in
+    :attr:`events` with the signals that drove it.
+    """
+
+    def __init__(self, gateway, config: Optional[AutoscalerConfig] = None,
+                 slo_engine=None, clock=None) -> None:
+        self.gateway = gateway
+        self.config = config or AutoscalerConfig()
+        self.config.validate()
+        self.slo_engine = slo_engine
+        self._clock = clock or obs_clock.now
+        batch = gateway.config.max_batch_size
+        self._up_depth = (self.config.scale_up_depth
+                          if self.config.scale_up_depth is not None
+                          else 2 * batch)
+        self._down_depth = (self.config.scale_down_depth
+                            if self.config.scale_down_depth is not None
+                            else max(batch // 2, 1))
+        if self._down_depth >= self._up_depth:
+            raise ValueError(
+                f"scale_down_depth {self._down_depth} must be below "
+                f"scale_up_depth {self._up_depth}"
+            )
+        self._calm_steps = 0
+        #: Decision history: one dict per ``step()`` call.
+        self.events: List[Dict[str, object]] = []
+
+    @property
+    def num_replicas(self) -> int:
+        """Replicas currently in the gateway's rotation."""
+        return self.gateway.router.num_replicas
+
+    def _burning(self) -> bool:
+        """Any burn-rate alert currently firing on the attached engine."""
+        if self.slo_engine is None:
+            return False
+        return bool(self.slo_engine.active_alerts())
+
+    def step(self) -> str:
+        """One control tick; returns ``"up"``, ``"down"`` or ``"hold"``."""
+        depth = int(self.gateway.queue_depth())
+        burning = self._burning()
+        replicas = self.num_replicas
+        decision = "hold"
+        if (depth >= self._up_depth or burning) \
+                and replicas < self.config.max_replicas:
+            self.gateway.router.add_replica()
+            decision = "up"
+            self._calm_steps = 0
+        elif depth <= self._down_depth and not burning:
+            self._calm_steps += 1
+            if (self._calm_steps >= self.config.cooldown_steps
+                    and replicas > self.config.min_replicas):
+                # Retire the newest replica: rendezvous hashing only
+                # remaps the keys that lived on it.
+                victim = sorted(
+                    r.replica_id for r in self.gateway.router.replicas)[-1]
+                self.gateway.router.remove_replica(victim)
+                decision = "down"
+                self._calm_steps = 0
+        else:
+            self._calm_steps = 0
+        self.events.append({
+            "at": self._clock(),
+            "decision": decision,
+            "queue_depth": depth,
+            "burning": burning,
+            "replicas": self.num_replicas,
+        })
+        return decision
+
+    def report(self) -> Dict[str, object]:
+        """Summary of the loop's activity so far."""
+        ups = sum(1 for e in self.events if e["decision"] == "up")
+        downs = sum(1 for e in self.events if e["decision"] == "down")
+        return {
+            "steps": len(self.events),
+            "scale_ups": ups,
+            "scale_downs": downs,
+            "replicas": self.num_replicas,
+            "min_replicas": self.config.min_replicas,
+            "max_replicas": self.config.max_replicas,
+        }
+
+
+def admission_report(responses: Sequence) -> Dict[str, object]:
+    """Per-priority-class outcome summary over gateway responses.
+
+    Shed responses (``shed=True``) count toward ``offered`` and
+    ``shed``; latency percentiles cover *served* requests only — the
+    promise the deadline budget is declared over.
+    """
+    classes: Dict[str, Dict[str, object]] = {}
+    for name in PRIORITIES:
+        classes[name] = {"offered": 0, "served": 0, "shed": 0}
+    latencies: Dict[str, List[float]] = {name: [] for name in PRIORITIES}
+    for response in responses:
+        name = getattr(response, "priority", "normal")
+        row = classes.setdefault(name, {"offered": 0, "served": 0, "shed": 0})
+        row["offered"] += 1
+        if getattr(response, "shed", False):
+            row["shed"] += 1
+        else:
+            row["served"] += 1
+            latencies.setdefault(name, []).append(
+                float(response.latency_seconds))
+    total_offered = sum(row["offered"] for row in classes.values())
+    total_shed = sum(row["shed"] for row in classes.values())
+    for name, row in classes.items():
+        served = latencies.get(name, [])
+        row["shed_fraction"] = (row["shed"] / row["offered"]
+                                if row["offered"] else 0.0)
+        if served:
+            ordered = np.asarray(served, dtype=np.float64)
+            row["latency_p50_s"] = float(np.percentile(ordered, 50))
+            row["latency_p95_s"] = float(np.percentile(ordered, 95))
+            row["latency_max_s"] = float(ordered.max())
+        else:
+            row["latency_p50_s"] = 0.0
+            row["latency_p95_s"] = 0.0
+            row["latency_max_s"] = 0.0
+    return {
+        "offered": total_offered,
+        "shed": total_shed,
+        "shed_fraction": total_shed / total_offered if total_offered else 0.0,
+        "classes": classes,
+    }

@@ -9,10 +9,31 @@ offset so components never collide — and scored with **one** forward
 pass.  Because components are disjoint and message passing is strictly
 per-node / per-edge, every center's output equals the per-request
 forward bit-for-bit, even when the original ego-subgraphs overlap.
+
+Heavy traffic adds a second axis: *when* a batch drains and *which*
+requests it contains.  :class:`DeadlineBatcher` extends the batcher
+with per-request **deadline budgets** and **priority classes**
+(:data:`PRIORITIES`): drains pick requests earliest-deadline-first
+within strict priority order, ``due`` flushes early when the tightest
+parked deadline would be at risk if the batcher kept waiting for
+occupancy (an EWMA of recent batch service times is the risk
+estimate), and the admission layer in
+:mod:`repro.serving.admission` uses :meth:`DeadlineBatcher.shed_candidate`
+/ :meth:`MicroBatcher.remove` to preempt parked low-priority work when
+the bounded queue fills.  With every request on the defaults (priority
+``"normal"``, no deadline) the deadline batcher is behaviourally
+identical to the plain one, so the legacy gateway path is unchanged.
+
+Both batchers serialize queue mutations under one lock: ``submit``,
+``drain``, ``remove`` and ``__len__`` are safe to call from concurrent
+admission threads, and a drain can never drop a request submitted
+concurrently (the old slice-then-reassign drain lost such requests).
 """
 
 from __future__ import annotations
 
+import math
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -23,18 +44,57 @@ from ..graph.graph import ESellerGraph
 from ..graph.sampling import EgoSubgraph
 from ..obs import clock as obs_clock
 
-__all__ = ["PendingRequest", "MicroBatcher", "DisjointBatch", "build_disjoint_batch"]
+__all__ = [
+    "PRIORITIES",
+    "priority_rank",
+    "PendingRequest",
+    "MicroBatcher",
+    "DeadlineBatcher",
+    "DisjointBatch",
+    "build_disjoint_batch",
+]
+
+#: Priority classes, best first.  Scheduling is strict-priority: a
+#: drain never takes a ``"normal"`` request while a ``"high"`` one is
+#: parked, and load shedding preempts the *worst* class first.
+PRIORITIES = ("high", "normal", "low")
+
+_PRIORITY_RANK = {name: rank for rank, name in enumerate(PRIORITIES)}
+
+
+def priority_rank(priority: str) -> int:
+    """Scheduling rank of a priority class (0 is best; raises on unknown).
+
+    >>> [priority_rank(p) for p in PRIORITIES]
+    [0, 1, 2]
+    """
+    try:
+        return _PRIORITY_RANK[priority]
+    except KeyError:
+        raise ValueError(
+            f"unknown priority {priority!r}; pick from {PRIORITIES}"
+        ) from None
 
 
 @dataclass
 class PendingRequest:
-    """One enqueued prediction request awaiting a batch slot."""
+    """One enqueued prediction request awaiting a batch slot.
+
+    ``priority`` and ``deadline`` (an *absolute* clock reading; ``inf``
+    means no budget) drive the :class:`DeadlineBatcher` schedule;
+    ``seq`` is the admission sequence number — the deterministic
+    tiebreaker that keeps replays of one arrival sequence bitwise
+    identical.
+    """
 
     shop_index: int
     enqueued_at: float
     response: Optional[object] = None
     done: bool = False
     error: Optional[BaseException] = None
+    priority: str = "normal"
+    deadline: float = math.inf
+    seq: int = 0
 
     def resolve(self, response: object) -> None:
         """Attach the finished response."""
@@ -71,6 +131,10 @@ class MicroBatcher:
     ``max_wait``; ``drain`` hands back up to ``max_batch_size`` requests
     in arrival order.  The batcher is synchronous and clock-injectable so
     flush policy is deterministic under test.
+
+    Queue mutations are lock-serialized: concurrent ``submit`` calls
+    (admission threads) can interleave with ``drain`` / ``__len__``
+    (the flush path, the gateway health probe) without losing requests.
     """
 
     def __init__(self, max_batch_size: int = 32, max_wait: float = 0.005,
@@ -85,30 +149,161 @@ class MicroBatcher:
         # deadlines are testable under a FakeClock without sleeping.
         self._clock = clock or obs_clock.now
         self._pending: List[PendingRequest] = []
+        self._lock = threading.Lock()
+        self._seq = 0
 
     def __len__(self) -> int:
-        return len(self._pending)
+        with self._lock:
+            return len(self._pending)
 
-    def submit(self, shop_index: int) -> Tuple[PendingRequest, bool]:
+    def _make_request(self, shop_index: int, priority: str,
+                      deadline: float) -> PendingRequest:
+        """Build one stamped request (callers hold the lock)."""
+        request = PendingRequest(
+            shop_index=int(shop_index), enqueued_at=self._clock(),
+            priority=priority, deadline=float(deadline), seq=self._seq,
+        )
+        self._seq += 1
+        return request
+
+    def submit(self, shop_index: int, priority: str = "normal",
+               deadline: float = math.inf) -> Tuple[PendingRequest, bool]:
         """Park one request; returns ``(request, batch_is_full)``."""
-        request = PendingRequest(shop_index=int(shop_index),
-                                 enqueued_at=self._clock())
-        self._pending.append(request)
-        return request, len(self._pending) >= self.max_batch_size
+        with self._lock:
+            request = self._make_request(shop_index, priority, deadline)
+            self._pending.append(request)
+            return request, len(self._pending) >= self.max_batch_size
 
     def due(self, now: Optional[float] = None) -> bool:
         """True when the oldest parked request exceeded ``max_wait``."""
-        if not self._pending:
-            return False
-        if now is None:
-            now = self._clock()
-        return (now - self._pending[0].enqueued_at) >= self.max_wait
+        with self._lock:
+            if not self._pending:
+                return False
+            if now is None:
+                now = self._clock()
+            return (now - self._pending[0].enqueued_at) >= self.max_wait
 
     def drain(self) -> List[PendingRequest]:
         """Remove and return up to ``max_batch_size`` oldest requests."""
-        batch = self._pending[: self.max_batch_size]
-        self._pending = self._pending[self.max_batch_size:]
-        return batch
+        with self._lock:
+            batch = self._pending[: self.max_batch_size]
+            del self._pending[: self.max_batch_size]
+            return batch
+
+    def remove(self, request: PendingRequest) -> bool:
+        """Unpark one specific request (load-shedding preemption).
+
+        Returns ``False`` when the request is no longer parked — it
+        raced into a drain and will be served; the caller must not shed
+        it.  Matching is by admission ``seq``, which is unique.
+        """
+        with self._lock:
+            for index, parked in enumerate(self._pending):
+                if parked.seq == request.seq:
+                    del self._pending[index]
+                    return True
+            return False
+
+
+class DeadlineBatcher(MicroBatcher):
+    """Deadline- and priority-aware micro-batcher.
+
+    Three behaviours on top of :class:`MicroBatcher`, each inert when
+    every request carries the defaults (priority ``"normal"``, no
+    deadline) so the legacy gateway path is bit-identical:
+
+    * **Scheduling** — :meth:`drain` picks up to ``max_batch_size``
+      requests ordered by ``(priority rank, deadline, admission seq)``:
+      strict priority first (a high-priority request is never parked
+      while lower traffic drains), earliest-deadline-first within a
+      class, arrival order as the deterministic tiebreaker.
+    * **Occupancy vs latency** — :meth:`due` keeps the ``max_wait``
+      occupancy timer but additionally reports the batch due when the
+      tightest parked deadline has less slack left than one batch
+      service time (:attr:`service_time_ewma`, fed by the gateway via
+      :meth:`observe_service`).  Waiting longer for a fuller batch
+      would push that request past its budget, so the batcher trades
+      occupancy for per-class latency exactly at the break-even point.
+    * **Preemption support** — :meth:`shed_candidate` nominates the
+      worst parked victim (lowest class, then latest deadline, then
+      newest) strictly below a given priority, for the bounded-queue
+      admission layer to :meth:`~MicroBatcher.remove`.
+
+    >>> batcher = DeadlineBatcher(max_batch_size=2, max_wait=10.0,
+    ...                           clock=lambda: 0.0)
+    >>> _ = batcher.submit(0, priority="low", deadline=9.0)
+    >>> _ = batcher.submit(1, priority="high", deadline=5.0)
+    >>> _ = batcher.submit(2, priority="high", deadline=1.0)
+    >>> [r.shop_index for r in batcher.drain()]  # EDF within priority
+    [2, 1]
+    """
+
+    def __init__(self, max_batch_size: int = 32, max_wait: float = 0.005,
+                 clock=None, service_alpha: float = 0.3) -> None:
+        super().__init__(max_batch_size=max_batch_size, max_wait=max_wait,
+                         clock=clock)
+        if not 0.0 < service_alpha <= 1.0:
+            raise ValueError(
+                f"service_alpha must be in (0, 1], got {service_alpha}"
+            )
+        #: EWMA of recent batch service times — the deadline-risk
+        #: estimate ``due`` trades occupancy against.
+        self.service_time_ewma = 0.0
+        self._service_alpha = float(service_alpha)
+
+    @staticmethod
+    def _schedule_key(request: PendingRequest) -> Tuple[int, float, int]:
+        return (priority_rank(request.priority), request.deadline, request.seq)
+
+    def observe_service(self, seconds: float) -> None:
+        """Feed one measured batch service time into the EWMA."""
+        seconds = max(float(seconds), 0.0)
+        if self.service_time_ewma == 0.0:
+            self.service_time_ewma = seconds
+        else:
+            alpha = self._service_alpha
+            self.service_time_ewma += alpha * (seconds - self.service_time_ewma)
+
+    def due(self, now: Optional[float] = None) -> bool:
+        """Occupancy timer *or* a parked deadline at risk."""
+        with self._lock:
+            if not self._pending:
+                return False
+            if now is None:
+                now = self._clock()
+            if (now - self._pending[0].enqueued_at) >= self.max_wait:
+                return True
+            tightest = min(request.deadline for request in self._pending)
+            return tightest - now <= self.service_time_ewma
+
+    def drain(self) -> List[PendingRequest]:
+        """Up to ``max_batch_size`` requests, EDF within strict priority."""
+        with self._lock:
+            ordered = sorted(self._pending, key=self._schedule_key)
+            batch = ordered[: self.max_batch_size]
+            chosen = {request.seq for request in batch}
+            self._pending = [
+                request for request in self._pending
+                if request.seq not in chosen
+            ]
+            return batch
+
+    def shed_candidate(self, priority: str) -> Optional[PendingRequest]:
+        """Worst parked request *strictly below* ``priority``, or ``None``.
+
+        "Worst" = lowest class, then latest deadline, then newest
+        arrival — the request whose eviction costs the least service
+        quality.  ``None`` means nothing parked is lower than the
+        incoming class, so a full queue must shed the newcomer instead.
+        """
+        rank = priority_rank(priority)
+        with self._lock:
+            victims = [r for r in self._pending
+                       if priority_rank(r.priority) > rank]
+            if not victims:
+                return None
+            return max(victims, key=lambda r: (priority_rank(r.priority),
+                                               r.deadline, r.seq))
 
 
 @dataclass

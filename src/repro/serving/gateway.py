@@ -41,6 +41,25 @@ the budget while serving younger-but-outdated entries with an explicit
 staleness tag (``GatewayResponse.stale`` /
 ``GatewayResponse.staleness_months``).  All traffic is accounted in a
 :class:`~repro.serving.metrics.MetricsRegistry`.
+
+Admission control: with ``GatewayConfig(admission=True)`` the gateway
+grows a traffic-engineering layer (see :mod:`repro.serving.admission`).
+Requests carry **deadline budgets** and **priority classes**
+(``submit(shop, priority="high", deadline_s=0.02)``); the micro-batcher
+becomes a :class:`~repro.serving.batching.DeadlineBatcher` (EDF within
+strict priority, early flush when the tightest parked deadline is at
+risk); the queue is bounded at ``max_queue_depth`` — overflow preempts
+the worst parked lower-priority request or sheds the newcomer, and a
+shed request still resolves, with ``GatewayResponse.shed=True`` and a
+pressure-scaled ``retry_after_s`` hint.  A request whose deadline
+passes while parked, or whose batch lands past the budget, is counted
+shed with reason ``"expired"``, never silently served late.  Every
+verdict is appended to a deterministic decision log
+(``gateway.admission.decision_log()``), and shed/admit counters flow
+through :meth:`metrics_report` into the
+:class:`~repro.obs.hub.MetricsHub` so SLOs can be declared over shed
+rate.  With ``admission=False`` (default) the legacy unbounded path is
+byte-identical and deadline/priority arguments are rejected.
 """
 
 from __future__ import annotations
@@ -65,7 +84,14 @@ from ..obs.health import (
     registry_probe,
     streaming_probe,
 )
-from .batching import MicroBatcher, PendingRequest, build_disjoint_batch
+from .admission import AdmissionController
+from .batching import (
+    DeadlineBatcher,
+    MicroBatcher,
+    PendingRequest,
+    build_disjoint_batch,
+    priority_rank,
+)
 from .cache import ResultCache, SubgraphCache
 from .metrics import MetricsRegistry
 from .router import ModelReplica, ReplicaRouter
@@ -107,6 +133,27 @@ class GatewayConfig:
     #: staleness tag.  ``0`` = evict the moment the frontier advances
     #: past the entry's data month.
     max_staleness_months: Optional[int] = None
+    #: Master switch for the admission plane.  ``True`` swaps the
+    #: micro-batcher for a :class:`~repro.serving.batching.DeadlineBatcher`,
+    #: bounds the queue at ``max_queue_depth``, and enables per-request
+    #: deadline budgets / priority classes on :meth:`ServingGateway.submit`.
+    #: ``False`` (default) keeps the legacy unbounded path byte-identical
+    #: and rejects deadline/priority arguments.
+    admission: bool = False
+    #: Deadline budget (seconds) stamped on requests that do not bring
+    #: their own ``deadline_s``.  Absolute deadline = admission time +
+    #: budget; a request past it is shed as ``"expired"``, never served
+    #: late.
+    default_deadline_s: float = 0.05
+    #: Bound on parked requests.  At the bound, an arrival preempts the
+    #: worst parked strictly-lower-priority request, or is itself shed
+    #: (``GatewayResponse.shed``) when nothing lower is parked.  Must be
+    #: at least ``max_batch_size``.
+    max_queue_depth: int = 256
+    #: Base client back-off hint attached to shed responses
+    #: (``GatewayResponse.retry_after_s``); scaled up to 2x with queue
+    #: pressure so synchronized retry waves spread out.
+    shed_retry_after_s: float = 0.02
 
     def validate(self) -> None:
         """Reject inconsistent settings early."""
@@ -131,6 +178,22 @@ class GatewayConfig:
                 f"max_staleness_months must be non-negative, "
                 f"got {self.max_staleness_months}"
             )
+        if self.default_deadline_s <= 0:
+            raise ValueError(
+                f"default_deadline_s must be positive, "
+                f"got {self.default_deadline_s}"
+            )
+        if self.shed_retry_after_s < 0:
+            raise ValueError(
+                f"shed_retry_after_s must be non-negative, "
+                f"got {self.shed_retry_after_s}"
+            )
+        if self.admission and self.max_queue_depth < self.max_batch_size:
+            raise ValueError(
+                f"max_queue_depth {self.max_queue_depth} below "
+                f"max_batch_size {self.max_batch_size}: the bounded queue "
+                "could never fill one batch"
+            )
 
 
 @dataclass
@@ -141,6 +204,11 @@ class GatewayResponse(PredictionResponse):
     landed inside its ego (allowed while within the
     ``max_staleness_months`` budget); ``staleness_months`` is how many
     event-time months its data frontier trails the store's.
+
+    ``shed`` marks a request the admission plane refused (queue full,
+    preempted by a higher class, or deadline expired): the forecast is
+    an all-zero read-only placeholder and ``retry_after_s`` is the
+    client back-off hint.  ``priority`` echoes the request's class.
     """
 
     cached: bool = False
@@ -149,6 +217,9 @@ class GatewayResponse(PredictionResponse):
     batch_size: int = 1
     stale: bool = False
     staleness_months: int = 0
+    shed: bool = False
+    retry_after_s: float = 0.0
+    priority: str = "normal"
 
 
 class ServingGateway:
@@ -202,11 +273,25 @@ class ServingGateway:
             partition_map=partition_map,
             precision=self.config.precision,
         )
-        self.batcher = MicroBatcher(
-            max_batch_size=self.config.max_batch_size,
-            max_wait=self.config.max_wait,
-            clock=clock,
-        )
+        if self.config.admission:
+            self.batcher = DeadlineBatcher(
+                max_batch_size=self.config.max_batch_size,
+                max_wait=self.config.max_wait,
+                clock=clock,
+            )
+            self.admission: Optional[AdmissionController] = AdmissionController(
+                max_queue_depth=self.config.max_queue_depth,
+                default_deadline_s=self.config.default_deadline_s,
+                shed_retry_after_s=self.config.shed_retry_after_s,
+                clock=clock,
+            )
+        else:
+            self.batcher = MicroBatcher(
+                max_batch_size=self.config.max_batch_size,
+                max_wait=self.config.max_wait,
+                clock=clock,
+            )
+            self.admission = None
         self.subgraph_cache = SubgraphCache(self.config.subgraph_cache_size)
         self.result_cache = ResultCache(self.config.result_cache_size)
         self.metrics = MetricsRegistry(window=self.config.metrics_window,
@@ -408,9 +493,31 @@ class ServingGateway:
     # ------------------------------------------------------------------
     # request intake
     # ------------------------------------------------------------------
-    def submit(self, shop_index: int) -> PendingRequest:
-        """Enqueue one request; flushes when the batch fills or is due."""
+    def submit(self, shop_index: int, priority: Optional[str] = None,
+               deadline_s: Optional[float] = None) -> PendingRequest:
+        """Enqueue one request.
+
+        Legacy mode flushes inline when the batch fills or is due.  With
+        ``config.admission`` on, ``priority`` (one of
+        :data:`~repro.serving.batching.PRIORITIES`, default ``"normal"``)
+        and ``deadline_s`` (budget in seconds, default
+        ``config.default_deadline_s``) drive scheduling; the request may
+        come back already resolved with a shed response
+        (``request.result().shed``) when the bounded queue refused it;
+        and submit itself is *pure admission* — serving happens through
+        the explicit :meth:`pump` / :meth:`poll` / :meth:`flush` loop —
+        so a burst genuinely builds queue depth against
+        ``max_queue_depth`` instead of being drained inline.  With
+        admission off, passing ``priority``/``deadline_s`` raises — the
+        legacy path has no scheduler to honour them.
+        """
         shop_index = int(shop_index)
+        if self.admission is None and not (priority is None
+                                           and deadline_s is None):
+            raise ValueError(
+                "priority/deadline_s need GatewayConfig(admission=True); "
+                "the legacy gateway has no scheduler to honour them"
+            )
         if not 0 <= shop_index < self.graph.num_nodes:
             raise IndexError(
                 f"shop {shop_index} out of range for "
@@ -427,41 +534,209 @@ class ServingGateway:
                 "refresh source_batch before serving shops added beyond it"
             )
         with obs_tracing.span("gateway.admission"):
-            if self.batcher.due():
-                self.flush()
-            self.metrics.record_request()
-            request, full = self.batcher.submit(shop_index)
-            if full:
-                self.flush()
+            if self.admission is None:
+                if self.batcher.due():
+                    self.flush()
+                self.metrics.record_request()
+                request, full = self.batcher.submit(shop_index)
+                if full:
+                    self.flush()
+            else:
+                # Admission mode decouples the front door from serving:
+                # submit is pure admission (park / shed / preempt) and
+                # batches are served by explicit :meth:`pump` /
+                # :meth:`poll` / :meth:`flush` calls — the serving
+                # worker.  An inline flush here would drain the queue
+                # below max_queue_depth on every arrival and turn the
+                # bounded queue into dead code.
+                self.metrics.record_request()
+                request, _ = self._admit(shop_index, priority, deadline_s)
         return request
 
+    def _admit(self, shop_index: int, priority: Optional[str],
+               deadline_s: Optional[float]):
+        """Bounded-queue admission verdict for one arriving request.
+
+        Returns ``(request, batch_is_full)``.  A refused request comes
+        back already resolved with a shed response; a preempted victim
+        is resolved the same way from inside this call.
+        """
+        priority = priority or "normal"
+        priority_rank(priority)          # validate the class name early
+        budget = (self.config.default_deadline_s
+                  if deadline_s is None else float(deadline_s))
+        if budget <= 0:
+            raise ValueError(f"deadline_s must be positive, got {budget}")
+        controller = self.admission
+        now = self._clock()
+        deadline = now + budget
+        depth = len(self.batcher)
+        if depth >= self.config.max_queue_depth:
+            victim = self.batcher.shed_candidate(priority)
+            lower_parked = victim is not None
+            if victim is not None and self.batcher.remove(victim):
+                # Preempt the worst lower-class parked request to make
+                # room: the high class is never starved by a full queue
+                # of lower traffic.
+                retry_after = controller.retry_after(depth)
+                self._shed(victim, reason="preempted",
+                           retry_after_s=retry_after)
+                controller.record(
+                    "shed_parked", priority, depth, reason="preempted",
+                    victim=victim, lower_priority_available=True,
+                    retry_after_s=retry_after,
+                )
+            elif victim is None:
+                # Nothing parked is below the newcomer: shed it.
+                retry_after = controller.retry_after(depth)
+                request = PendingRequest(
+                    shop_index=shop_index, enqueued_at=now,
+                    priority=priority, deadline=deadline,
+                )
+                self._shed(request, reason="queue_full",
+                           retry_after_s=retry_after)
+                controller.record(
+                    "shed_incoming", priority, depth, reason="queue_full",
+                    lower_priority_available=lower_parked,
+                    retry_after_s=retry_after,
+                )
+                return request, False
+            # else: the victim raced into a drain — the queue just made
+            # room on its own, admit without shedding anyone.
+        request, full = self.batcher.submit(
+            shop_index, priority=priority, deadline=deadline
+        )
+        self.metrics.inc("requests_admitted")
+        controller.record("admit", priority, len(self.batcher))
+        return request, full
+
+    def _shed(self, request: PendingRequest, reason: str,
+              retry_after_s: float = 0.0) -> None:
+        """Resolve one request with a shed response (never an exception).
+
+        The forecast is an all-zero read-only placeholder: overload is
+        an expected outcome, so callers branch on ``response.shed``
+        instead of growing exception paths.
+        """
+        forecast = np.zeros(self.source_batch.horizon, dtype=np.float64)
+        forecast.setflags(write=False)
+        self.metrics.inc("requests_shed")
+        self.metrics.inc(f"requests_shed_{request.priority}")
+        if reason == "expired":
+            self.metrics.inc("requests_expired")
+        request.resolve(GatewayResponse(
+            shop_index=request.shop_index,
+            forecast=forecast,
+            subgraph_nodes=0,
+            latency_seconds=self._clock() - request.enqueued_at,
+            shed=True,
+            retry_after_s=float(retry_after_s),
+            priority=request.priority,
+        ))
+
     def poll(self) -> None:
-        """Flush if the oldest parked request exceeded ``max_wait``."""
-        if self.batcher.due():
-            self.flush()
+        """Serve whatever is due.
+
+        Legacy mode: flush everything once the oldest parked request
+        exceeded ``max_wait``.  Admission mode: pump one micro-batch at
+        a time while a batch is due (occupancy timer, deadline at risk,
+        or a full batch parked) — the serving loop the load replayer
+        ticks between arrivals.
+        """
+        if self.admission is None:
+            if self.batcher.due():
+                self.flush()
+            return
+        while self.pump():
+            pass
+
+    def pump(self) -> bool:
+        """Serve at most one due micro-batch (admission serving step).
+
+        The simulated serving worker's unit of progress: drains one
+        EDF-scheduled batch when the occupancy timer fired, a parked
+        deadline is at risk, or a full batch is parked.  Load replayers
+        (:func:`~repro.serving.loadgen.replay_timed`) call this between
+        arrivals so service capacity is finite — while one batch's
+        simulated service time elapses, later arrivals queue instead of
+        being drained inline.  Returns ``False`` when nothing was due,
+        so pump loops terminate the moment the queue is calm.
+        """
+        if not (self.batcher.due()
+                or len(self.batcher) >= self.config.max_batch_size):
+            return False
+        batch = self.batcher.drain()
+        if self.admission is None:
+            self._serve(batch)
+            return True
+        batch = self._expire_overdue(batch)
+        if batch:
+            started = self._clock()
+            self._serve(batch)
+            self.batcher.observe_service(self._clock() - started)
+        return True
 
     def flush(self) -> None:
-        """Serve every parked request, one micro-batch at a time."""
-        while len(self.batcher):
-            self._serve(self.batcher.drain())
+        """Serve every parked request, one micro-batch at a time.
 
-    def predict(self, shop_index: int) -> GatewayResponse:
+        Under admission control each drained batch is swept for expired
+        deadlines first (those requests are shed, not served late) and
+        the measured batch service time feeds the deadline batcher's
+        EWMA — the risk estimate its early-flush policy trades occupancy
+        against.
+        """
+        while len(self.batcher):
+            batch = self.batcher.drain()
+            if self.admission is not None:
+                batch = self._expire_overdue(batch)
+                if not batch:
+                    continue
+                started = self._clock()
+                self._serve(batch)
+                self.batcher.observe_service(self._clock() - started)
+            else:
+                self._serve(batch)
+
+    def _expire_overdue(self, batch: List[PendingRequest]) -> List[PendingRequest]:
+        """Shed every drained request whose deadline already passed."""
+        now = self._clock()
+        live: List[PendingRequest] = []
+        for request in batch:
+            if request.deadline < now:
+                self._shed(request, reason="expired")
+                self.admission.record(
+                    "expire", request.priority, len(self.batcher),
+                    reason="expired", victim=request,
+                )
+            else:
+                live.append(request)
+        return live
+
+    def predict(self, shop_index: int, priority: Optional[str] = None,
+                deadline_s: Optional[float] = None) -> GatewayResponse:
         """Score one shop synchronously (submit + immediate flush)."""
         with obs_tracing.span("gateway.request"):
-            request = self.submit(shop_index)
+            request = self.submit(shop_index, priority=priority,
+                                  deadline_s=deadline_s)
             if not request.done:
                 self.flush()
             return request.result()
 
-    def predict_many(self, shop_indices: Sequence[int]) -> List[GatewayResponse]:
+    def predict_many(self, shop_indices: Sequence[int],
+                     priority: Optional[str] = None,
+                     deadline_s: Optional[float] = None) -> List[GatewayResponse]:
         """Serve a request stream, coalescing into micro-batches.
 
         Responses come back in request order; numerically they match the
         sequential :meth:`~repro.deploy.serving.OnlineModelServer.predict_many`
-        path exactly.
+        path exactly.  ``priority``/``deadline_s`` apply to every
+        request in the stream (admission mode only).
         """
         with obs_tracing.span("gateway.request"):
-            requests = [self.submit(int(s)) for s in np.asarray(shop_indices)]
+            requests = [
+                self.submit(int(s), priority=priority, deadline_s=deadline_s)
+                for s in np.asarray(shop_indices)
+            ]
             self.flush()
             return [r.result() for r in requests]
 
@@ -503,7 +778,19 @@ class ServingGateway:
                  subgraph_nodes: int, cached: bool, replica: ModelReplica,
                  batch_size: int, stale: bool = False,
                  staleness_months: int = 0) -> None:
-        latency = self._clock() - request.enqueued_at
+        now = self._clock()
+        if self.admission is not None and now > request.deadline:
+            # The batch landed past this request's budget: an answer
+            # the client stopped waiting for is not service.  Count it
+            # shed, never served late (the admission invariant the
+            # property suite pins).
+            self._shed(request, reason="expired")
+            self.admission.record(
+                "expire", request.priority, len(self.batcher),
+                reason="expired", victim=request,
+            )
+            return
+        latency = now - request.enqueued_at
         self.metrics.observe("latency_seconds", latency)
         request.resolve(GatewayResponse(
             shop_index=request.shop_index,
@@ -516,6 +803,7 @@ class ServingGateway:
             batch_size=batch_size,
             stale=stale,
             staleness_months=int(staleness_months),
+            priority=request.priority,
         ))
 
     def _check_freshness(self, shop: int, hops: int, version: int, cached):
@@ -679,8 +967,24 @@ class ServingGateway:
     # reporting
     # ------------------------------------------------------------------
     def queue_depth(self) -> int:
-        """Requests currently parked in the micro-batcher."""
+        """Requests currently parked in the micro-batcher.
+
+        Reads the batcher length under its lock, so concurrent admission
+        threads and the queue health probe always see a consistent count.
+        """
         return len(self.batcher)
+
+    def shed_rate(self) -> float:
+        """Fraction of offered requests the admission plane shed.
+
+        Offered = everything through :meth:`submit` (``requests_total``);
+        shed covers door refusals, preemptions and deadline expiries.
+        ``0.0`` with admission off or before any traffic.
+        """
+        total = self.metrics.counter("requests_total")
+        if not total:
+            return 0.0
+        return self.metrics.counter("requests_shed") / total
 
     def health(self) -> Dict[str, object]:
         """Aggregated liveness/readiness across the attached subsystems.
@@ -729,6 +1033,25 @@ class ServingGateway:
                     self.metrics.counter("freshness_evictions"),
                 "stale_results_served":
                     self.metrics.counter("stale_results_served"),
+            }
+        if self.admission is not None:
+            counter = self.metrics.counter
+            report["admission"] = {
+                "enabled": True,
+                "max_queue_depth": self.config.max_queue_depth,
+                "default_deadline_s": self.config.default_deadline_s,
+                "shed_retry_after_s": self.config.shed_retry_after_s,
+                "queue_depth": self.queue_depth(),
+                "requests_admitted": counter("requests_admitted"),
+                "requests_shed": counter("requests_shed"),
+                "requests_shed_by_class": {
+                    name: counter(f"requests_shed_{name}")
+                    for name in ("high", "normal", "low")
+                },
+                "requests_expired": counter("requests_expired"),
+                "shed_rate": self.shed_rate(),
+                "service_time_ewma_s": self.batcher.service_time_ewma,
+                "decisions_logged": len(self.admission.decisions),
             }
         report["engine"] = {
             "mode": engine.engine_mode(),

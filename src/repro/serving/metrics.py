@@ -103,7 +103,13 @@ class MetricsRegistry:
       ``delta_evicted_results`` (delta-aware eviction under streaming
       churn), ``data_ticks_observed`` / ``freshness_evictions`` /
       ``stale_results_served`` (event-time freshness of the result
-      cache under ``GatewayConfig.max_staleness_months``)
+      cache under ``GatewayConfig.max_staleness_months``), and — under
+      ``GatewayConfig(admission=True)`` — ``requests_admitted``,
+      ``requests_shed``, ``requests_shed_high`` /
+      ``requests_shed_normal`` / ``requests_shed_low`` (per priority
+      class) and ``requests_expired`` (deadline passed while parked or
+      in flight; note ``latency_seconds`` covers *served* requests
+      only, so shed traffic never flatters the percentiles)
     * distributions — ``latency_seconds`` (per request, queue wait
       included), ``batch_size`` (requests per model forward)
     """

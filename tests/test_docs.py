@@ -1,6 +1,6 @@
 """Docs-and-policy gates: documented invariants cannot silently rot.
 
-Five invariants, all cheap enough for tier-1:
+Six invariants, all cheap enough for tier-1:
 
 * every symbol a ``repro.*`` module exports through ``__all__`` resolves
   and carries a docstring (modules, classes, functions — the public API
@@ -17,7 +17,10 @@ Five invariants, all cheap enough for tier-1:
 * the **clock policy** holds at the source level: no ``repro`` module
   outside ``repro/obs/clock.py`` calls the stdlib clocks directly (AST
   lint), which is what keeps SLO/anomaly/health transition sequences
-  replayable under ``FakeClock``.
+  replayable under ``FakeClock``;
+* every admission-plane knob on ``GatewayConfig``
+  (``ADMISSION_CONFIG_FIELDS``) exists and is documented in
+  ``docs/ARCHITECTURE.md``.
 """
 
 import ast
@@ -214,6 +217,38 @@ def test_repro_reads_time_only_through_the_obs_clock():
     )
     # Vacuity guard: the walk must actually be covering the package.
     assert scanned > 50, f"clock lint looks vacuous: scanned {scanned} files"
+
+
+def test_admission_config_fields_are_documented():
+    """Docs gate (tier-1): every admission-plane knob on
+    ``GatewayConfig`` (the ``ADMISSION_CONFIG_FIELDS`` registry) exists
+    on the config dataclass and is named in ``docs/ARCHITECTURE.md`` —
+    an undocumented admission knob is an undocumented SLO lever."""
+    import dataclasses
+
+    from repro.serving.admission import ADMISSION_CONFIG_FIELDS
+    from repro.serving.gateway import GatewayConfig
+
+    config_fields = {f.name for f in dataclasses.fields(GatewayConfig)}
+    architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+    missing_on_config = [
+        name for name in ADMISSION_CONFIG_FIELDS
+        if name not in config_fields
+    ]
+    assert not missing_on_config, (
+        f"ADMISSION_CONFIG_FIELDS names unknown GatewayConfig fields: "
+        f"{missing_on_config}"
+    )
+    undocumented = [
+        name for name in ADMISSION_CONFIG_FIELDS
+        if name not in architecture
+    ]
+    assert not undocumented, (
+        "docs/ARCHITECTURE.md never mentions admission config fields: "
+        f"{undocumented}"
+    )
+    # Vacuity guard: the registry must actually cover the knobs.
+    assert len(ADMISSION_CONFIG_FIELDS) >= 4
 
 
 def test_roadmap_points_at_versioned_design_docs():
